@@ -1,0 +1,59 @@
+"""Figure 10 — PSNR versus retrieved bitrate.
+
+Paper claim: although IPComp optimizes the L∞ error, its PSNR under a given
+retrieval bitrate is competitive with or better than the baselines on most
+datasets (Density, Pressure, VelocityX, CH4 are shown in the paper).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import print_table, write_csv
+from repro.analysis import psnr
+from repro.baselines import make_compressor
+
+COMPRESSORS = ("ipcomp", "sz3-r", "pmgard")
+FIELDS = ("density", "pressure", "velocityx", "ch4")
+BITRATES = (1.0, 2.0, 4.0, 8.0)
+BOUND = 1e-6
+
+
+def _run(bench_datasets):
+    rows = []
+    for name in FIELDS:
+        field = bench_datasets[name]
+        compressors = {}
+        blobs = {}
+        for comp_name in COMPRESSORS:
+            comp = make_compressor(comp_name, error_bound=BOUND, relative=True)
+            compressors[comp_name] = comp
+            blobs[comp_name] = comp.compress(field)
+        for bitrate in BITRATES:
+            row = [name, bitrate]
+            for comp_name in COMPRESSORS:
+                try:
+                    outcome = compressors[comp_name].retrieve(
+                        blobs[comp_name], bitrate=bitrate
+                    )
+                    row.append(f"{psnr(field, outcome.data):.2f}")
+                except Exception:
+                    row.append("n/a")
+            rows.append(row)
+    return rows
+
+
+@pytest.mark.benchmark(group="fig10")
+def test_fig10_psnr_vs_bitrate(benchmark, bench_datasets, results_dir):
+    rows = benchmark.pedantic(_run, args=(bench_datasets,), rounds=1, iterations=1)
+    header = ["dataset", "bitrate"] + [f"{c} PSNR" for c in COMPRESSORS]
+    print_table("Figure 10: PSNR under a bitrate budget", header, rows)
+    write_csv(results_dir / "fig10_psnr.csv", header, rows)
+
+    # Shape check: IPComp's PSNR grows with the budget on every dataset.
+    idx = header.index("ipcomp PSNR")
+    per_dataset = {}
+    for row in rows:
+        per_dataset.setdefault(row[0], []).append(float(row[idx]))
+    for series in per_dataset.values():
+        assert series[-1] > series[0]

@@ -1,0 +1,72 @@
+"""Figure 6 — retrieval volume (bitrate) needed to reach a target L∞ error.
+
+Paper claim: IPComp needs the smallest data volume to reconstruct to a given
+error bound (up to 83 % less than the baselines), supports *arbitrary* bounds,
+and needs a single decompression pass, whereas SZ3-R/ZFP-R only offer a
+staircase of pre-defined bounds with one pass per rung.
+
+The harness compresses every dataset at eb = 1e−6·range, sweeps retrieval
+bounds from 2^14·eb down to eb, and records bits/value loaded plus the number
+of decompression passes for IPComp, SZ3-R, ZFP-R and PMGARD.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import print_table, write_csv
+from repro.analysis import max_error
+from repro.baselines import make_compressor
+
+COMPRESSORS = ("ipcomp", "sz3-r", "zfp-r", "pmgard")
+BASE_BOUND = 1e-6
+TARGET_MULTIPLIERS = (2**14, 2**12, 2**10, 2**8, 2**6, 2**4, 2**2, 1)
+
+
+def _run(bench_datasets):
+    rows = []
+    for name, field in bench_datasets.items():
+        compressors = {}
+        blobs = {}
+        for comp_name in COMPRESSORS:
+            comp = make_compressor(comp_name, error_bound=BASE_BOUND, relative=True)
+            compressors[comp_name] = comp
+            blobs[comp_name] = comp.compress(field)
+        eb = compressors["ipcomp"].absolute_bound(field)
+        for multiplier in TARGET_MULTIPLIERS:
+            target = eb * multiplier
+            row = [name, multiplier]
+            for comp_name in COMPRESSORS:
+                outcome = compressors[comp_name].retrieve(
+                    blobs[comp_name], error_bound=target
+                )
+                achieved = max_error(field, outcome.data)
+                bitrate = outcome.bytes_loaded * 8.0 / field.size
+                row.extend([f"{bitrate:.3f}", outcome.passes, f"{achieved / eb:.2f}"])
+                assert achieved <= target * (1 + 1e-9), (comp_name, multiplier)
+            rows.append(row)
+    return rows
+
+
+@pytest.mark.benchmark(group="fig6")
+def test_fig6_retrieval_under_error_bounds(benchmark, bench_datasets, results_dir):
+    rows = benchmark.pedantic(_run, args=(bench_datasets,), rounds=1, iterations=1)
+    header = ["dataset", "target (×eb)"]
+    for comp_name in COMPRESSORS:
+        header += [f"{comp_name} bpp", f"{comp_name} passes", f"{comp_name} err/eb"]
+    print_table("Figure 6: bitrate needed per retrieval error bound", header, rows)
+    write_csv(results_dir / "fig6_retrieval_errorbound.csv", header, rows)
+
+    # Shape checks: IPComp always needs a single pass; residual baselines need
+    # progressively more passes at tighter targets; at the tightest target
+    # IPComp's retrieval volume beats the residual ladders.
+    idx_ip_bpp = header.index("ipcomp bpp")
+    idx_ip_passes = header.index("ipcomp passes")
+    idx_sz3r_bpp = header.index("sz3-r bpp")
+    idx_sz3r_passes = header.index("sz3-r passes")
+    assert all(int(row[idx_ip_passes]) == 1 for row in rows)
+    tight = [row for row in rows if row[1] == 1]
+    assert all(
+        float(row[idx_ip_bpp]) <= float(row[idx_sz3r_bpp]) * 1.05 for row in tight
+    )
+    assert all(int(row[idx_sz3r_passes]) >= 3 for row in tight)

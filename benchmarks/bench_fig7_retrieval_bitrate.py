@@ -1,0 +1,82 @@
+"""Figure 7 — reconstruction error under a fixed retrieval bitrate budget.
+
+Paper claim: under the same bitrate budget IPComp reconstructs with the lowest
+L∞ error (up to 99 % lower), because its optimizer picks the most valuable
+bitplanes for the budget, while the residual ladders can only jump between
+pre-defined rungs (staircase behaviour) and PMGARD spends bits on a less
+efficient decomposition.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import print_table, write_csv
+from repro.analysis import max_error
+from repro.baselines import make_compressor
+
+COMPRESSORS = ("ipcomp", "sz3-r", "zfp-r", "pmgard")
+BASE_BOUND = 1e-6
+BITRATES = (0.5, 1.0, 2.0, 4.0, 8.0)
+
+
+def _run(bench_datasets):
+    rows = []
+    for name, field in bench_datasets.items():
+        compressors = {}
+        blobs = {}
+        for comp_name in COMPRESSORS:
+            comp = make_compressor(comp_name, error_bound=BASE_BOUND, relative=True)
+            compressors[comp_name] = comp
+            blobs[comp_name] = comp.compress(field)
+        value_range = float(field.max() - field.min())
+        for bitrate in BITRATES:
+            row = [name, bitrate]
+            for comp_name in COMPRESSORS:
+                try:
+                    outcome = compressors[comp_name].retrieve(
+                        blobs[comp_name], bitrate=bitrate
+                    )
+                    relative_error = max_error(field, outcome.data) / value_range
+                    used = outcome.bytes_loaded * 8.0 / field.size
+                    if used > bitrate * 1.05:
+                        # Residual ladders cannot go below their coarsest rung:
+                        # the request is *not* satisfiable within the budget
+                        # (the paper's "limited pre-defined bounds" drawback).
+                        row.extend(["over", f"{used:.3f}"])
+                    else:
+                        row.extend([f"{relative_error:.3e}", f"{used:.3f}"])
+                except Exception:
+                    # A budget below the compressor's minimum loadable unit.
+                    row.extend(["n/a", "n/a"])
+            rows.append(row)
+    return rows
+
+
+@pytest.mark.benchmark(group="fig7")
+def test_fig7_error_under_bitrate_budget(benchmark, bench_datasets, results_dir):
+    rows = benchmark.pedantic(_run, args=(bench_datasets,), rounds=1, iterations=1)
+    header = ["dataset", "bitrate budget"]
+    for comp_name in COMPRESSORS:
+        header += [f"{comp_name} rel.err", f"{comp_name} bpp used"]
+    print_table("Figure 7: error under a bitrate budget", header, rows)
+    write_csv(results_dir / "fig7_retrieval_bitrate.csv", header, rows)
+
+    # Shape checks:
+    #  (a) IPComp satisfies *every* budget (never "over"/"n/a") and its error
+    #      decreases monotonically with the budget;
+    #  (b) the residual ladders cannot honour the small budgets at all
+    #      (their coarsest rung is already larger — the staircase drawback);
+    #  (c) see EXPERIMENTS.md for the quantitative comparison against the
+    #      rungs that do fit a budget — that part only partially reproduces
+    #      with the DEFLATE backend, so it is reported rather than asserted.
+    idx_ip = header.index("ipcomp rel.err")
+    per_dataset = {}
+    for row in rows:
+        per_dataset.setdefault(row[0], []).append(row)
+    for dataset_rows in per_dataset.values():
+        errors = [float(r[idx_ip]) for r in dataset_rows]
+        assert all(b <= a * 1.001 for a, b in zip(errors, errors[1:]))
+        smallest_budget = dataset_rows[0]
+        for ladder in ("sz3-r rel.err", "zfp-r rel.err"):
+            assert smallest_budget[header.index(ladder)] in ("over", "n/a")

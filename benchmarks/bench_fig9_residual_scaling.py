@@ -1,0 +1,81 @@
+"""Figure 9 — residual-ladder speed versus the number of residual levels.
+
+Paper claim: the more pre-defined error bounds a residual-based compressor
+offers (i.e. the more retrieval flexibility), the slower its compression and
+decompression become, because every additional rung is another full
+compression/decompression pass; the curve bends (each extra rung is cheaper
+than the last because looser bounds quantize to smaller integers) but the
+total keeps growing.  IPComp's single-pass cost is flat by construction and
+shown as the reference line.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from benchmarks.conftest import print_table, write_csv
+from repro.baselines import make_compressor
+
+RUNG_COUNTS = (2, 3, 4, 5, 6, 7, 8)
+BOUND = 1e-6
+FIELD = "density"
+
+
+def _run(bench_datasets):
+    field = bench_datasets[FIELD]
+    mb = field.nbytes / 1e6
+    rows = []
+
+    ipcomp = make_compressor("ipcomp", error_bound=BOUND, relative=True)
+    start = time.perf_counter()
+    blob = ipcomp.compress(field)
+    ip_compress = time.perf_counter() - start
+    start = time.perf_counter()
+    ipcomp.decompress(blob)
+    ip_decompress = time.perf_counter() - start
+    rows.append(["ipcomp", "-", f"{mb / ip_compress:.3f}", f"{mb / ip_decompress:.3f}"])
+
+    for ladder_name in ("sz3-r", "zfp-r"):
+        for rungs in RUNG_COUNTS:
+            comp = make_compressor(
+                ladder_name, error_bound=BOUND, relative=True, rungs=rungs
+            )
+            start = time.perf_counter()
+            blob = comp.compress(field)
+            compress_seconds = time.perf_counter() - start
+            start = time.perf_counter()
+            comp.decompress(blob)
+            decompress_seconds = time.perf_counter() - start
+            rows.append(
+                [
+                    ladder_name,
+                    rungs,
+                    f"{mb / compress_seconds:.3f}",
+                    f"{mb / decompress_seconds:.3f}",
+                ]
+            )
+    return rows
+
+
+@pytest.mark.benchmark(group="fig9")
+def test_fig9_residual_count_scaling(benchmark, bench_datasets, results_dir):
+    rows = benchmark.pedantic(_run, args=(bench_datasets,), rounds=1, iterations=1)
+    header = ["compressor", "residual levels", "compress MB/s", "decompress MB/s"]
+    print_table("Figure 9: residual-ladder speed vs. rung count", header, rows)
+    write_csv(results_dir / "fig9_residual_scaling.csv", header, rows)
+
+    # Shape check: decompression throughput with many rungs is clearly below
+    # the few-rung case (every extra rung is another mandatory decompression
+    # pass); compression throughput may only degrade within noise for SZ3-R
+    # because its first (tightest) rung dominates the cost, so it gets a
+    # tolerance instead of a strict inequality.
+    for ladder_name in ("sz3-r", "zfp-r"):
+        ladder_rows = [r for r in rows if r[0] == ladder_name]
+        few_decompress = float(ladder_rows[0][3])
+        many_decompress = float(ladder_rows[-1][3])
+        assert many_decompress < few_decompress
+        few_compress = float(ladder_rows[0][2])
+        many_compress = float(ladder_rows[-1][2])
+        assert many_compress < few_compress * 1.15

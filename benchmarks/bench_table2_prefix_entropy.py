@@ -1,0 +1,36 @@
+"""Table 2 — entropy of predictive bitplane coding with 0–3 prefix bits.
+
+Paper observation: 1–3 prefix bits all reduce entropy relative to the raw
+bitplanes, and 2 prefix bits is generally the best; the reduction is a few
+percent of a bit per bit.  The harness reports bit entropy for the same three
+fields the paper tables (Density, SpeedX, Wave).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import print_table, write_csv
+from repro.analysis import prefix_entropy_table
+
+FIELDS = ("density", "speedx", "wave")
+PREFIXES = (0, 1, 2, 3)
+
+
+def _run(bench_datasets):
+    rows = []
+    for name in FIELDS:
+        table = prefix_entropy_table(bench_datasets[name], PREFIXES, error_bound=1e-6)
+        rows.append([name] + [f"{table[p]:.6f}" for p in PREFIXES])
+    return rows
+
+
+@pytest.mark.benchmark(group="table2")
+def test_table2_prefix_entropy(benchmark, bench_datasets, results_dir):
+    rows = benchmark.pedantic(_run, args=(bench_datasets,), rounds=1, iterations=1)
+    header = ["field", "original", "1-bit prefix", "2-bit prefix", "3-bit prefix"]
+    print_table("Table 2: bitplane entropy vs. prefix bits", header, rows)
+    write_csv(results_dir / "table2_prefix_entropy.csv", header, rows)
+    for row in rows:
+        original, two_bit = float(row[1]), float(row[3])
+        assert two_bit <= original + 1e-9, "prefix coding must not raise entropy"

@@ -1,0 +1,49 @@
+"""Table 3 — dataset inventory and basic statistics.
+
+Regenerates the dataset table (name, domain, precision, shape) for the
+synthetic stand-ins actually used by this reproduction, alongside simple
+statistics showing they are non-trivial fields (nonzero variance, expected
+value ranges).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import print_table, write_csv
+from repro.datasets import DATASETS
+
+
+def _run(bench_datasets):
+    rows = []
+    for key, spec in DATASETS.items():
+        field = bench_datasets[key]
+        rows.append(
+            [
+                spec.name,
+                spec.explanation,
+                spec.domain,
+                spec.precision,
+                "x".join(map(str, spec.paper_shape)),
+                "x".join(map(str, field.shape)),
+                f"{field.min():.4g}",
+                f"{field.max():.4g}",
+                f"{field.std():.4g}",
+            ]
+        )
+    return rows
+
+
+@pytest.mark.benchmark(group="table3")
+def test_table3_dataset_inventory(benchmark, bench_datasets, results_dir):
+    rows = benchmark.pedantic(_run, args=(bench_datasets,), rounds=1, iterations=1)
+    header = [
+        "name", "explanation", "domain", "precision",
+        "paper shape", "bench shape", "min", "max", "std",
+    ]
+    print_table("Table 3: datasets", header, rows)
+    write_csv(results_dir / "table3_datasets.csv", header, rows)
+    assert len(rows) == 6
+    for row in rows:
+        assert float(row[-1]) > 0.0  # every field carries actual signal

@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Quickstart: compress a field, then retrieve it progressively.
+
+Run with::
+
+    python examples/quickstart.py
+
+It generates a synthetic turbulence density field (a stand-in for the paper's
+Miranda dataset), compresses it with IPComp at a range-relative error bound of
+1e-6, and then serves three retrieval requests of increasing fidelity from the
+same compressed stream — loading only the additional bitplanes each time.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import IPComp
+from repro.analysis import max_error, psnr, summarize
+from repro.datasets import load_dataset
+
+
+def main() -> None:
+    # 1. A scientific field (float64, 3-D). Swap in your own NumPy array here.
+    field = load_dataset("density", shape=(48, 64, 64))
+    print(f"field: shape={field.shape}, {field.nbytes / 1e6:.1f} MB")
+
+    # 2. Compress once, at the tightest fidelity you will ever need.
+    compressor = IPComp(error_bound=1e-6, relative=True)
+    blob = compressor.compress(field)
+    eb = compressor.absolute_bound(field)
+    print(
+        f"compressed to {len(blob) / 1e6:.2f} MB "
+        f"(ratio {field.nbytes / len(blob):.2f}, eb = {eb:.3e})"
+    )
+
+    # 3. Progressive retrieval: coarse first, refine later, one pass each.
+    retriever = compressor.retriever(blob)
+    for label, request in [
+        ("quick look      (error <= 1024*eb)", dict(error_bound=1024 * eb)),
+        ("detailed view   (error <=   16*eb)", dict(error_bound=16 * eb)),
+        ("full precision  (error <=      eb)", dict(error_bound=eb)),
+    ]:
+        result = retriever.retrieve(**request)
+        print(
+            f"{label}: loaded {result.bytes_loaded / 1e3:8.1f} kB this step "
+            f"({result.cumulative_bitrate(field.size):5.2f} bits/value so far), "
+            f"actual error {max_error(field, result.data):.3e}, "
+            f"PSNR {psnr(field, result.data):6.2f} dB"
+        )
+
+    # 4. Or decompress at full precision in one go.
+    restored = compressor.decompress(blob)
+    print("full-precision report:", summarize(field, restored, blob))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+The offline evaluation environment ships setuptools without the ``wheel``
+package, so PEP 517/660 editable installs cannot build an editable wheel.
+This shim lets ``pip install -e . --no-build-isolation --no-use-pep517`` fall
+back to the classic ``setup.py develop`` path.  All project metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

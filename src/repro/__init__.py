@@ -1,0 +1,45 @@
+"""repro — reproduction of IPComp (HPDC'25) and its evaluation ecosystem.
+
+The package is organised as:
+
+* :mod:`repro.core` — IPComp itself (interpolation predictor, predictive
+  bitplane coder, optimized data loader, progressive retriever).
+* :mod:`repro.coders` — from-scratch lossless coding substrate.
+* :mod:`repro.baselines` — the compressors IPComp is evaluated against
+  (SZ3, SZ3-M, SZ3-R, ZFP, ZFP-R, MGARD/PMGARD, SPERR/SPERR-R).
+* :mod:`repro.datasets` — synthetic stand-ins for the six SDRBench fields.
+* :mod:`repro.analysis` — error metrics, derived quantities, entropy studies.
+* :mod:`repro.parallel` — block-decomposed multi-process compression.
+* :mod:`repro.io` — on-disk container with partial (block-range) reads.
+
+Quickstart::
+
+    import numpy as np
+    from repro import IPComp
+    from repro.datasets import load_dataset
+
+    field = load_dataset("density", shape=(64, 96, 96))
+    comp = IPComp(error_bound=1e-6, relative=True)
+    blob = comp.compress(field)
+    retriever = comp.retriever(blob)
+    coarse = retriever.retrieve(error_bound=1e-2)
+    fine = retriever.retrieve(error_bound=1e-5)   # incremental refinement
+"""
+
+from __future__ import annotations
+
+from repro.core.compressor import IPComp, IPCompConfig
+from repro.core.progressive import ProgressiveRetriever, RetrievalResult
+from repro.core.optimizer import LoadingPlan, OptimizedLoader
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "IPComp",
+    "IPCompConfig",
+    "ProgressiveRetriever",
+    "RetrievalResult",
+    "OptimizedLoader",
+    "LoadingPlan",
+    "__version__",
+]

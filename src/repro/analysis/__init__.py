@@ -1,0 +1,36 @@
+"""Analysis substrate: error metrics, derived quantities, entropy studies.
+
+These are the measurement tools the paper's evaluation section relies on
+(§3.1.1 metric definitions, Table 2 entropy study, Figure 11 post-analysis).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.derived import curl, divergence, gradient, gradient_magnitude, laplacian
+from repro.analysis.entropy_analysis import prefix_coding_entropy, prefix_entropy_table
+from repro.analysis.metrics import (
+    bitrate,
+    compression_ratio,
+    max_error,
+    mean_squared_error,
+    normalized_root_mean_squared_error,
+    psnr,
+    summarize,
+)
+
+__all__ = [
+    "max_error",
+    "mean_squared_error",
+    "normalized_root_mean_squared_error",
+    "psnr",
+    "compression_ratio",
+    "bitrate",
+    "summarize",
+    "gradient",
+    "gradient_magnitude",
+    "laplacian",
+    "curl",
+    "divergence",
+    "prefix_coding_entropy",
+    "prefix_entropy_table",
+]

@@ -1,0 +1,102 @@
+"""Compression quality metrics (§3.1.1 of the paper).
+
+All metrics follow the paper's definitions exactly:
+
+* compression ratio ``CR = size(original) / size(compressed)``;
+* bitrate = average stored bits per scalar value (inverse-proportional to CR);
+* decompression error measured with the L∞ norm;
+* ``PSNR = 20·log10((max(x) − min(x)) / sqrt(MSE))``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Union
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+def _pair(original: np.ndarray, reconstructed: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    original = np.asarray(original, dtype=np.float64)
+    reconstructed = np.asarray(reconstructed, dtype=np.float64)
+    if original.shape != reconstructed.shape:
+        raise ConfigurationError(
+            f"shape mismatch: {original.shape} vs {reconstructed.shape}"
+        )
+    return original, reconstructed
+
+
+def max_error(original: np.ndarray, reconstructed: np.ndarray) -> float:
+    """L∞ (maximum point-wise absolute) error."""
+    original, reconstructed = _pair(original, reconstructed)
+    if original.size == 0:
+        return 0.0
+    return float(np.abs(original - reconstructed).max())
+
+
+def mean_squared_error(original: np.ndarray, reconstructed: np.ndarray) -> float:
+    """Mean squared error."""
+    original, reconstructed = _pair(original, reconstructed)
+    if original.size == 0:
+        return 0.0
+    return float(np.mean((original - reconstructed) ** 2))
+
+
+def normalized_root_mean_squared_error(
+    original: np.ndarray, reconstructed: np.ndarray
+) -> float:
+    """RMSE normalized by the value range (dimensionless)."""
+    original, reconstructed = _pair(original, reconstructed)
+    value_range = float(original.max() - original.min()) if original.size else 0.0
+    rmse = float(np.sqrt(mean_squared_error(original, reconstructed)))
+    if value_range == 0.0:
+        return 0.0 if rmse == 0.0 else float("inf")
+    return rmse / value_range
+
+
+def psnr(original: np.ndarray, reconstructed: np.ndarray) -> float:
+    """Peak signal-to-noise ratio in dB (paper definition, range-based peak)."""
+    original, reconstructed = _pair(original, reconstructed)
+    mse = mean_squared_error(original, reconstructed)
+    value_range = float(original.max() - original.min()) if original.size else 0.0
+    if mse == 0.0:
+        return float("inf")
+    if value_range == 0.0:
+        return float("-inf")
+    return float(20.0 * np.log10(value_range / np.sqrt(mse)))
+
+
+def compression_ratio(original: np.ndarray, compressed: Union[bytes, int]) -> float:
+    """Original bytes divided by compressed bytes."""
+    size = len(compressed) if isinstance(compressed, (bytes, bytearray)) else int(compressed)
+    if size <= 0:
+        raise ConfigurationError("compressed size must be positive")
+    return np.asarray(original).nbytes / size
+
+
+def bitrate(original: np.ndarray, compressed: Union[bytes, int]) -> float:
+    """Average stored bits per scalar value."""
+    size = len(compressed) if isinstance(compressed, (bytes, bytearray)) else int(compressed)
+    n = np.asarray(original).size
+    if n == 0:
+        raise ConfigurationError("cannot compute bitrate of an empty array")
+    return 8.0 * size / n
+
+
+def summarize(
+    original: np.ndarray,
+    reconstructed: np.ndarray,
+    compressed: Union[bytes, int, None] = None,
+) -> Dict[str, float]:
+    """Bundle every §3.1.1 metric into one dictionary (used by the CLI/benches)."""
+    report = {
+        "max_error": max_error(original, reconstructed),
+        "mse": mean_squared_error(original, reconstructed),
+        "nrmse": normalized_root_mean_squared_error(original, reconstructed),
+        "psnr": psnr(original, reconstructed),
+    }
+    if compressed is not None:
+        report["compression_ratio"] = compression_ratio(original, compressed)
+        report["bitrate"] = bitrate(original, compressed)
+    return report

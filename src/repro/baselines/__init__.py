@@ -1,0 +1,95 @@
+"""Baseline compressors evaluated against IPComp (§6.1.3).
+
+``make_compressor`` builds any of the evaluated compressors by name, which is
+what the benchmark harness iterates over:
+
+========  ==========================================================
+name      class
+========  ==========================================================
+ipcomp    :class:`repro.baselines.ipcomp_adapter.IPCompAdapter`
+sz3       :class:`repro.baselines.sz3.SZ3Compressor`
+sz3-m     :class:`repro.baselines.sz3_m.SZ3MultiFidelityCompressor`
+sz3-r     :class:`repro.baselines.sz3_r.SZ3ResidualCompressor`
+zfp       :class:`repro.baselines.zfp.ZFPCompressor`
+zfp-r     :class:`repro.baselines.zfp_r.ZFPResidualCompressor`
+mgard     :class:`repro.baselines.mgard.MGARDCompressor`
+pmgard    :class:`repro.baselines.pmgard.PMGARDCompressor`
+sperr     :class:`repro.baselines.sperr.SPERRCompressor`
+sperr-r   :class:`repro.baselines.sperr.SPERRResidualCompressor`
+========  ==========================================================
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Type
+
+from repro.baselines.base import (
+    LossyCompressor,
+    ProgressiveCompressor,
+    RetrievalOutcome,
+    pack_sections,
+    unpack_sections,
+)
+from repro.baselines.ipcomp_adapter import IPCompAdapter
+from repro.baselines.mgard import MGARDCompressor
+from repro.baselines.pmgard import PMGARDCompressor
+from repro.baselines.residual import ResidualProgressiveCompressor, default_bound_ladder
+from repro.baselines.sperr import SPERRCompressor, SPERRResidualCompressor
+from repro.baselines.sz3 import SZ3Compressor
+from repro.baselines.sz3_m import SZ3MultiFidelityCompressor
+from repro.baselines.sz3_r import SZ3ResidualCompressor
+from repro.baselines.zfp import ZFPCompressor
+from repro.baselines.zfp_r import ZFPResidualCompressor
+from repro.errors import ConfigurationError
+
+COMPRESSORS: Dict[str, Type[LossyCompressor]] = {
+    "ipcomp": IPCompAdapter,
+    "sz3": SZ3Compressor,
+    "sz3-m": SZ3MultiFidelityCompressor,
+    "sz3-r": SZ3ResidualCompressor,
+    "zfp": ZFPCompressor,
+    "zfp-r": ZFPResidualCompressor,
+    "mgard": MGARDCompressor,
+    "pmgard": PMGARDCompressor,
+    "sperr": SPERRCompressor,
+    "sperr-r": SPERRResidualCompressor,
+}
+
+
+def compressor_names() -> tuple:
+    """All registered compressor names."""
+    return tuple(COMPRESSORS)
+
+
+def make_compressor(name: str, error_bound: float = 1e-6, relative: bool = True, **kwargs):
+    """Instantiate a compressor by registry name."""
+    key = name.strip().lower()
+    if key not in COMPRESSORS:
+        raise ConfigurationError(
+            f"unknown compressor {name!r}; available: {sorted(COMPRESSORS)}"
+        )
+    return COMPRESSORS[key](error_bound=error_bound, relative=relative, **kwargs)
+
+
+__all__ = [
+    "LossyCompressor",
+    "ProgressiveCompressor",
+    "RetrievalOutcome",
+    "ResidualProgressiveCompressor",
+    "default_bound_ladder",
+    "pack_sections",
+    "unpack_sections",
+    "IPCompAdapter",
+    "SZ3Compressor",
+    "SZ3MultiFidelityCompressor",
+    "SZ3ResidualCompressor",
+    "ZFPCompressor",
+    "ZFPResidualCompressor",
+    "MGARDCompressor",
+    "PMGARDCompressor",
+    "SPERRCompressor",
+    "SPERRResidualCompressor",
+    "COMPRESSORS",
+    "compressor_names",
+    "make_compressor",
+]

@@ -1,0 +1,162 @@
+"""Shared interface and serialization helpers of the baseline compressors.
+
+Every baseline exposes the same minimal surface so the benchmark harness can
+iterate over them generically:
+
+* :class:`LossyCompressor` — ``compress`` / ``decompress`` with a value-range
+  relative or absolute error bound;
+* :class:`ProgressiveCompressor` — additionally ``retrieve`` at an error bound
+  or bitrate, reporting how many compressed bytes the request touched and how
+  many decompression passes it cost (the operational-overhead axis the paper
+  holds against residual-based schemes).
+
+Multi-section streams (residual rungs, multi-fidelity copies, coefficient +
+outlier payloads) share one container format produced by
+:func:`pack_sections` / :func:`unpack_sections`:
+
+``magic "RPB1" | meta_len:u32 | meta JSON | n_sections:u32 |
+  (size:u64)*n | section bytes ...``
+"""
+
+from __future__ import annotations
+
+import abc
+import json
+import struct
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.quantizer import relative_to_absolute
+from repro.errors import ConfigurationError, StreamFormatError
+
+_MAGIC = b"RPB1"
+
+
+def pack_sections(meta: Dict, sections: Sequence[bytes]) -> bytes:
+    """Serialize a JSON metadata dict plus opaque binary sections."""
+    meta_blob = json.dumps(meta, separators=(",", ":")).encode("utf-8")
+    out = bytearray()
+    out += _MAGIC
+    out += struct.pack("<I", len(meta_blob))
+    out += meta_blob
+    out += struct.pack("<I", len(sections))
+    for section in sections:
+        out += struct.pack("<Q", len(section))
+    for section in sections:
+        out += section
+    return bytes(out)
+
+
+def unpack_sections(blob: bytes) -> Tuple[Dict, List[bytes]]:
+    """Invert :func:`pack_sections`."""
+    if blob[:4] != _MAGIC:
+        raise StreamFormatError("not a baseline stream (bad magic)")
+    (meta_len,) = struct.unpack_from("<I", blob, 4)
+    pos = 8
+    meta = json.loads(blob[pos : pos + meta_len].decode("utf-8"))
+    pos += meta_len
+    (n_sections,) = struct.unpack_from("<I", blob, pos)
+    pos += 4
+    sizes = []
+    for _ in range(n_sections):
+        (size,) = struct.unpack_from("<Q", blob, pos)
+        pos += 8
+        sizes.append(size)
+    sections = []
+    for size in sizes:
+        sections.append(blob[pos : pos + size])
+        pos += size
+    return meta, sections
+
+
+def section_sizes(blob: bytes) -> List[int]:
+    """Sizes of the sections of a packed stream without copying the payloads."""
+    if blob[:4] != _MAGIC:
+        raise StreamFormatError("not a baseline stream (bad magic)")
+    (meta_len,) = struct.unpack_from("<I", blob, 4)
+    pos = 8 + meta_len
+    (n_sections,) = struct.unpack_from("<I", blob, pos)
+    pos += 4
+    sizes = []
+    for _ in range(n_sections):
+        (size,) = struct.unpack_from("<Q", blob, pos)
+        pos += 8
+        sizes.append(int(size))
+    return sizes
+
+
+@dataclass
+class RetrievalOutcome:
+    """Result of a progressive (partial) retrieval from a baseline."""
+
+    data: np.ndarray
+    bytes_loaded: int
+    passes: int
+    achieved_bound: float
+
+    def bitrate(self, n_elements: Optional[int] = None) -> float:
+        n = n_elements if n_elements is not None else self.data.size
+        return 8.0 * self.bytes_loaded / n
+
+
+class LossyCompressor(abc.ABC):
+    """Error-bounded lossy compressor interface."""
+
+    #: Short registry name ("sz3", "zfp-r", ...).
+    name: str = "base"
+    #: Whether the compressor supports partial/progressive retrieval.
+    progressive: bool = False
+
+    def __init__(self, error_bound: float = 1e-6, relative: bool = True) -> None:
+        if error_bound <= 0 or not np.isfinite(error_bound):
+            raise ConfigurationError("error_bound must be a positive finite number")
+        self.error_bound = float(error_bound)
+        self.relative = bool(relative)
+
+    def absolute_bound(self, data: np.ndarray) -> float:
+        """Absolute error bound used for ``data`` under this configuration."""
+        if self.relative:
+            return relative_to_absolute(self.error_bound, data)
+        return self.error_bound
+
+    @abc.abstractmethod
+    def compress(self, data: np.ndarray) -> bytes:
+        """Compress ``data`` into a self-describing byte stream."""
+
+    @abc.abstractmethod
+    def decompress(self, blob: bytes) -> np.ndarray:
+        """Decompress at full (compression-time) fidelity."""
+
+
+class ProgressiveCompressor(LossyCompressor):
+    """Compressor that can serve partial retrievals."""
+
+    progressive = True
+
+    @abc.abstractmethod
+    def retrieve(
+        self,
+        blob: bytes,
+        error_bound: Optional[float] = None,
+        bitrate: Optional[float] = None,
+    ) -> RetrievalOutcome:
+        """Retrieve at a requested error bound or bitrate budget."""
+
+    @staticmethod
+    def _check_request(error_bound, bitrate) -> None:
+        if (error_bound is None) == (bitrate is None):
+            raise ConfigurationError("specify exactly one of error_bound or bitrate")
+
+
+def validate_field(data: np.ndarray) -> np.ndarray:
+    """Common input validation of every baseline."""
+    data = np.asarray(data)
+    if data.size == 0:
+        raise ConfigurationError("cannot compress an empty array")
+    if not np.issubdtype(data.dtype, np.floating):
+        raise ConfigurationError("baselines compress floating-point fields")
+    if not np.isfinite(data).all():
+        raise ConfigurationError("baselines require finite input values")
+    return data

@@ -1,0 +1,164 @@
+"""Generic residual-based progressive ladder (§2, §6.1.3, ref. [30]).
+
+The residual scheme turns *any* error-bounded compressor into a progressive
+one: compress the field at a loose bound, compress the residual (original
+minus reconstruction) at a tighter bound, and keep going until the target
+bound is reached.  Retrieval at fidelity ``F_i`` must load **and decompress**
+every rung up to ``i`` and sum the reconstructions — the multi-pass
+operational cost the paper's Figures 8 and 9 quantify, and that IPComp's
+single-pass design avoids.
+
+The ladder is shared by SZ3-R, ZFP-R and SPERR-R, which only differ in the
+base compressor they plug in.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.baselines.base import (
+    LossyCompressor,
+    ProgressiveCompressor,
+    RetrievalOutcome,
+    pack_sections,
+    section_sizes,
+    unpack_sections,
+    validate_field,
+)
+from repro.errors import ConfigurationError, RetrievalError
+
+
+def default_bound_ladder(target: float, rungs: int = 5, factor: float = 4.0) -> List[float]:
+    """Build the descending bound schedule the paper configures for baselines.
+
+    The last rung equals the target bound and every earlier rung is ``factor``
+    times looser, e.g. ``rungs=5, factor=4`` → ``256·eb, 64·eb, 16·eb, 4·eb, eb``.
+    """
+    if rungs < 1:
+        raise ConfigurationError("rungs must be >= 1")
+    if factor <= 1.0:
+        raise ConfigurationError("factor must be > 1")
+    return [target * factor ** (rungs - 1 - i) for i in range(rungs)]
+
+
+class ResidualProgressiveCompressor(ProgressiveCompressor):
+    """Residual ladder over an arbitrary base compressor factory."""
+
+    name = "residual"
+
+    def __init__(
+        self,
+        base_factory: Callable[[float], LossyCompressor],
+        error_bound: float = 1e-6,
+        relative: bool = True,
+        rungs: int = 5,
+        factor: float = 4.0,
+        bounds: Optional[Sequence[float]] = None,
+    ) -> None:
+        super().__init__(error_bound, relative)
+        self.base_factory = base_factory
+        self.rungs = int(rungs)
+        self.factor = float(factor)
+        self._explicit_bounds = list(bounds) if bounds is not None else None
+
+    # ------------------------------------------------------------------ ladder
+
+    def bound_ladder(self, data: np.ndarray) -> List[float]:
+        """Absolute bound of every rung for this field."""
+        if self._explicit_bounds is not None:
+            return list(self._explicit_bounds)
+        return default_bound_ladder(self.absolute_bound(data), self.rungs, self.factor)
+
+    # ------------------------------------------------------------ compression
+
+    def compress(self, data: np.ndarray) -> bytes:
+        data = validate_field(data).astype(np.float64)
+        bounds = self.bound_ladder(data)
+        sections: List[bytes] = []
+        residual = data
+        for bound in bounds:
+            base = self.base_factory(bound)
+            blob = base.compress(residual)
+            sections.append(blob)
+            reconstructed = np.asarray(base.decompress(blob), dtype=np.float64)
+            residual = residual - reconstructed
+        meta = {
+            "shape": list(data.shape),
+            "dtype": str(np.asarray(data).dtype),
+            "bounds": [float(b) for b in bounds],
+        }
+        return pack_sections(meta, sections)
+
+    # ---------------------------------------------------------- decompression
+
+    def decompress(self, blob: bytes) -> np.ndarray:
+        meta, _ = unpack_sections(blob)
+        outcome = self.retrieve(blob, error_bound=float(meta["bounds"][-1]))
+        return outcome.data
+
+    # -------------------------------------------------------------- retrieval
+
+    def retrieve(
+        self,
+        blob: bytes,
+        error_bound: Optional[float] = None,
+        bitrate: Optional[float] = None,
+    ) -> RetrievalOutcome:
+        """Load rungs until the request is satisfied; decompress each one.
+
+        Error-bound mode loads every rung whose bound is still looser than the
+        request plus the first rung at or below it (the retrieval is only
+        possible at the pre-defined bounds — the "staircase" behaviour of
+        Figures 6/7).  Bitrate mode loads the longest rung prefix that fits
+        the byte budget.
+        """
+        self._check_request(error_bound, bitrate)
+        meta, sections = unpack_sections(blob)
+        bounds = [float(b) for b in meta["bounds"]]
+        n_elements = int(np.prod(meta["shape"]))
+
+        if error_bound is not None:
+            n_load = len(bounds)
+            for index, bound in enumerate(bounds):
+                if bound <= error_bound:
+                    n_load = index + 1
+                    break
+            if bounds[min(n_load, len(bounds)) - 1] > error_bound and bounds[-1] > error_bound:
+                # Even the tightest rung cannot satisfy the request; load all.
+                n_load = len(bounds)
+        else:
+            assert bitrate is not None
+            budget = bitrate * n_elements / 8.0
+            sizes = [len(s) for s in sections]
+            n_load = 0
+            used = 0
+            for size in sizes:
+                if used + size > budget and n_load > 0:
+                    break
+                used += size
+                n_load += 1
+                if used > budget:
+                    break
+            n_load = max(n_load, 1)
+
+        total = np.zeros(tuple(meta["shape"]), dtype=np.float64)
+        bytes_loaded = 0
+        for index in range(n_load):
+            base = self.base_factory(bounds[index])
+            bytes_loaded += len(sections[index])
+            total += np.asarray(base.decompress(sections[index]), dtype=np.float64)
+        return RetrievalOutcome(
+            data=total.astype(meta["dtype"]),
+            bytes_loaded=bytes_loaded,
+            passes=n_load,
+            achieved_bound=bounds[n_load - 1],
+        )
+
+    # ------------------------------------------------------------- inspection
+
+    @staticmethod
+    def rung_sizes(blob: bytes) -> List[int]:
+        """Compressed size of every rung (used by the speed/ladder benches)."""
+        return section_sizes(blob)

@@ -1,0 +1,12 @@
+"""Convenience module re-exporting the SPERR residual ladder.
+
+The class lives next to the base wavelet compressor in
+:mod:`repro.baselines.sperr`; this module keeps the one-baseline-per-module
+layout symmetric with ``sz3_r`` / ``zfp_r``.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.sperr import SPERRResidualCompressor
+
+__all__ = ["SPERRResidualCompressor"]

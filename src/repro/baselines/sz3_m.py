@@ -1,0 +1,123 @@
+"""SZ3-M: multi-fidelity (but not progressive) SZ3 (§6.1.3).
+
+SZ3-M simply compresses the input independently at several error bounds and
+stores all outputs together.  Retrieval picks the coarsest stored copy that
+satisfies the request, so a single decompression pass suffices — but nothing
+is shared between fidelity levels, which is why its compression ratio is far
+worse than every truly progressive scheme (the paper uses it to argue that
+sacrificing CR for multi-fidelity makes the capability useless).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.baselines.base import (
+    ProgressiveCompressor,
+    RetrievalOutcome,
+    pack_sections,
+    unpack_sections,
+    validate_field,
+)
+from repro.baselines.residual import default_bound_ladder
+from repro.baselines.sz3 import SZ3Compressor
+from repro.errors import RetrievalError
+
+
+class SZ3MultiFidelityCompressor(ProgressiveCompressor):
+    """Concatenated independent SZ3 outputs at a ladder of error bounds."""
+
+    name = "sz3-m"
+
+    def __init__(
+        self,
+        error_bound: float = 1e-6,
+        relative: bool = True,
+        rungs: int = 5,
+        factor: float = 4.0,
+        method: str = "cubic",
+        bounds: Optional[Sequence[float]] = None,
+    ) -> None:
+        super().__init__(error_bound, relative)
+        self.rungs = int(rungs)
+        self.factor = float(factor)
+        self.method = method
+        self._explicit_bounds = list(bounds) if bounds is not None else None
+
+    def bound_ladder(self, data: np.ndarray) -> List[float]:
+        if self._explicit_bounds is not None:
+            return list(self._explicit_bounds)
+        return default_bound_ladder(self.absolute_bound(data), self.rungs, self.factor)
+
+    # ------------------------------------------------------------ compression
+
+    def compress(self, data: np.ndarray) -> bytes:
+        data = validate_field(data)
+        bounds = self.bound_ladder(data)
+        sections = []
+        for bound in bounds:
+            base = SZ3Compressor(error_bound=bound, relative=False, method=self.method)
+            sections.append(base.compress(data))
+        meta = {
+            "shape": list(data.shape),
+            "dtype": str(data.dtype),
+            "bounds": [float(b) for b in bounds],
+        }
+        return pack_sections(meta, sections)
+
+    # ---------------------------------------------------------- decompression
+
+    def decompress(self, blob: bytes) -> np.ndarray:
+        meta, sections = unpack_sections(blob)
+        base = SZ3Compressor(error_bound=float(meta["bounds"][-1]), relative=False)
+        return base.decompress(sections[-1])
+
+    # -------------------------------------------------------------- retrieval
+
+    def retrieve(
+        self,
+        blob: bytes,
+        error_bound: Optional[float] = None,
+        bitrate: Optional[float] = None,
+    ) -> RetrievalOutcome:
+        """Pick the single stored copy matching the request (one pass)."""
+        self._check_request(error_bound, bitrate)
+        meta, sections = unpack_sections(blob)
+        bounds = [float(b) for b in meta["bounds"]]
+        n_elements = int(np.prod(meta["shape"]))
+
+        index: Optional[int] = None
+        if error_bound is not None:
+            for i, bound in enumerate(bounds):
+                if bound <= error_bound:
+                    index = i
+                    break
+            if index is None:
+                index = len(bounds) - 1
+        else:
+            assert bitrate is not None
+            budget = bitrate * n_elements / 8.0
+            for i, section in enumerate(sections):
+                if len(section) <= budget:
+                    index = i
+                    # Prefer the finest copy that still fits the budget.
+                    for j in range(len(sections) - 1, i - 1, -1):
+                        if len(sections[j]) <= budget:
+                            index = j
+                            break
+                    break
+            if index is None:
+                raise RetrievalError(
+                    "no stored SZ3-M fidelity level fits the bitrate budget"
+                )
+
+        base = SZ3Compressor(error_bound=bounds[index], relative=False)
+        data = base.decompress(sections[index])
+        return RetrievalOutcome(
+            data=data,
+            bytes_loaded=len(sections[index]),
+            passes=1,
+            achieved_bound=bounds[index],
+        )

@@ -1,0 +1,39 @@
+"""SZ3-R: residual-based progressive SZ3 (§6.1.3, refs. [30, 34]).
+
+A thin specialisation of :class:`repro.baselines.residual.ResidualProgressiveCompressor`
+with SZ3 as the base compressor at every rung.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.baselines.residual import ResidualProgressiveCompressor
+from repro.baselines.sz3 import SZ3Compressor
+
+
+class SZ3ResidualCompressor(ResidualProgressiveCompressor):
+    """Residual ladder of SZ3 compressions with shrinking bounds."""
+
+    name = "sz3-r"
+
+    def __init__(
+        self,
+        error_bound: float = 1e-6,
+        relative: bool = True,
+        rungs: int = 5,
+        factor: float = 4.0,
+        method: str = "cubic",
+        bounds: Optional[Sequence[float]] = None,
+    ) -> None:
+        self.method = method
+        super().__init__(
+            base_factory=lambda bound: SZ3Compressor(
+                error_bound=bound, relative=False, method=method
+            ),
+            error_bound=error_bound,
+            relative=relative,
+            rungs=rungs,
+            factor=factor,
+            bounds=bounds,
+        )

@@ -1,0 +1,208 @@
+"""ZFP-like fixed-accuracy block-transform compressor (§6.1.3, ref. [25]).
+
+ZFP partitions the field into 4^d blocks, decorrelates every block with an
+integer lifting transform, and encodes the coefficients bitplane by bitplane.
+This reproduction keeps that structure:
+
+* 4×4(×4) blocks with edge-replication padding;
+* an exactly invertible two-level Haar integer lifting applied along every
+  block axis (a simplified stand-in for ZFP's non-orthogonal lifting — same
+  shape: in-place, integer, per 4-vector; see DESIGN.md for the substitution
+  note);
+* global fixed-point quantization derived from the error bound (accuracy
+  mode), negabinary mapping, and bitplane packing of the coefficients with a
+  DEFLATE backend;
+* low-plane truncation chosen *empirically* during compression as the largest
+  truncation whose measured reconstruction error still satisfies the bound —
+  so the error guarantee holds by construction.
+
+ZFP's hallmark relative to SZ3 — much faster, noticeably lower compression
+ratio at tight bounds — carries over, which is what the paper's figures rely
+on.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.baselines.base import LossyCompressor, pack_sections, unpack_sections, validate_field
+from repro.coders.zlib_backend import ZlibCoder
+from repro.core.bitplane import extract_bitplanes, assemble_bitplanes, pack_plane, unpack_plane
+from repro.core.negabinary import from_negabinary, required_bits, to_negabinary
+from repro.errors import StreamFormatError
+
+BLOCK = 4
+
+
+def _pad_to_blocks(data: np.ndarray) -> Tuple[np.ndarray, Tuple[int, ...]]:
+    """Edge-replicate pad every axis to a multiple of the block size."""
+    pad = [(0, (-size) % BLOCK) for size in data.shape]
+    return np.pad(data, pad, mode="edge"), data.shape
+
+
+def _to_blocks(data: np.ndarray) -> np.ndarray:
+    """Reshape a padded field into ``(nblocks, BLOCK, BLOCK, ...)``."""
+    ndim = data.ndim
+    grid = tuple(s // BLOCK for s in data.shape)
+    shape = []
+    for g in grid:
+        shape.extend([g, BLOCK])
+    reshaped = data.reshape(shape)
+    # Move all grid axes first, then all intra-block axes.
+    order = list(range(0, 2 * ndim, 2)) + list(range(1, 2 * ndim, 2))
+    blocks = reshaped.transpose(order)
+    return blocks.reshape((-1,) + (BLOCK,) * ndim)
+
+
+def _from_blocks(blocks: np.ndarray, padded_shape: Tuple[int, ...]) -> np.ndarray:
+    """Invert :func:`_to_blocks`."""
+    ndim = len(padded_shape)
+    grid = tuple(s // BLOCK for s in padded_shape)
+    blocks = blocks.reshape(grid + (BLOCK,) * ndim)
+    order = []
+    for axis in range(ndim):
+        order.extend([axis, ndim + axis])
+    return blocks.transpose(order).reshape(padded_shape)
+
+
+def _lift_forward(blocks: np.ndarray, axis: int) -> np.ndarray:
+    """Two-level Haar integer lifting along one intra-block axis."""
+    moved = np.moveaxis(blocks, axis, -1)
+    a, b, c, d = (moved[..., i].astype(np.int64) for i in range(4))
+    d1 = b - a
+    s1 = a + (d1 >> 1)
+    d2 = d - c
+    s2 = c + (d2 >> 1)
+    dd = s2 - s1
+    ss = s1 + (dd >> 1)
+    out = np.stack([ss, dd, d1, d2], axis=-1)
+    return np.moveaxis(out, -1, axis)
+
+
+def _lift_inverse(blocks: np.ndarray, axis: int) -> np.ndarray:
+    """Exact inverse of :func:`_lift_forward`."""
+    moved = np.moveaxis(blocks, axis, -1)
+    ss, dd, d1, d2 = (moved[..., i].astype(np.int64) for i in range(4))
+    s1 = ss - (dd >> 1)
+    s2 = s1 + dd
+    a = s1 - (d1 >> 1)
+    b = a + d1
+    c = s2 - (d2 >> 1)
+    d = c + d2
+    out = np.stack([a, b, c, d], axis=-1)
+    return np.moveaxis(out, -1, axis)
+
+
+def forward_transform(blocks: np.ndarray) -> np.ndarray:
+    """Apply the lifting along every intra-block axis (axes 1..ndim)."""
+    out = blocks
+    for axis in range(1, blocks.ndim):
+        out = _lift_forward(out, axis)
+    return out
+
+
+def inverse_transform(blocks: np.ndarray) -> np.ndarray:
+    """Invert :func:`forward_transform` (reverse axis order)."""
+    out = blocks
+    for axis in range(blocks.ndim - 1, 0, -1):
+        out = _lift_inverse(out, axis)
+    return out
+
+
+class ZFPCompressor(LossyCompressor):
+    """Fixed-accuracy block-transform compressor."""
+
+    name = "zfp"
+
+    def __init__(self, error_bound: float = 1e-6, relative: bool = True) -> None:
+        super().__init__(error_bound, relative)
+        self._zlib = ZlibCoder()
+
+    # ------------------------------------------------------------ compression
+
+    def compress(self, data: np.ndarray) -> bytes:
+        data = validate_field(data)
+        eb = self.absolute_bound(data)
+        step = eb / 2.0
+        work = np.asarray(data, dtype=np.float64)
+        padded, original_shape = _pad_to_blocks(work)
+        quantized = np.rint(padded / step).astype(np.int64)
+        blocks = _to_blocks(quantized)
+        coefficients = forward_transform(blocks)
+        flat = coefficients.ravel()
+        nbits = required_bits(flat)
+
+        # Pick the deepest low-plane truncation that still honours the bound,
+        # measured on the actual data (accuracy mode with a hard guarantee).
+        dropped = 0
+        for candidate in range(0, nbits):
+            if candidate and not self._truncation_ok(
+                flat, nbits, candidate, coefficients.shape, padded.shape,
+                original_shape, work, step, eb,
+            ):
+                break
+            dropped = candidate
+
+        codes = to_negabinary(flat)
+        if dropped:
+            mask = ~np.uint64((np.uint64(1) << np.uint64(dropped)) - np.uint64(1))
+            codes = codes & mask
+        planes = extract_bitplanes(codes, nbits)[: nbits - dropped]
+        payload = b"".join(pack_plane(plane) for plane in planes)
+        compressed = self._zlib.encode(payload)
+
+        meta = {
+            "shape": list(original_shape),
+            "padded_shape": list(padded.shape),
+            "dtype": str(data.dtype),
+            "error_bound": eb,
+            "step": step,
+            "nbits": int(nbits),
+            "dropped": int(dropped),
+            "count": int(flat.size),
+        }
+        return pack_sections(meta, [compressed])
+
+    def _truncation_ok(
+        self, flat, nbits, dropped, block_shape, padded_shape, original_shape,
+        original, step, eb,
+    ) -> bool:
+        """Measure whether dropping ``dropped`` planes keeps the L∞ error ≤ eb."""
+        codes = to_negabinary(flat)
+        mask = ~np.uint64((np.uint64(1) << np.uint64(dropped)) - np.uint64(1))
+        truncated = from_negabinary(codes & mask).reshape(block_shape)
+        restored = inverse_transform(truncated)
+        field = _from_blocks(restored, padded_shape).astype(np.float64) * step
+        slices = tuple(slice(0, s) for s in original_shape)
+        return float(np.abs(field[slices] - original).max()) <= eb
+
+    # ---------------------------------------------------------- decompression
+
+    def decompress(self, blob: bytes) -> np.ndarray:
+        meta, sections = unpack_sections(blob)
+        if len(sections) != 1:
+            raise StreamFormatError("ZFP stream must contain one section")
+        shape = tuple(meta["shape"])
+        padded_shape = tuple(meta["padded_shape"])
+        nbits = int(meta["nbits"])
+        dropped = int(meta["dropped"])
+        count = int(meta["count"])
+        step = float(meta["step"])
+
+        payload = self._zlib.decode(sections[0])
+        kept = nbits - dropped
+        plane_bytes = (count + 7) // 8
+        planes = np.empty((kept, count), dtype=np.uint8)
+        for row in range(kept):
+            start = row * plane_bytes
+            planes[row] = unpack_plane(payload[start : start + plane_bytes], count)
+        codes = from_negabinary(assemble_bitplanes(planes, nbits))
+
+        ndim = len(shape)
+        block_shape = (-1,) + (BLOCK,) * ndim
+        restored = inverse_transform(codes.reshape(block_shape))
+        field = _from_blocks(restored, padded_shape).astype(np.float64) * step
+        slices = tuple(slice(0, s) for s in shape)
+        return field[slices].astype(meta["dtype"])

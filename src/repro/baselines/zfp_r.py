@@ -1,0 +1,31 @@
+"""ZFP-R: residual-based progressive ZFP (§6.1.3, ref. [30])."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.baselines.residual import ResidualProgressiveCompressor
+from repro.baselines.zfp import ZFPCompressor
+
+
+class ZFPResidualCompressor(ResidualProgressiveCompressor):
+    """Residual ladder of ZFP compressions with shrinking bounds."""
+
+    name = "zfp-r"
+
+    def __init__(
+        self,
+        error_bound: float = 1e-6,
+        relative: bool = True,
+        rungs: int = 5,
+        factor: float = 4.0,
+        bounds: Optional[Sequence[float]] = None,
+    ) -> None:
+        super().__init__(
+            base_factory=lambda bound: ZFPCompressor(error_bound=bound, relative=False),
+            error_bound=error_bound,
+            relative=relative,
+            rungs=rungs,
+            factor=factor,
+            bounds=bounds,
+        )

@@ -1,0 +1,156 @@
+"""Command line interface (the FZ-framework-style front end of §3.2).
+
+Subcommands::
+
+    ipcomp compress   INPUT.raw -o OUT.ipc --shape 64x96x96 --eb 1e-6 [--abs]
+    ipcomp decompress OUT.ipc  -o RESTORED.raw
+    ipcomp retrieve   OUT.ipc  -o PARTIAL.raw (--error-bound 1e-3 | --bitrate 2.0)
+    ipcomp info       OUT.ipc
+    ipcomp datasets                       # print the Table 3 inventory
+    ipcomp demo       --dataset density   # synthetic end-to-end demo + metrics
+
+Raw inputs follow the SDRBench layout (headerless little-endian binary); the
+shape is passed as ``AxBxC``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from repro import IPComp, ProgressiveRetriever
+from repro.analysis import summarize
+from repro.core.stream import IPCompStream
+from repro.datasets import dataset_table, load_dataset, load_raw, save_raw
+from repro.errors import ReproError
+
+
+def _parse_shape(text: str) -> tuple:
+    try:
+        return tuple(int(part) for part in text.lower().replace(",", "x").split("x"))
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"cannot parse shape {text!r}") from None
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="ipcomp", description="IPComp progressive lossy compressor (reproduction)"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    compress = sub.add_parser("compress", help="compress a raw binary field")
+    compress.add_argument("input", type=Path)
+    compress.add_argument("-o", "--output", type=Path, required=True)
+    compress.add_argument("--shape", type=_parse_shape, required=True)
+    compress.add_argument("--dtype", default="float64")
+    compress.add_argument("--eb", type=float, default=1e-6, help="error bound")
+    compress.add_argument(
+        "--abs", action="store_true", help="treat --eb as absolute instead of range-relative"
+    )
+    compress.add_argument("--method", choices=("cubic", "linear"), default="cubic")
+
+    decompress = sub.add_parser("decompress", help="full-precision decompression")
+    decompress.add_argument("input", type=Path)
+    decompress.add_argument("-o", "--output", type=Path, required=True)
+
+    retrieve = sub.add_parser("retrieve", help="partial retrieval at a fidelity target")
+    retrieve.add_argument("input", type=Path)
+    retrieve.add_argument("-o", "--output", type=Path, required=True)
+    group = retrieve.add_mutually_exclusive_group(required=True)
+    group.add_argument("--error-bound", type=float)
+    group.add_argument("--bitrate", type=float)
+
+    info = sub.add_parser("info", help="print the stream header")
+    info.add_argument("input", type=Path)
+
+    sub.add_parser("datasets", help="list the Table 3 dataset inventory")
+
+    demo = sub.add_parser("demo", help="synthetic end-to-end demo")
+    demo.add_argument("--dataset", default="density")
+    demo.add_argument("--shape", type=_parse_shape, default=None)
+    demo.add_argument("--eb", type=float, default=1e-6)
+    return parser
+
+
+def _cmd_compress(args) -> int:
+    data = load_raw(args.input, args.shape, args.dtype)
+    comp = IPComp(error_bound=args.eb, relative=not args.abs, method=args.method)
+    blob = comp.compress(data)
+    args.output.write_bytes(blob)
+    print(
+        f"compressed {data.nbytes} B -> {len(blob)} B "
+        f"(CR {data.nbytes / len(blob):.2f}, eb {comp.absolute_bound(data):.3e})"
+    )
+    return 0
+
+
+def _cmd_decompress(args) -> int:
+    blob = args.input.read_bytes()
+    retriever = ProgressiveRetriever(blob)
+    result = retriever.retrieve(error_bound=retriever.header.error_bound)
+    save_raw(args.output, result.data)
+    print(f"decompressed to {args.output} shape={result.data.shape}")
+    return 0
+
+
+def _cmd_retrieve(args) -> int:
+    blob = args.input.read_bytes()
+    retriever = ProgressiveRetriever(blob)
+    result = retriever.retrieve(error_bound=args.error_bound, bitrate=args.bitrate)
+    save_raw(args.output, result.data)
+    print(
+        f"retrieved {result.bytes_loaded} B "
+        f"({result.bitrate():.3f} bits/value), guaranteed error <= {result.error_bound:.3e}"
+    )
+    return 0
+
+
+def _cmd_info(args) -> int:
+    header, _ = IPCompStream.parse_header(args.input.read_bytes())
+    print(json.dumps(header.to_json(), indent=2))
+    return 0
+
+
+def _cmd_datasets(_args) -> int:
+    print(dataset_table())
+    return 0
+
+
+def _cmd_demo(args) -> int:
+    field = load_dataset(args.dataset, shape=args.shape)
+    comp = IPComp(error_bound=args.eb, relative=True)
+    blob = comp.compress(field)
+    restored = comp.decompress(blob)
+    report = summarize(field, restored, blob)
+    print(f"dataset={args.dataset} shape={field.shape} eb(rel)={args.eb}")
+    for key, value in report.items():
+        print(f"  {key:18s} {value:.6g}")
+    return 0
+
+
+_COMMANDS = {
+    "compress": _cmd_compress,
+    "decompress": _cmd_decompress,
+    "retrieve": _cmd_retrieve,
+    "info": _cmd_info,
+    "datasets": _cmd_datasets,
+    "demo": _cmd_demo,
+}
+
+
+def main(argv=None) -> int:
+    """CLI entry point (installed as the ``ipcomp`` console script)."""
+    args = _build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,94 @@
+"""Backend registry for lossless coders.
+
+The compressors in this package never hard-code a specific lossless coder;
+they ask the registry for a backend by name.  This mirrors the FZ framework's
+pluggable lossless stage described in the paper (§3.2) and makes it trivial to
+benchmark the effect of the backend choice (DEFLATE vs. from-scratch LZ77 vs.
+Huffman) on the final compression ratio.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Protocol
+
+from repro.errors import ConfigurationError
+
+
+class Backend(Protocol):
+    """Minimal protocol every lossless backend implements."""
+
+    #: Registry name of the backend.
+    name: str
+
+    def encode(self, data: bytes) -> bytes:  # pragma: no cover - protocol
+        """Losslessly compress ``data``."""
+        ...
+
+    def decode(self, data: bytes) -> bytes:  # pragma: no cover - protocol
+        """Invert :meth:`encode`."""
+        ...
+
+
+_REGISTRY: Dict[str, Callable[[], Backend]] = {}
+
+
+def register_backend(name: str, factory: Callable[[], Backend]) -> None:
+    """Register a lossless backend factory under ``name``.
+
+    Registering the same name twice replaces the previous factory, which is
+    handy in tests that want to inject instrumented backends.
+    """
+    if not name:
+        raise ConfigurationError("backend name must be a non-empty string")
+    _REGISTRY[name] = factory
+
+
+def available_backends() -> tuple[str, ...]:
+    """Return the names of all registered backends, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def get_backend(name: str) -> Backend:
+    """Instantiate the backend registered under ``name``.
+
+    Raises
+    ------
+    ConfigurationError
+        If no backend with that name has been registered.
+    """
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown lossless backend {name!r}; available: {available_backends()}"
+        ) from None
+    return factory()
+
+
+def _register_defaults() -> None:
+    """Register the built-in backends lazily to avoid import cycles."""
+    from repro.coders.huffman import HuffmanCoder
+    from repro.coders.lz77 import LZ77Coder
+    from repro.coders.rle import RLECoder
+    from repro.coders.zlib_backend import ZlibCoder
+
+    register_backend("zlib", ZlibCoder)
+    register_backend("huffman", HuffmanCoder)
+    register_backend("rle", RLECoder)
+    register_backend("lz77", LZ77Coder)
+    register_backend("raw", RawCoder)
+
+
+class RawCoder:
+    """Identity backend — useful for isolating the effect of the lossy stage."""
+
+    name = "raw"
+
+    def encode(self, data: bytes) -> bytes:
+        return bytes(data)
+
+    def decode(self, data: bytes) -> bytes:
+        return bytes(data)
+
+
+_register_defaults()

@@ -1,0 +1,95 @@
+"""Bit-granular I/O.
+
+The canonical Huffman coder and the embedded coders used by the ZFP / SPERR
+baselines need to emit and consume individual bits.  ``BitWriter`` packs bits
+LSB-first into a growing bytearray; ``BitReader`` is its exact inverse.
+
+The implementation keeps the hot loops simple (append to an integer
+accumulator, flush whole bytes) — profiling showed this is dominated by the
+surrounding Python-level symbol loops anyway, and the production path of
+IPComp itself uses vectorised NumPy bitplane packing (:mod:`repro.core.bitplane`)
+rather than this module.
+"""
+
+from __future__ import annotations
+
+from repro.errors import StreamFormatError
+
+
+class BitWriter:
+    """Accumulate bits (LSB-first within each byte) into a byte buffer."""
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+        self._accumulator = 0
+        self._nbits = 0
+        self._total_bits = 0
+
+    def __len__(self) -> int:
+        """Number of bits written so far."""
+        return self._total_bits
+
+    def write_bit(self, bit: int) -> None:
+        """Append a single bit (0 or 1)."""
+        self._accumulator |= (bit & 1) << self._nbits
+        self._nbits += 1
+        self._total_bits += 1
+        if self._nbits == 8:
+            self._buffer.append(self._accumulator)
+            self._accumulator = 0
+            self._nbits = 0
+
+    def write_bits(self, value: int, count: int) -> None:
+        """Append the ``count`` least-significant bits of ``value``, LSB first."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        for i in range(count):
+            self.write_bit((value >> i) & 1)
+
+    def write_unary(self, value: int) -> None:
+        """Append ``value`` zero bits followed by a terminating one bit."""
+        for _ in range(value):
+            self.write_bit(0)
+        self.write_bit(1)
+
+    def getvalue(self) -> bytes:
+        """Return the packed bytes (the final partial byte is zero-padded)."""
+        out = bytearray(self._buffer)
+        if self._nbits:
+            out.append(self._accumulator)
+        return bytes(out)
+
+
+class BitReader:
+    """Read bits back in the order a :class:`BitWriter` produced them."""
+
+    def __init__(self, data: bytes) -> None:
+        self._data = data
+        self._pos = 0  # bit position
+
+    @property
+    def bits_remaining(self) -> int:
+        """Number of unread bits left in the buffer."""
+        return len(self._data) * 8 - self._pos
+
+    def read_bit(self) -> int:
+        """Read a single bit; raise :class:`StreamFormatError` past the end."""
+        byte_index, bit_index = divmod(self._pos, 8)
+        if byte_index >= len(self._data):
+            raise StreamFormatError("bit stream exhausted")
+        self._pos += 1
+        return (self._data[byte_index] >> bit_index) & 1
+
+    def read_bits(self, count: int) -> int:
+        """Read ``count`` bits and assemble them LSB-first into an integer."""
+        value = 0
+        for i in range(count):
+            value |= self.read_bit() << i
+        return value
+
+    def read_unary(self) -> int:
+        """Read a unary-coded value (count of zero bits before the first one)."""
+        count = 0
+        while self.read_bit() == 0:
+            count += 1
+        return count

@@ -1,0 +1,101 @@
+"""Greedy byte-level LZ77 coder.
+
+The authors' IPComp uses zstd for the final lossless stage.  zstd is a
+dictionary coder: it finds repeated byte sequences and replaces them with
+(offset, length) references, then entropy-codes the token stream.  This module
+provides a from-scratch coder with the same structure — greedy hash-chain
+match finding plus a compact token encoding — so that the repository has a
+self-contained "pattern extraction" backend that does not depend on any
+external compression library.  The default production backend remains the
+stdlib DEFLATE wrapper (:mod:`repro.coders.zlib_backend`) because it is far
+faster; ``"lz77"`` exists for ablations and for environments where ``zlib``
+would be unavailable.
+
+Token format (byte-aligned for simplicity):
+
+* literal run:  ``0x00 | varint(length) | raw bytes``
+* match:        ``0x01 | varint(length) | varint(distance)``
+
+Matches must be at least ``MIN_MATCH`` bytes long and at most ``MAX_MATCH``.
+"""
+
+from __future__ import annotations
+
+from repro.errors import StreamFormatError
+from repro.coders.rle import _read_varint, _write_varint
+
+MIN_MATCH = 4
+MAX_MATCH = 1 << 16
+WINDOW = 1 << 16
+_HASH_BYTES = 4
+
+
+class LZ77Coder:
+    """Greedy LZ77 with a single-slot hash table (fast, modest ratio)."""
+
+    name = "lz77"
+
+    def encode(self, data: bytes) -> bytes:
+        n = len(data)
+        out = bytearray()
+        table: dict[int, int] = {}
+        literal_start = 0
+        pos = 0
+
+        def flush_literals(end: int) -> None:
+            nonlocal literal_start
+            if end > literal_start:
+                out.append(0x00)
+                _write_varint(end - literal_start, out)
+                out.extend(data[literal_start:end])
+            literal_start = end
+
+        while pos + _HASH_BYTES <= n:
+            key = int.from_bytes(data[pos : pos + _HASH_BYTES], "little")
+            candidate = table.get(key)
+            table[key] = pos
+            if candidate is not None and pos - candidate <= WINDOW:
+                # Extend the match as far as it goes.
+                length = 0
+                max_len = min(MAX_MATCH, n - pos)
+                while (
+                    length < max_len
+                    and data[candidate + length] == data[pos + length]
+                ):
+                    length += 1
+                if length >= MIN_MATCH:
+                    flush_literals(pos)
+                    out.append(0x01)
+                    _write_varint(length, out)
+                    _write_varint(pos - candidate, out)
+                    pos += length
+                    literal_start = pos
+                    continue
+            pos += 1
+        flush_literals(n)
+        return bytes(out)
+
+    def decode(self, data: bytes) -> bytes:
+        out = bytearray()
+        pos = 0
+        n = len(data)
+        while pos < n:
+            token = data[pos]
+            pos += 1
+            if token == 0x00:
+                length, pos = _read_varint(data, pos)
+                if pos + length > n:
+                    raise StreamFormatError("truncated LZ77 literal run")
+                out += data[pos : pos + length]
+                pos += length
+            elif token == 0x01:
+                length, pos = _read_varint(data, pos)
+                distance, pos = _read_varint(data, pos)
+                if distance <= 0 or distance > len(out):
+                    raise StreamFormatError("invalid LZ77 match distance")
+                start = len(out) - distance
+                for i in range(length):
+                    out.append(out[start + i])
+            else:
+                raise StreamFormatError(f"unknown LZ77 token {token:#x}")
+        return bytes(out)

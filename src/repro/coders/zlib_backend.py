@@ -1,0 +1,28 @@
+"""DEFLATE (stdlib ``zlib``) lossless backend.
+
+This is the default back-end of every compressor in the repository.  The
+paper's implementation uses zstd; DEFLATE is the closest always-available
+stand-in — both are LZ-class dictionary coders followed by entropy coding, so
+the §6.2.1 argument about preserving byte-level repetition applies unchanged.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+
+class ZlibCoder:
+    """Thin wrapper adding the registry protocol around :mod:`zlib`."""
+
+    name = "zlib"
+
+    def __init__(self, level: int = 6) -> None:
+        if not 0 <= level <= 9:
+            raise ValueError("zlib level must be in [0, 9]")
+        self.level = level
+
+    def encode(self, data: bytes) -> bytes:
+        return zlib.compress(data, self.level)
+
+    def decode(self, data: bytes) -> bytes:
+        return zlib.decompress(data)

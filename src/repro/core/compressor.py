@@ -1,0 +1,169 @@
+"""Public façade of the IPComp compressor.
+
+:class:`IPComp` wires the pipeline of Figure 2 together:
+
+``InterpolationPredictor`` → ``LinearQuantizer`` → ``PredictiveCoder`` →
+``IPCompStream`` for compression, and ``ProgressiveRetriever`` (+ the
+``OptimizedLoader``) for single-pass decompression at any fidelity.
+
+Typical use::
+
+    from repro import IPComp
+
+    comp = IPComp(error_bound=1e-6, relative=True)
+    blob = comp.compress(field)
+
+    # full-precision decompression
+    full = comp.decompress(blob)
+
+    # progressive retrieval
+    retriever = comp.retriever(blob)
+    coarse = retriever.retrieve(error_bound=1e-2)
+    finer  = retriever.retrieve(error_bound=1e-4)      # loads only the delta
+    exact  = retriever.retrieve(bitrate=4.0)           # or budget the I/O
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.coders.backend import get_backend
+from repro.core.bitplane import DEFAULT_PREFIX_BITS
+from repro.core.interpolation import InterpolationPredictor
+from repro.core.predictive_coder import PredictiveCoder
+from repro.core.progressive import ProgressiveRetriever, RetrievalResult
+from repro.core.quantizer import LinearQuantizer, relative_to_absolute
+from repro.core.stream import IPCompStream, StreamHeader
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class IPCompConfig:
+    """Compression configuration.
+
+    Parameters
+    ----------
+    error_bound:
+        The point-wise L∞ bound ``eb``.  Interpreted as absolute unless
+        ``relative`` is true, in which case it is multiplied by the value
+        range of each field at compression time (the SDRBench convention the
+        paper uses).
+    relative:
+        Whether ``error_bound`` is value-range relative.
+    method:
+        Interpolation formula: ``"cubic"`` (default) or ``"linear"``.
+    prefix_bits:
+        Number of prefix bits of the predictive bitplane coder (0–3; 2 is the
+        paper's choice, Table 2).
+    backend:
+        Registered lossless backend name used for every block (default
+        ``"zlib"``, the zstd stand-in).
+    """
+
+    error_bound: float = 1e-6
+    relative: bool = True
+    method: str = "cubic"
+    prefix_bits: int = DEFAULT_PREFIX_BITS
+    backend: str = "zlib"
+
+    def __post_init__(self) -> None:
+        if self.error_bound <= 0 or not np.isfinite(self.error_bound):
+            raise ConfigurationError("error_bound must be a positive finite number")
+        if self.method not in ("cubic", "linear"):
+            raise ConfigurationError("method must be 'cubic' or 'linear'")
+        if not 0 <= self.prefix_bits <= 3:
+            raise ConfigurationError("prefix_bits must be in [0, 3]")
+
+
+class IPComp:
+    """Interpolation-based progressive lossy compressor (the paper's IPComp)."""
+
+    def __init__(self, error_bound: float = 1e-6, relative: bool = True, **kwargs) -> None:
+        self.config = IPCompConfig(error_bound=error_bound, relative=relative, **kwargs)
+
+    # ------------------------------------------------------------- compression
+
+    def absolute_bound(self, data: np.ndarray) -> float:
+        """The absolute ``eb`` used for a given field."""
+        if self.config.relative:
+            return relative_to_absolute(self.config.error_bound, data)
+        return self.config.error_bound
+
+    def compress(self, data: np.ndarray) -> bytes:
+        """Compress a field into a progressive, block-addressable stream."""
+        data = np.asarray(data)
+        if data.size == 0:
+            raise ConfigurationError("cannot compress an empty array")
+        if not np.issubdtype(data.dtype, np.floating):
+            raise ConfigurationError("IPComp compresses floating-point fields")
+        if not np.isfinite(data).all():
+            raise ConfigurationError("IPComp requires finite input values")
+        eb = self.absolute_bound(data)
+        predictor = InterpolationPredictor(data.shape, self.config.method)
+        quantizer = LinearQuantizer(eb)
+        coder = PredictiveCoder(
+            quantizer, get_backend(self.config.backend), self.config.prefix_bits
+        )
+
+        # Progressive blocks are grouped per interpolation *sweep* (one unit
+        # per (level, dimension) pass): at that granularity the Theorem-1
+        # propagation factor p^(l−1) is exact, so the optimizer's guarantees
+        # stay tight where most of the data lives (the final sweeps).
+        anchor_codes, unit_codes, _ = predictor.decompose(
+            data, quantizer, granularity="sweep"
+        )
+        anchor_block = coder.encode_anchor(anchor_codes)
+        encodings = [
+            coder.encode_level(unit, codes) for unit, codes in unit_codes.items()
+        ]
+        header = StreamHeader(
+            shape=tuple(data.shape),
+            dtype=str(data.dtype),
+            error_bound=eb,
+            method=self.config.method,
+            prefix_bits=self.config.prefix_bits,
+            backend=self.config.backend,
+            anchor_count=int(anchor_codes.size),
+            anchor_size=len(anchor_block),
+            levels=encodings,
+        )
+        return IPCompStream.serialize(header, anchor_block, encodings)
+
+    # ----------------------------------------------------------- decompression
+
+    def decompress(self, blob: bytes) -> np.ndarray:
+        """Full-precision decompression (error ≤ the compression bound)."""
+        retriever = ProgressiveRetriever(blob)
+        result = retriever.retrieve(error_bound=retriever.header.error_bound)
+        return result.data
+
+    def retriever(self, blob: bytes) -> ProgressiveRetriever:
+        """Create a stateful progressive retriever over a compressed stream."""
+        return ProgressiveRetriever(blob)
+
+    def retrieve(
+        self,
+        blob: bytes,
+        error_bound: Optional[float] = None,
+        bitrate: Optional[float] = None,
+        byte_budget: Optional[int] = None,
+    ) -> RetrievalResult:
+        """One-shot partial retrieval (creates a throwaway retriever)."""
+        return ProgressiveRetriever(blob).retrieve(
+            error_bound=error_bound, bitrate=bitrate, byte_budget=byte_budget
+        )
+
+    # -------------------------------------------------------------- reporting
+
+    @staticmethod
+    def compression_ratio(data: np.ndarray, blob: bytes) -> float:
+        """Original bytes / compressed bytes."""
+        return data.nbytes / len(blob)
+
+    @staticmethod
+    def bitrate(data: np.ndarray, blob: bytes) -> float:
+        """Average compressed bits per scalar value."""
+        return 8.0 * len(blob) / data.size

@@ -1,0 +1,89 @@
+"""Negabinary (base −2) representation of signed quantization integers.
+
+Progressive coding splits integers into bitplanes and may drop the least
+significant planes.  §4.4.2 of the paper selects negabinary over two's
+complement and sign-magnitude because (a) values fluctuating around zero keep
+their high-order negabinary bits at 0, producing highly compressible
+high-order bitplanes, and (b) the reconstruction uncertainty after dropping
+the ``d`` lowest planes is only about two thirds of sign-magnitude's ``2^d − 1``.
+
+The conversion uses the classic alternating-mask trick (also used by ZFP):
+
+``nb = (v + MASK) ^ MASK``  and  ``v = (nb ^ MASK) − MASK``
+
+where ``MASK = 0xAAAA...AAAA`` has ones in every odd bit position.  Both maps
+are bijections between ``int64`` and ``uint64`` and are fully vectorised.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Alternating bit mask ``0b...10101010`` for 64-bit words.
+NEGABINARY_MASK = np.uint64(0xAAAAAAAAAAAAAAAA)
+
+
+def to_negabinary(values: np.ndarray) -> np.ndarray:
+    """Map signed integers to their negabinary code, returned as ``uint64``.
+
+    The code of ``v`` is the unsigned integer whose base-2 digits equal the
+    base-(−2) digits of ``v``; e.g. −1 → 0b11, +1 → 0b01, −2 → 0b10.
+    """
+    v = np.asarray(values, dtype=np.int64).astype(np.uint64)
+    with np.errstate(over="ignore"):
+        return (v + NEGABINARY_MASK) ^ NEGABINARY_MASK
+
+
+def from_negabinary(codes: np.ndarray) -> np.ndarray:
+    """Invert :func:`to_negabinary`, returning ``int64`` values."""
+    u = np.asarray(codes, dtype=np.uint64)
+    with np.errstate(over="ignore"):
+        return ((u ^ NEGABINARY_MASK) - NEGABINARY_MASK).astype(np.int64)
+
+
+def required_bits(values: np.ndarray) -> int:
+    """Minimal number of negabinary bitplanes needed to represent ``values``.
+
+    Returns at least 1 so that an all-zero level still produces a (trivially
+    compressible) plane, which keeps the stream layout uniform.
+    """
+    codes = to_negabinary(values)
+    if codes.size == 0:
+        return 1
+    max_code = int(codes.max())
+    return max(1, max_code.bit_length())
+
+
+def truncate_low_planes(values: np.ndarray, dropped: int) -> np.ndarray:
+    """Zero the ``dropped`` least significant negabinary planes of ``values``.
+
+    This models exactly what a partial retrieval reconstructs for a level when
+    only the high planes were loaded, and is used to precompute the per-level
+    information-loss table ``δy_l(b)`` during compression.
+    """
+    if dropped <= 0:
+        return np.asarray(values, dtype=np.int64).copy()
+    codes = to_negabinary(values)
+    if dropped >= 64:
+        return np.zeros_like(np.asarray(values, dtype=np.int64))
+    mask = ~np.uint64((np.uint64(1) << np.uint64(dropped)) - np.uint64(1))
+    return from_negabinary(codes & mask)
+
+
+def truncation_uncertainty(dropped: int, scheme: str = "negabinary") -> float:
+    """Worst-case integer error from dropping ``dropped`` low planes (§4.4.2).
+
+    For negabinary the bound is ``2/3·2^d − 1/3`` (d odd) or ``2/3·2^d − 2/3``
+    (d even); for sign-magnitude it is ``2^d − 1``.  Exposed mainly for the
+    analytical comparison in the tests and the theory module — the optimizer
+    uses exact per-level tables instead of this worst case.
+    """
+    if dropped <= 0:
+        return 0.0
+    if scheme == "negabinary":
+        if dropped % 2 == 1:
+            return (2.0 / 3.0) * (1 << dropped) - 1.0 / 3.0
+        return (2.0 / 3.0) * (1 << dropped) - 2.0 / 3.0
+    if scheme == "sign-magnitude":
+        return float((1 << dropped) - 1)
+    raise ValueError(f"unknown scheme {scheme!r}")

@@ -1,0 +1,71 @@
+"""Error-bounded linear-scale quantization (Figure 1's ``Q`` stage).
+
+The quantizer maps a prediction difference ``y`` to the integer
+``q = round(y / (2·eb))`` and back to ``ŷ = q · 2·eb``.  Mid-tread rounding
+guarantees the point-wise property ``|y − ŷ| ≤ eb`` that the prediction-model
+error analysis of §4.2.2 relies on, level by level.
+
+A reproduction note on bin width: SZ-family compressors quantize with bins of
+width ``2·eb`` so that rounding to the bin centre keeps the error within
+``eb``; the same convention is used here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class LinearQuantizer:
+    """Uniform mid-tread quantizer with half-bin error bound ``error_bound``."""
+
+    error_bound: float
+
+    def __post_init__(self) -> None:
+        if not np.isfinite(self.error_bound) or self.error_bound <= 0:
+            raise ConfigurationError(
+                f"error_bound must be a positive finite number, got {self.error_bound!r}"
+            )
+
+    @property
+    def bin_width(self) -> float:
+        """Width of a quantization bin (``2·eb``)."""
+        return 2.0 * self.error_bound
+
+    def quantize(self, values: np.ndarray) -> np.ndarray:
+        """Quantize floating-point differences to ``int64`` bin indices."""
+        values = np.asarray(values, dtype=np.float64)
+        return np.rint(values / self.bin_width).astype(np.int64)
+
+    def dequantize(self, codes: np.ndarray) -> np.ndarray:
+        """Map bin indices back to the bin-centre floating point values."""
+        return np.asarray(codes, dtype=np.float64) * self.bin_width
+
+    def roundtrip(self, values: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Quantize then dequantize; convenience used by the compressors.
+
+        Returns ``(codes, reconstructed)`` where
+        ``|values − reconstructed| ≤ error_bound`` element-wise.
+        """
+        codes = self.quantize(values)
+        return codes, self.dequantize(codes)
+
+
+def relative_to_absolute(relative_bound: float, data: np.ndarray) -> float:
+    """Convert a value-range-relative bound to an absolute one.
+
+    The paper (and SDRBench practice) specifies bounds like ``1e-6`` as a
+    fraction of the field's value range; an all-constant field degenerates to
+    a tiny positive bound so the quantizer stays well defined.
+    """
+    if relative_bound <= 0:
+        raise ConfigurationError("relative bound must be positive")
+    data = np.asarray(data)
+    value_range = float(data.max() - data.min()) if data.size else 0.0
+    if value_range == 0.0:
+        value_range = 1.0
+    return relative_bound * value_range

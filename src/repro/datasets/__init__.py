@@ -1,0 +1,42 @@
+"""Synthetic stand-ins for the six SDRBench fields of Table 3.
+
+The paper evaluates on six real-world fields (Miranda turbulence density /
+pressure / velocity, an RTM seismic wavefield, SCALE-LETKF wind speed, and an
+S3D CH4 mass fraction).  Those archives are multi-gigabyte downloads that are
+not available in this offline environment, so :mod:`repro.datasets.synthetic`
+generates deterministic fields with the same statistical character (spectral
+decay, smoothness, anisotropy, sparsity) at configurable shapes, and
+:mod:`repro.datasets.registry` maps the paper's dataset names to generators
+plus the Table 3 metadata.  See DESIGN.md §1.3 for the substitution rationale.
+"""
+
+from __future__ import annotations
+
+from repro.datasets.loaders import load_raw, save_raw
+from repro.datasets.registry import (
+    DATASETS,
+    DatasetSpec,
+    dataset_names,
+    dataset_table,
+    load_dataset,
+)
+from repro.datasets.synthetic import (
+    combustion_mass_fraction,
+    seismic_wavefield,
+    turbulence_field,
+    weather_wind_speed,
+)
+
+__all__ = [
+    "DATASETS",
+    "DatasetSpec",
+    "dataset_names",
+    "dataset_table",
+    "load_dataset",
+    "load_raw",
+    "save_raw",
+    "turbulence_field",
+    "seismic_wavefield",
+    "weather_wind_speed",
+    "combustion_mass_fraction",
+]

@@ -1,0 +1,64 @@
+"""Raw binary dataset I/O in the SDRBench layout.
+
+SDRBench distributes fields as headerless little-endian binary files
+(``.f32`` / ``.d64``), shape given out of band.  These helpers read and write
+that layout so users who *do* have the real archives can drop them in and
+rerun every benchmark against the authentic data.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Sequence, Union
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+_SUFFIX_DTYPES = {
+    ".f32": np.float32,
+    ".f64": np.float64,
+    ".d64": np.float64,
+    ".dat": np.float64,
+}
+
+
+def save_raw(path: Union[str, Path], data: np.ndarray) -> Path:
+    """Write a field as headerless little-endian binary (SDRBench layout)."""
+    path = Path(path)
+    data = np.asarray(data)
+    if not np.issubdtype(data.dtype, np.floating):
+        raise ConfigurationError("save_raw expects a floating point array")
+    path.parent.mkdir(parents=True, exist_ok=True)
+    data.astype(data.dtype.newbyteorder("<")).tofile(path)
+    return path
+
+
+def load_raw(
+    path: Union[str, Path],
+    shape: Sequence[int],
+    dtype: Union[str, np.dtype, None] = None,
+) -> np.ndarray:
+    """Read a headerless binary field of the given shape.
+
+    The dtype defaults from the file suffix (``.f32`` → float32, ``.d64`` /
+    ``.f64`` → float64) and can be overridden explicitly.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise ConfigurationError(f"dataset file {path} does not exist")
+    if dtype is None:
+        try:
+            dtype = _SUFFIX_DTYPES[path.suffix.lower()]
+        except KeyError:
+            raise ConfigurationError(
+                f"cannot infer dtype from suffix {path.suffix!r}; pass dtype="
+            ) from None
+    shape = tuple(int(s) for s in shape)
+    expected = int(np.prod(shape))
+    data = np.fromfile(path, dtype=np.dtype(dtype).newbyteorder("<"))
+    if data.size != expected:
+        raise ConfigurationError(
+            f"{path} holds {data.size} values, expected {expected} for shape {shape}"
+        )
+    return data.reshape(shape).astype(dtype)

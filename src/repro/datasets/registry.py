@@ -1,0 +1,150 @@
+"""Registry mapping the paper's dataset names (Table 3) to generators.
+
+``load_dataset`` accepts the paper's names case-insensitively and returns a
+deterministic synthetic field.  The default shapes are scaled down from the
+paper's (e.g. 256×384×384 → 64×96×96) so the full benchmark matrix runs on a
+laptop-scale machine in minutes; pass ``shape=`` to override, and
+``paper_shape=True`` to request the original resolution if you have the time
+and memory for it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.datasets import synthetic
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """Metadata of one evaluation dataset (mirrors Table 3)."""
+
+    name: str
+    explanation: str
+    domain: str
+    precision: int
+    paper_shape: Tuple[int, ...]
+    default_shape: Tuple[int, ...]
+    generator: Callable[..., np.ndarray]
+    generator_kwargs: Dict[str, object]
+
+    def generate(self, shape: Optional[Sequence[int]] = None, seed: int = 2025) -> np.ndarray:
+        shape = tuple(shape) if shape is not None else self.default_shape
+        return self.generator(shape=shape, seed=seed, **self.generator_kwargs)
+
+
+DATASETS: Dict[str, DatasetSpec] = {
+    "density": DatasetSpec(
+        name="Density",
+        explanation="mass per unit volume in turbulence",
+        domain="turbulence",
+        precision=64,
+        paper_shape=(256, 384, 384),
+        default_shape=(64, 96, 96),
+        generator=synthetic.turbulence_field,
+        generator_kwargs={"kind": "density"},
+    ),
+    "pressure": DatasetSpec(
+        name="Pressure",
+        explanation="thermodynamic pressure in turbulence",
+        domain="turbulence",
+        precision=64,
+        paper_shape=(256, 384, 384),
+        default_shape=(64, 96, 96),
+        generator=synthetic.turbulence_field,
+        generator_kwargs={"kind": "pressure"},
+    ),
+    "velocityx": DatasetSpec(
+        name="VelocityX",
+        explanation="x-direction velocity in turbulence",
+        domain="turbulence",
+        precision=64,
+        paper_shape=(256, 384, 384),
+        default_shape=(64, 96, 96),
+        generator=synthetic.turbulence_field,
+        generator_kwargs={"kind": "velocityx"},
+    ),
+    "wave": DatasetSpec(
+        name="Wave",
+        explanation="wavefield evolution in seismic",
+        domain="seismic",
+        precision=64,
+        paper_shape=(1008, 1008, 352),
+        default_shape=(112, 112, 40),
+        generator=synthetic.seismic_wavefield,
+        generator_kwargs={},
+    ),
+    "speedx": DatasetSpec(
+        name="SpeedX",
+        explanation="x-direction wind speed in weather",
+        domain="weather",
+        precision=64,
+        paper_shape=(100, 500, 500),
+        default_shape=(32, 96, 96),
+        generator=synthetic.weather_wind_speed,
+        generator_kwargs={},
+    ),
+    "ch4": DatasetSpec(
+        name="CH4",
+        explanation="mass fraction of CH4 in combustion",
+        domain="combustion",
+        precision=64,
+        paper_shape=(500, 500, 500),
+        default_shape=(80, 80, 80),
+        generator=synthetic.combustion_mass_fraction,
+        generator_kwargs={},
+    ),
+}
+
+
+def dataset_names() -> Tuple[str, ...]:
+    """Lower-case registry keys, in the order the paper lists them."""
+    return tuple(DATASETS.keys())
+
+
+def load_dataset(
+    name: str,
+    shape: Optional[Sequence[int]] = None,
+    seed: int = 2025,
+    paper_shape: bool = False,
+) -> np.ndarray:
+    """Generate (deterministically) the named dataset.
+
+    Parameters
+    ----------
+    name:
+        One of Table 3's names, case insensitive ("Density", "CH4", ...).
+    shape:
+        Override the scaled-down default shape.
+    seed:
+        Random seed; the default reproduces the repository's benchmarks.
+    paper_shape:
+        Use the full-resolution shape from the paper (slow, memory hungry).
+    """
+    key = name.strip().lower()
+    if key not in DATASETS:
+        raise ConfigurationError(
+            f"unknown dataset {name!r}; available: {sorted(DATASETS)}"
+        )
+    spec = DATASETS[key]
+    if paper_shape and shape is not None:
+        raise ConfigurationError("pass either shape or paper_shape, not both")
+    if paper_shape:
+        shape = spec.paper_shape
+    return spec.generate(shape=shape, seed=seed)
+
+
+def dataset_table(shape_override: Optional[Dict[str, Sequence[int]]] = None) -> str:
+    """Format the Table 3 inventory (used by ``bench_table3`` and the CLI)."""
+    rows = ["Name        Domain       Precision  Paper shape        Repro shape"]
+    for key, spec in DATASETS.items():
+        shape = tuple(shape_override.get(key, spec.default_shape)) if shape_override else spec.default_shape
+        rows.append(
+            f"{spec.name:<11} {spec.domain:<12} {spec.precision:<10} "
+            f"{'x'.join(map(str, spec.paper_shape)):<18} {'x'.join(map(str, shape))}"
+        )
+    return "\n".join(rows)

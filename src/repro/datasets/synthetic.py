@@ -1,0 +1,159 @@
+"""Deterministic synthetic scientific fields.
+
+Each generator mimics the statistical character that drives compressor
+behaviour on the corresponding SDRBench field:
+
+* ``turbulence_field`` — homogeneous turbulence-like scalar with a power-law
+  (Kolmogorov-ish) spectrum; `kind` selects density (strictly positive,
+  log-normal-ish), pressure (smoother spectrum) or a velocity component
+  (zero-mean, richer small scales).
+* ``seismic_wavefield`` — superposition of propagating, band-limited wave
+  packets over a smooth background velocity model, i.e. oscillatory with
+  sharp localized fronts (hard for interpolation at coarse levels).
+* ``weather_wind_speed`` — anisotropic field with strong vertical shear and
+  synoptic-scale horizontal structures (SCALE-LETKF's ``U`` component).
+* ``combustion_mass_fraction`` — plume-like blobs of CH4 on a nearly zero
+  background, bounded to ``[0, 1]`` and spatially sparse (S3D-like).
+
+All generators are deterministic given ``seed`` and return C-contiguous
+``float64`` arrays (the paper's fields are all double precision).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+def _validate_shape(shape: Sequence[int]) -> Tuple[int, ...]:
+    shape = tuple(int(s) for s in shape)
+    if not shape or any(s < 1 for s in shape):
+        raise ConfigurationError(f"invalid shape {shape!r}")
+    return shape
+
+
+def _spectral_field(
+    shape: Tuple[int, ...],
+    spectral_slope: float,
+    seed: int,
+    low_cut: float = 1.0,
+) -> np.ndarray:
+    """Gaussian random field with isotropic power-law spectrum ``k^-slope``."""
+    rng = np.random.default_rng(seed)
+    freqs = np.meshgrid(
+        *[np.fft.fftfreq(s) * s for s in shape], indexing="ij", sparse=True
+    )
+    k2 = sum(f**2 for f in freqs)
+    k = np.sqrt(k2)
+    amplitude = np.zeros_like(k)
+    nonzero = k >= low_cut
+    amplitude[nonzero] = k[nonzero] ** (-spectral_slope / 2.0)
+    phases = rng.uniform(0.0, 2.0 * np.pi, size=k.shape)
+    noise = amplitude * np.exp(1j * phases)
+    field = np.fft.ifftn(noise).real
+    std = field.std()
+    if std > 0:
+        field = field / std
+    return np.ascontiguousarray(field)
+
+
+def turbulence_field(
+    shape: Sequence[int] = (64, 96, 96),
+    kind: str = "density",
+    seed: int = 2025,
+) -> np.ndarray:
+    """Turbulence-like scalar field (Miranda density / pressure / velocity)."""
+    shape = _validate_shape(shape)
+    kinds = {
+        # (spectral slope, positivity transform)
+        "density": (5.0 / 3.0 + 2.0, True),
+        "pressure": (7.0 / 3.0 + 2.0, True),
+        "velocityx": (5.0 / 3.0, False),
+        "velocityy": (5.0 / 3.0, False),
+        "velocityz": (5.0 / 3.0, False),
+    }
+    if kind not in kinds:
+        raise ConfigurationError(f"unknown turbulence kind {kind!r}")
+    slope, positive = kinds[kind]
+    offset = {"velocityy": 7, "velocityz": 13}.get(kind, 0)
+    field = _spectral_field(shape, slope, seed + offset)
+    if positive:
+        # Log-normal-like positive field around a mean of ~1 (mass density).
+        field = np.exp(0.35 * field)
+    else:
+        field = 2.0 * field
+    return field.astype(np.float64)
+
+
+def seismic_wavefield(
+    shape: Sequence[int] = (112, 112, 40),
+    n_sources: int = 6,
+    seed: int = 2025,
+) -> np.ndarray:
+    """RTM-style wavefield snapshot: expanding band-limited wavefronts."""
+    shape = _validate_shape(shape)
+    rng = np.random.default_rng(seed)
+    grids = np.meshgrid(
+        *[np.linspace(0.0, 1.0, s) for s in shape], indexing="ij", sparse=True
+    )
+    field = np.zeros(shape, dtype=np.float64)
+    for _ in range(n_sources):
+        center = rng.uniform(0.15, 0.85, size=len(shape))
+        radius = rng.uniform(0.1, 0.45)
+        wavelength = rng.uniform(0.03, 0.08)
+        amplitude = rng.uniform(0.5, 1.5)
+        r2 = sum((g - c) ** 2 for g, c in zip(grids, center))
+        r = np.sqrt(r2)
+        envelope = np.exp(-((r - radius) ** 2) / (2 * (wavelength * 1.5) ** 2))
+        field += amplitude * envelope * np.sin(2 * np.pi * (r - radius) / wavelength)
+    background = _spectral_field(shape, 4.0, seed + 101)
+    return (field + 0.05 * background).astype(np.float64)
+
+
+def weather_wind_speed(
+    shape: Sequence[int] = (32, 96, 96),
+    seed: int = 2025,
+) -> np.ndarray:
+    """SCALE-LETKF-like x-direction wind speed: layered, anisotropic field.
+
+    The first axis is treated as the vertical direction: a shear profile makes
+    the mean wind grow with height, while horizontal planes carry smooth
+    synoptic structures plus weaker small-scale weather noise.
+    """
+    shape = _validate_shape(shape)
+    if len(shape) < 2:
+        raise ConfigurationError("weather field needs at least 2 dimensions")
+    vertical = np.linspace(0.0, 1.0, shape[0]).reshape((-1,) + (1,) * (len(shape) - 1))
+    shear = 4.0 + 18.0 * vertical**1.3
+    synoptic = _spectral_field(shape, 4.5, seed + 3)
+    gusts = _spectral_field(shape, 2.2, seed + 4)
+    field = shear + 3.0 * synoptic + 0.8 * gusts
+    return field.astype(np.float64)
+
+
+def combustion_mass_fraction(
+    shape: Sequence[int] = (80, 80, 80),
+    n_plumes: int = 8,
+    seed: int = 2025,
+) -> np.ndarray:
+    """S3D-like CH4 mass fraction: sparse plumes on a near-zero background."""
+    shape = _validate_shape(shape)
+    rng = np.random.default_rng(seed)
+    grids = np.meshgrid(
+        *[np.linspace(0.0, 1.0, s) for s in shape], indexing="ij", sparse=True
+    )
+    field = np.zeros(shape, dtype=np.float64)
+    for _ in range(n_plumes):
+        center = rng.uniform(0.1, 0.9, size=len(shape))
+        widths = rng.uniform(0.04, 0.16, size=len(shape))
+        amplitude = rng.uniform(0.2, 0.9)
+        exponent = sum(
+            ((g - c) / w) ** 2 for g, c, w in zip(grids, center, widths)
+        )
+        field += amplitude * np.exp(-exponent)
+    wrinkle = _spectral_field(shape, 3.0, seed + 11)
+    field *= 1.0 + 0.15 * wrinkle
+    return np.clip(field, 0.0, 1.0).astype(np.float64)

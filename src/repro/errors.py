@@ -1,0 +1,34 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything coming from this package with a single ``except`` clause
+while still being able to distinguish configuration mistakes from corrupted
+streams.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of every exception raised by the :mod:`repro` package."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """An invalid parameter was supplied (bad error bound, shape, mode...)."""
+
+
+class StreamFormatError(ReproError, ValueError):
+    """A compressed stream is malformed, truncated, or has a bad magic/version."""
+
+
+class RetrievalError(ReproError, RuntimeError):
+    """A progressive retrieval request cannot be satisfied.
+
+    Raised for example when a bitrate budget is smaller than the mandatory
+    header + anchor payload, or when an incremental refinement asks for a
+    *looser* fidelity than what was already reconstructed.
+    """
+
+
+class NotCompressedError(ReproError, RuntimeError):
+    """An operation that requires a compressed stream was called too early."""

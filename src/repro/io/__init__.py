@@ -1,0 +1,7 @@
+"""On-disk containers with partial (block-range) reads."""
+
+from __future__ import annotations
+
+from repro.io.container import BlockContainerReader, BlockContainerWriter
+
+__all__ = ["BlockContainerWriter", "BlockContainerReader"]

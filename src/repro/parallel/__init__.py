@@ -1,0 +1,22 @@
+"""Block-decomposed parallel compression substrate.
+
+Scientific compressors are deployed per-rank on HPC systems: the domain is
+decomposed into blocks and every block is compressed independently, which
+preserves the point-wise error bound and lets retrieval be block-local.  This
+subpackage provides that execution substrate with the Python standard
+library's process pool (no MPI dependency is available offline; the block
+interface mirrors what an mpi4py-based driver would scatter/gather).
+"""
+
+from __future__ import annotations
+
+from repro.parallel.executor import BlockParallelCompressor, CompressedBlock
+from repro.parallel.partition import block_slices, partition_shape, reassemble
+
+__all__ = [
+    "BlockParallelCompressor",
+    "CompressedBlock",
+    "partition_shape",
+    "block_slices",
+    "reassemble",
+]

@@ -1,0 +1,50 @@
+"""Shared fixtures for the test suite.
+
+The fields are intentionally small (a few thousand points) so the whole suite
+runs in seconds; the benchmarks under ``benchmarks/`` use the realistic
+(scaled-down Table 3) shapes instead.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture(scope="session")
+def rng() -> np.random.Generator:
+    return np.random.default_rng(20250615)
+
+
+@pytest.fixture(scope="session")
+def smooth_3d() -> np.ndarray:
+    """A smooth 3-D field (sums of separable sinusoids plus a ramp)."""
+    z, y, x = np.meshgrid(
+        np.linspace(0, 1, 24), np.linspace(0, 1, 20), np.linspace(0, 1, 18), indexing="ij"
+    )
+    return (
+        np.sin(4 * np.pi * x) * np.cos(3 * np.pi * y)
+        + 0.5 * np.sin(2 * np.pi * z)
+        + 2.0 * x
+        + 0.3 * y * z
+    ).astype(np.float64)
+
+
+@pytest.fixture(scope="session")
+def rough_3d(rng) -> np.ndarray:
+    """A rougher 3-D field: smooth base plus correlated noise."""
+    base = np.cumsum(rng.normal(size=(20, 16, 14)), axis=0)
+    base = base + np.cumsum(rng.normal(size=(20, 16, 14)), axis=1) * 0.5
+    return base.astype(np.float64)
+
+
+@pytest.fixture(scope="session")
+def smooth_2d() -> np.ndarray:
+    y, x = np.meshgrid(np.linspace(0, 1, 40), np.linspace(0, 1, 37), indexing="ij")
+    return (np.sin(5 * x) + np.cos(4 * y) + x * y).astype(np.float64)
+
+
+@pytest.fixture(scope="session")
+def signal_1d() -> np.ndarray:
+    t = np.linspace(0, 8 * np.pi, 301)
+    return (np.sin(t) + 0.1 * np.sin(13 * t) + 0.01 * t**2).astype(np.float64)

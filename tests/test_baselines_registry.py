@@ -1,0 +1,66 @@
+"""Cross-cutting tests over the whole baseline registry."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import compression_ratio, max_error
+from repro.baselines import COMPRESSORS, compressor_names, make_compressor
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def field():
+    rng = np.random.default_rng(77)
+    base = np.cumsum(np.cumsum(rng.normal(size=(24, 22, 20)), axis=0), axis=1)
+    return base + 0.5 * np.sin(np.linspace(0, 20, base.size)).reshape(base.shape)
+
+
+def test_registry_contains_all_paper_baselines():
+    names = set(compressor_names())
+    assert {"ipcomp", "sz3", "sz3-m", "sz3-r", "zfp", "zfp-r", "pmgard", "sperr-r"} <= names
+
+
+def test_unknown_name_rejected():
+    with pytest.raises(ConfigurationError):
+        make_compressor("lz4-but-lossy")
+
+
+@pytest.mark.parametrize("name", sorted(COMPRESSORS))
+def test_every_compressor_roundtrips_within_bound(field, name):
+    comp = make_compressor(name, error_bound=1e-4, relative=True)
+    blob = comp.compress(field)
+    restored = comp.decompress(blob)
+    assert restored.shape == field.shape
+    assert max_error(field, restored) <= comp.absolute_bound(field) * (1 + 1e-9)
+
+
+@pytest.mark.parametrize("name", sorted(COMPRESSORS))
+def test_every_compressor_actually_compresses_smooth_data(smooth_3d, name):
+    comp = make_compressor(name, error_bound=1e-4, relative=True)
+    assert compression_ratio(smooth_3d, comp.compress(smooth_3d)) > 1.0
+
+
+@pytest.mark.parametrize(
+    "name", [n for n, cls in sorted(COMPRESSORS.items()) if cls.progressive]
+)
+def test_every_progressive_compressor_honours_retrieval_bounds(field, name):
+    comp = make_compressor(name, error_bound=1e-5, relative=True)
+    blob = comp.compress(field)
+    eb = comp.absolute_bound(field)
+    target = eb * 64
+    outcome = comp.retrieve(blob, error_bound=target)
+    assert max_error(field, outcome.data) <= target * (1 + 1e-9)
+    assert 0 < outcome.bytes_loaded <= len(blob)
+
+
+def test_ipcomp_has_best_or_near_best_ratio(field):
+    """Headline Figure 5 property on a smooth field: IPComp leads the
+    progressive compressors (small tolerance for the SZ3 tie)."""
+    ratios = {}
+    for name in ("ipcomp", "sz3-m", "sz3-r", "zfp-r", "pmgard"):
+        comp = make_compressor(name, error_bound=1e-5, relative=True)
+        ratios[name] = compression_ratio(field, comp.compress(field))
+    best_other = max(v for k, v in ratios.items() if k != "ipcomp")
+    assert ratios["ipcomp"] >= best_other * 0.9

@@ -1,0 +1,119 @@
+"""Tests of the generic residual ladder and the SZ3-R specialisation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import compression_ratio, max_error
+from repro.baselines import SZ3Compressor, SZ3ResidualCompressor
+from repro.baselines.residual import ResidualProgressiveCompressor, default_bound_ladder
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def field():
+    rng = np.random.default_rng(42)
+    base = np.cumsum(np.cumsum(rng.normal(size=(26, 24, 20)), axis=0), axis=1)
+    return base + 3.0
+
+
+@pytest.fixture(scope="module")
+def ladder_blob(field):
+    comp = SZ3ResidualCompressor(error_bound=1e-5, relative=True, rungs=4, factor=4.0)
+    return comp, comp.compress(field)
+
+
+def test_default_bound_ladder_schedule():
+    ladder = default_bound_ladder(1e-6, rungs=5, factor=4.0)
+    assert ladder[-1] == pytest.approx(1e-6)
+    assert ladder[0] == pytest.approx(256e-6)
+    assert all(a / b == pytest.approx(4.0) for a, b in zip(ladder, ladder[1:]))
+    with pytest.raises(ConfigurationError):
+        default_bound_ladder(1e-6, rungs=0)
+    with pytest.raises(ConfigurationError):
+        default_bound_ladder(1e-6, factor=1.0)
+
+
+def test_full_decompression_reaches_target_bound(field, ladder_blob):
+    comp, blob = ladder_blob
+    restored = comp.decompress(blob)
+    assert max_error(field, restored) <= comp.absolute_bound(field) * (1 + 1e-9)
+
+
+def test_each_rung_bound_is_honoured(field, ladder_blob):
+    comp, blob = ladder_blob
+    for rung_bound in comp.bound_ladder(field):
+        outcome = comp.retrieve(blob, error_bound=rung_bound)
+        assert max_error(field, outcome.data) <= rung_bound * (1 + 1e-9)
+
+
+def test_finer_requests_need_more_passes(field, ladder_blob):
+    """The operational-overhead drawback of residual ladders (Fig. 8/9)."""
+    comp, blob = ladder_blob
+    bounds = comp.bound_ladder(field)
+    coarse = comp.retrieve(blob, error_bound=bounds[0])
+    fine = comp.retrieve(blob, error_bound=bounds[-1])
+    assert coarse.passes == 1
+    assert fine.passes == len(bounds)
+    assert fine.bytes_loaded > coarse.bytes_loaded
+
+
+def test_retrieval_is_staircase_between_rungs(field, ladder_blob):
+    """Requests between two rungs fall back to the tighter rung (staircase)."""
+    comp, blob = ladder_blob
+    bounds = comp.bound_ladder(field)
+    between = np.sqrt(bounds[0] * bounds[1])  # strictly between rung 0 and 1
+    outcome = comp.retrieve(blob, error_bound=between)
+    assert outcome.passes == 2
+    assert outcome.achieved_bound == pytest.approx(bounds[1])
+
+
+def test_bitrate_mode_respects_budget(field, ladder_blob):
+    comp, blob = ladder_blob
+    sizes = comp.rung_sizes(blob)
+    budget_bits = (sizes[0] + sizes[1]) * 8 / field.size + 1e-9
+    outcome = comp.retrieve(blob, bitrate=budget_bits)
+    assert outcome.passes == 2
+    assert outcome.bytes_loaded <= sizes[0] + sizes[1]
+
+
+def test_rung_sizes_match_sections(field, ladder_blob):
+    comp, blob = ladder_blob
+    sizes = comp.rung_sizes(blob)
+    assert len(sizes) == 4
+    assert all(size > 0 for size in sizes)
+
+
+def test_residual_ladder_ratio_trails_ipcomp(field):
+    """Figure 5's ordering: the residual ladder's compression ratio trails
+    IPComp's on turbulence-like data (the price of residual progressiveness)."""
+    from repro.baselines import IPCompAdapter
+
+    ladder = SZ3ResidualCompressor(error_bound=1e-5, relative=True, rungs=5)
+    ipcomp = IPCompAdapter(error_bound=1e-5, relative=True)
+    assert compression_ratio(field, ipcomp.compress(field)) > compression_ratio(
+        field, ladder.compress(field)
+    )
+
+
+def test_explicit_bounds_ladder(field):
+    bounds = [1e-2, 1e-3, 1e-4]
+    comp = ResidualProgressiveCompressor(
+        base_factory=lambda b: SZ3Compressor(error_bound=b, relative=False),
+        error_bound=1e-4,
+        relative=False,
+        bounds=bounds,
+    )
+    blob = comp.compress(field)
+    outcome = comp.retrieve(blob, error_bound=1e-3)
+    assert outcome.passes == 2
+    assert max_error(field, outcome.data) <= 1e-3 * (1 + 1e-9)
+
+
+def test_request_validation(field, ladder_blob):
+    comp, blob = ladder_blob
+    with pytest.raises(ConfigurationError):
+        comp.retrieve(blob, error_bound=1e-3, bitrate=1.0)
+    with pytest.raises(ConfigurationError):
+        comp.retrieve(blob)

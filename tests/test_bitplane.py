@@ -1,0 +1,111 @@
+"""Unit tests of bitplane extraction and predictive XOR coding."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.bitplane import (
+    assemble_bitplanes,
+    extract_bitplanes,
+    pack_plane,
+    predictive_decode,
+    predictive_encode,
+    unpack_plane,
+)
+from repro.errors import ConfigurationError
+
+
+def _codes(rng, n=500, width=12):
+    return rng.integers(0, 1 << width, size=n).astype(np.uint64)
+
+
+def test_extract_assemble_roundtrip(rng):
+    codes = _codes(rng)
+    planes = extract_bitplanes(codes, 16)
+    assert planes.shape == (16, codes.size)
+    assert np.array_equal(assemble_bitplanes(planes, 16), codes)
+
+
+def test_plane_zero_is_most_significant(rng):
+    codes = np.array([1 << 15, 0, 1], dtype=np.uint64)
+    planes = extract_bitplanes(codes, 16)
+    assert planes[0, 0] == 1 and planes[0, 1] == 0 and planes[0, 2] == 0
+    assert planes[15, 2] == 1  # least significant plane holds the LSB
+
+
+def test_partial_assembly_zeroes_missing_low_planes(rng):
+    codes = _codes(rng, width=10)
+    planes = extract_bitplanes(codes, 10)
+    partial = assemble_bitplanes(planes[:4], 10)
+    # Keeping the top 4 of 10 planes means the low 6 bits are zero.
+    assert np.array_equal(partial, codes & ~np.uint64((1 << 6) - 1))
+
+
+def test_too_many_planes_rejected(rng):
+    planes = extract_bitplanes(_codes(rng), 12)
+    with pytest.raises(ConfigurationError):
+        assemble_bitplanes(planes, 10)
+
+
+@pytest.mark.parametrize("prefix_bits", [0, 1, 2, 3])
+def test_predictive_roundtrip(rng, prefix_bits):
+    planes = extract_bitplanes(_codes(rng), 14)
+    encoded = predictive_encode(planes, prefix_bits)
+    assert np.array_equal(predictive_decode(encoded, prefix_bits), planes)
+
+
+def test_prefix_zero_is_identity(rng):
+    planes = extract_bitplanes(_codes(rng), 8)
+    assert np.array_equal(predictive_encode(planes, 0), planes)
+
+
+def test_predictive_decode_only_needs_prefix_planes(rng):
+    """Decoding a prefix of the planes must not depend on the unloaded ones."""
+    planes = extract_bitplanes(_codes(rng), 12)
+    encoded = predictive_encode(planes, 2)
+    partial = predictive_decode(encoded[:5], 2)
+    assert np.array_equal(partial, planes[:5])
+
+
+def test_invalid_prefix_bits_rejected(rng):
+    planes = extract_bitplanes(_codes(rng), 8)
+    with pytest.raises(ConfigurationError):
+        predictive_encode(planes, 4)
+    with pytest.raises(ConfigurationError):
+        predictive_decode(planes, -1)
+
+
+def test_invalid_nbits_rejected():
+    with pytest.raises(ConfigurationError):
+        extract_bitplanes(np.zeros(4, dtype=np.uint64), 0)
+    with pytest.raises(ConfigurationError):
+        extract_bitplanes(np.zeros(4, dtype=np.uint64), 65)
+
+
+def test_pack_unpack_roundtrip(rng):
+    plane = (rng.random(1000) > 0.7).astype(np.uint8)
+    packed = pack_plane(plane)
+    assert len(packed) == 125
+    assert np.array_equal(unpack_plane(packed, 1000), plane)
+
+
+def test_pack_plane_partial_byte(rng):
+    plane = np.array([1, 0, 1], dtype=np.uint8)
+    assert np.array_equal(unpack_plane(pack_plane(plane), 3), plane)
+
+
+def test_predictive_coding_lowers_entropy_on_correlated_planes():
+    """Correlated consecutive planes (sign-extension-like) should XOR to mostly 0."""
+    from repro.coders.entropy import bit_entropy
+
+    n = 4000
+    rng = np.random.default_rng(5)
+    # Build codes where the high planes are strongly correlated (all-ones runs).
+    magnitudes = rng.integers(0, 4, size=n).astype(np.uint64)
+    codes = (np.uint64(0b111100) | magnitudes).astype(np.uint64)
+    planes = extract_bitplanes(codes, 6)
+    raw_entropy = np.mean([bit_entropy(p) for p in planes])
+    encoded = predictive_encode(planes, 2)
+    coded_entropy = np.mean([bit_entropy(p) for p in encoded])
+    assert coded_entropy <= raw_entropy + 1e-12

@@ -1,0 +1,92 @@
+"""Tests of the ``ipcomp`` command line interface."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.datasets import load_dataset, load_raw, save_raw
+
+
+@pytest.fixture
+def raw_field(tmp_path):
+    field = load_dataset("density", shape=(16, 18, 20))
+    path = save_raw(tmp_path / "density.d64", field)
+    return field, path
+
+
+def test_compress_decompress_cycle(tmp_path, raw_field, capsys):
+    field, raw_path = raw_field
+    compressed = tmp_path / "density.ipc"
+    restored_path = tmp_path / "restored.d64"
+
+    assert main(
+        ["compress", str(raw_path), "-o", str(compressed), "--shape", "16x18x20", "--eb", "1e-5"]
+    ) == 0
+    assert compressed.exists()
+    out = capsys.readouterr().out
+    assert "CR" in out
+
+    assert main(["decompress", str(compressed), "-o", str(restored_path)]) == 0
+    restored = load_raw(restored_path, (16, 18, 20))
+    eb = 1e-5 * (field.max() - field.min())
+    assert np.abs(field - restored).max() <= eb * (1 + 1e-9)
+
+
+def test_retrieve_error_bound_mode(tmp_path, raw_field, capsys):
+    field, raw_path = raw_field
+    compressed = tmp_path / "density.ipc"
+    partial_path = tmp_path / "partial.d64"
+    main(["compress", str(raw_path), "-o", str(compressed), "--shape", "16x18x20", "--eb", "1e-6"])
+    eb = 1e-6 * (field.max() - field.min())
+    assert main(
+        ["retrieve", str(compressed), "-o", str(partial_path), "--error-bound", str(eb * 64)]
+    ) == 0
+    partial = load_raw(partial_path, (16, 18, 20))
+    assert np.abs(field - partial).max() <= eb * 64 * (1 + 1e-9)
+    assert "guaranteed error" in capsys.readouterr().out
+
+
+def test_retrieve_bitrate_mode(tmp_path, raw_field):
+    field, raw_path = raw_field
+    compressed = tmp_path / "density.ipc"
+    partial_path = tmp_path / "partial.d64"
+    main(["compress", str(raw_path), "-o", str(compressed), "--shape", "16x18x20", "--eb", "1e-6"])
+    assert main(
+        ["retrieve", str(compressed), "-o", str(partial_path), "--bitrate", "6.0"]
+    ) == 0
+    assert partial_path.exists()
+
+
+def test_info_prints_header_json(tmp_path, raw_field, capsys):
+    _, raw_path = raw_field
+    compressed = tmp_path / "density.ipc"
+    main(["compress", str(raw_path), "-o", str(compressed), "--shape", "16x18x20"])
+    capsys.readouterr()  # drop the compress-command output
+    assert main(["info", str(compressed)]) == 0
+    header = json.loads(capsys.readouterr().out)
+    assert header["shape"] == [16, 18, 20]
+    assert header["levels"]
+
+
+def test_datasets_listing(capsys):
+    assert main(["datasets"]) == 0
+    out = capsys.readouterr().out
+    assert "Density" in out and "CH4" in out
+
+
+def test_demo_command(capsys):
+    assert main(["demo", "--dataset", "speedx", "--shape", "12x16x16", "--eb", "1e-5"]) == 0
+    out = capsys.readouterr().out
+    assert "psnr" in out and "compression_ratio" in out
+
+
+def test_error_path_returns_nonzero(tmp_path, capsys):
+    missing = tmp_path / "missing.d64"
+    out_path = tmp_path / "out.ipc"
+    code = main(["compress", str(missing), "-o", str(out_path), "--shape", "4x4x4"])
+    assert code == 2
+    assert "error:" in capsys.readouterr().err

@@ -1,0 +1,69 @@
+"""Unit tests of the bit-granular reader/writer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.coders.bitio import BitReader, BitWriter
+from repro.errors import StreamFormatError
+
+
+def test_roundtrip_single_bits():
+    writer = BitWriter()
+    bits = [1, 0, 1, 1, 0, 0, 1, 0, 1, 1, 1]
+    for bit in bits:
+        writer.write_bit(bit)
+    reader = BitReader(writer.getvalue())
+    assert [reader.read_bit() for _ in range(len(bits))] == bits
+
+
+def test_roundtrip_multibit_values():
+    writer = BitWriter()
+    values = [(0, 1), (5, 3), (255, 8), (1023, 10), (0b1011, 4)]
+    for value, width in values:
+        writer.write_bits(value, width)
+    reader = BitReader(writer.getvalue())
+    for value, width in values:
+        assert reader.read_bits(width) == value
+
+
+def test_unary_roundtrip():
+    writer = BitWriter()
+    for value in [0, 1, 5, 13, 2]:
+        writer.write_unary(value)
+    reader = BitReader(writer.getvalue())
+    assert [reader.read_unary() for _ in range(5)] == [0, 1, 5, 13, 2]
+
+
+def test_len_counts_bits():
+    writer = BitWriter()
+    writer.write_bits(0b101, 3)
+    writer.write_bit(1)
+    assert len(writer) == 4
+
+
+def test_partial_byte_is_zero_padded():
+    writer = BitWriter()
+    writer.write_bits(0b1, 1)
+    data = writer.getvalue()
+    assert len(data) == 1
+    assert data[0] == 0b1
+
+
+def test_reading_past_end_raises():
+    reader = BitReader(b"\x01")
+    reader.read_bits(8)
+    with pytest.raises(StreamFormatError):
+        reader.read_bit()
+
+
+def test_bits_remaining():
+    reader = BitReader(b"\xff\x00")
+    assert reader.bits_remaining == 16
+    reader.read_bits(5)
+    assert reader.bits_remaining == 11
+
+
+def test_negative_count_rejected():
+    with pytest.raises(ValueError):
+        BitWriter().write_bits(3, -1)

@@ -1,0 +1,70 @@
+"""Unit tests of the canonical Huffman coder."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.coders.huffman import (
+    HuffmanCoder,
+    decode_symbols,
+    encode_symbols,
+    estimate_code_lengths,
+)
+from repro.errors import StreamFormatError
+
+
+def test_symbol_roundtrip_small():
+    symbols = np.array([0, 0, 1, -1, 2, 0, 0, 5, -7, 0], dtype=np.int64)
+    assert np.array_equal(decode_symbols(encode_symbols(symbols)), symbols)
+
+
+def test_symbol_roundtrip_random():
+    rng = np.random.default_rng(1)
+    symbols = rng.integers(-200, 200, size=5000)
+    assert np.array_equal(decode_symbols(encode_symbols(symbols)), symbols)
+
+
+def test_skewed_distribution_compresses():
+    rng = np.random.default_rng(2)
+    # Mostly zeros: Huffman should beat the 8-byte raw representation easily.
+    symbols = (rng.random(20000) > 0.97).astype(np.int64) * rng.integers(1, 4, 20000)
+    encoded = encode_symbols(symbols)
+    assert len(encoded) < symbols.nbytes / 4
+    assert np.array_equal(decode_symbols(encoded), symbols)
+
+
+def test_single_symbol_alphabet():
+    symbols = np.full(100, 42, dtype=np.int64)
+    assert np.array_equal(decode_symbols(encode_symbols(symbols)), symbols)
+
+
+def test_empty_input():
+    symbols = np.zeros(0, dtype=np.int64)
+    assert decode_symbols(encode_symbols(symbols)).size == 0
+
+
+def test_negative_and_large_symbols():
+    symbols = np.array([-(2**40), 2**40, 0, -1, 1], dtype=np.int64)
+    assert np.array_equal(decode_symbols(encode_symbols(symbols)), symbols)
+
+
+def test_code_lengths_follow_frequencies():
+    lengths = estimate_code_lengths({0: 1000, 1: 10, 2: 10, 3: 1})
+    assert lengths[0] <= lengths[1]
+    assert lengths[1] <= lengths[3]
+
+
+def test_code_lengths_single_symbol():
+    assert estimate_code_lengths({7: 99}) == {7: 1}
+
+
+def test_byte_backend_roundtrip():
+    coder = HuffmanCoder()
+    data = bytes([1, 2, 3, 1, 1, 1, 0, 0, 255] * 100)
+    assert coder.decode(coder.encode(data)) == data
+
+
+def test_bad_magic_rejected():
+    with pytest.raises(StreamFormatError):
+        decode_symbols(b"NOPE" + b"\x00" * 32)

@@ -1,0 +1,60 @@
+"""Unit tests of the RLE and LZ77 lossless backends."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.coders.lz77 import LZ77Coder
+from repro.coders.rle import RLECoder
+from repro.errors import StreamFormatError
+
+
+@pytest.fixture(params=[RLECoder, LZ77Coder], ids=["rle", "lz77"])
+def coder(request):
+    return request.param()
+
+
+def test_empty_roundtrip(coder):
+    assert coder.decode(coder.encode(b"")) == b""
+
+
+def test_constant_run_roundtrip_and_ratio(coder):
+    data = b"\x00" * 10000
+    encoded = coder.encode(data)
+    assert coder.decode(encoded) == data
+    assert len(encoded) < len(data) / 20
+
+
+def test_random_bytes_roundtrip(coder):
+    rng = np.random.default_rng(3)
+    data = rng.integers(0, 256, size=4096, dtype=np.uint8).tobytes()
+    assert coder.decode(coder.encode(data)) == data
+
+
+def test_repetitive_pattern_roundtrip(coder):
+    data = b"abcabcabcabd" * 500 + b"tail"
+    assert coder.decode(coder.encode(data)) == data
+
+
+def test_lz77_exploits_repeats():
+    data = b"scientific-data-" * 1000
+    encoded = LZ77Coder().encode(data)
+    assert len(encoded) < len(data) / 10
+
+
+def test_rle_alternating_worst_case_is_lossless():
+    data = bytes(range(256)) * 8
+    coder = RLECoder()
+    assert coder.decode(coder.encode(data)) == data
+
+
+def test_lz77_truncated_stream_rejected():
+    data = LZ77Coder().encode(b"hello hello hello hello")
+    with pytest.raises(StreamFormatError):
+        LZ77Coder().decode(data[:-3] + b"\x01\xff")
+
+
+def test_rle_truncated_stream_rejected():
+    with pytest.raises(StreamFormatError):
+        RLECoder().decode(b"\x85")

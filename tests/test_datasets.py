@@ -1,0 +1,159 @@
+"""Tests of the synthetic dataset generators and the registry."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    DATASETS,
+    dataset_names,
+    dataset_table,
+    load_dataset,
+    load_raw,
+    save_raw,
+)
+from repro.datasets.synthetic import (
+    combustion_mass_fraction,
+    seismic_wavefield,
+    turbulence_field,
+    weather_wind_speed,
+)
+from repro.errors import ConfigurationError
+
+
+def test_registry_lists_the_six_paper_datasets():
+    assert set(dataset_names()) == {
+        "density",
+        "pressure",
+        "velocityx",
+        "wave",
+        "speedx",
+        "ch4",
+    }
+    for spec in DATASETS.values():
+        assert spec.precision == 64
+        assert len(spec.paper_shape) == 3
+
+
+@pytest.mark.parametrize("name", ["density", "pressure", "velocityx", "wave", "speedx", "ch4"])
+def test_every_dataset_generates_finite_doubles(name):
+    field = load_dataset(name, shape=(16, 18, 20))
+    assert field.shape == (16, 18, 20)
+    assert field.dtype == np.float64
+    assert np.isfinite(field).all()
+    assert field.std() > 0
+
+
+def test_generation_is_deterministic():
+    a = load_dataset("density", shape=(12, 12, 12))
+    b = load_dataset("density", shape=(12, 12, 12))
+    assert np.array_equal(a, b)
+
+
+def test_different_seeds_differ():
+    a = load_dataset("wave", shape=(12, 12, 12), seed=1)
+    b = load_dataset("wave", shape=(12, 12, 12), seed=2)
+    assert not np.array_equal(a, b)
+
+
+def test_case_insensitive_names():
+    a = load_dataset("CH4", shape=(10, 10, 10))
+    b = load_dataset("ch4", shape=(10, 10, 10))
+    assert np.array_equal(a, b)
+
+
+def test_unknown_dataset_rejected():
+    with pytest.raises(ConfigurationError):
+        load_dataset("entropy-soup")
+
+
+def test_density_and_pressure_are_positive():
+    assert load_dataset("density", shape=(10, 12, 14)).min() > 0
+    assert load_dataset("pressure", shape=(10, 12, 14)).min() > 0
+
+
+def test_velocity_is_roughly_zero_mean():
+    field = load_dataset("velocityx", shape=(24, 24, 24))
+    assert abs(field.mean()) < 0.5 * field.std()
+
+
+def test_ch4_is_bounded_and_sparse():
+    field = load_dataset("ch4", shape=(32, 32, 32))
+    assert field.min() >= 0.0 and field.max() <= 1.0
+    assert np.mean(field < 0.05) > 0.4  # mostly near-zero background
+
+
+def test_weather_field_has_vertical_shear():
+    field = weather_wind_speed((24, 20, 20))
+    column_means = field.mean(axis=(1, 2))
+    assert column_means[-1] > column_means[0]
+
+
+def test_wave_field_oscillates():
+    field = seismic_wavefield((24, 24, 16), n_sources=4)
+    assert field.min() < 0 < field.max()
+
+
+def test_turbulence_kind_validation():
+    with pytest.raises(ConfigurationError):
+        turbulence_field((8, 8, 8), kind="vorticity")
+
+
+def test_invalid_shapes_rejected():
+    with pytest.raises(ConfigurationError):
+        combustion_mass_fraction(())
+    with pytest.raises(ConfigurationError):
+        turbulence_field((0, 4, 4))
+
+
+def test_smoothness_ordering_matches_domains():
+    """Pressure (steeper spectrum) should be smoother than VelocityX."""
+    pressure = load_dataset("pressure", shape=(32, 32, 32))
+    velocity = load_dataset("velocityx", shape=(32, 32, 32))
+
+    def roughness(field):
+        return float(np.abs(np.diff(field, axis=0)).mean() / field.std())
+
+    assert roughness(pressure) < roughness(velocity)
+
+
+def test_dataset_table_formatting():
+    table = dataset_table()
+    assert "Density" in table and "CH4" in table
+    assert "256x384x384" in table
+
+
+def test_raw_io_roundtrip(tmp_path):
+    field = load_dataset("speedx", shape=(8, 10, 12))
+    path = save_raw(tmp_path / "speedx.d64", field)
+    restored = load_raw(path, (8, 10, 12))
+    assert np.array_equal(restored, field)
+
+
+def test_raw_io_float32(tmp_path):
+    field = load_dataset("density", shape=(6, 6, 6)).astype(np.float32)
+    path = save_raw(tmp_path / "density.f32", field)
+    restored = load_raw(path, (6, 6, 6))
+    assert restored.dtype == np.float32
+    assert np.array_equal(restored, field)
+
+
+def test_raw_io_size_mismatch(tmp_path):
+    field = load_dataset("density", shape=(6, 6, 6))
+    path = save_raw(tmp_path / "density.d64", field)
+    with pytest.raises(ConfigurationError):
+        load_raw(path, (6, 6, 7))
+
+
+def test_raw_io_unknown_suffix(tmp_path):
+    field = load_dataset("density", shape=(4, 4, 4))
+    path = save_raw(tmp_path / "field.bin", field)
+    with pytest.raises(ConfigurationError):
+        load_raw(path, (4, 4, 4))
+    assert load_raw(path, (4, 4, 4), dtype=np.float64).shape == (4, 4, 4)
+
+
+def test_paper_shape_flag_conflicts():
+    with pytest.raises(ConfigurationError):
+        load_dataset("density", shape=(8, 8, 8), paper_shape=True)

@@ -1,0 +1,114 @@
+"""Tests of the derived quantities (curl / Laplacian) used by Figure 11."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.derived import (
+    curl,
+    curl_magnitude,
+    divergence,
+    gradient,
+    gradient_magnitude,
+    laplacian,
+)
+from repro.errors import ConfigurationError
+
+
+def _grid3(n=24):
+    axes = [np.linspace(0, 2 * np.pi, n) for _ in range(3)]
+    return np.meshgrid(*axes, indexing="ij"), axes[0][1] - axes[0][0]
+
+
+def test_gradient_of_linear_ramp_is_constant():
+    (z, y, x), h = _grid3()
+    field = 3.0 * x + 2.0 * y - z
+    gz, gy, gx = gradient(field, h)
+    assert np.allclose(gx, 3.0, atol=1e-6)
+    assert np.allclose(gy, 2.0, atol=1e-6)
+    assert np.allclose(gz, -1.0, atol=1e-6)
+
+
+def test_gradient_magnitude_of_ramp():
+    (z, y, x), h = _grid3()
+    field = 3.0 * x + 4.0 * y
+    assert np.allclose(gradient_magnitude(field, h), 5.0, atol=1e-6)
+
+
+def test_laplacian_of_harmonic_function_is_zero():
+    (z, y, x), h = _grid3()
+    field = x**2 - y**2  # harmonic: Laplacian = 0
+    interior = laplacian(field, h)[2:-2, 2:-2, 2:-2]
+    assert np.abs(interior).max() < 1e-6
+
+
+def test_laplacian_of_quadratic():
+    (z, y, x), h = _grid3()
+    field = x**2 + y**2 + z**2
+    interior = laplacian(field, h)[2:-2, 2:-2, 2:-2]
+    assert np.allclose(interior, 6.0, atol=1e-6)
+
+
+def test_curl_of_gradient_field_is_zero():
+    (z, y, x), h = _grid3()
+    potential = np.sin(x) * np.cos(y) + z**2
+    vx, vy, vz = np.gradient(potential, h)
+    cx, cy, cz = curl((vx, vy, vz), h)
+    interior = np.sqrt(cx**2 + cy**2 + cz**2)[3:-3, 3:-3, 3:-3]
+    assert interior.max() < 5e-2
+
+
+def test_curl_of_rigid_rotation():
+    """v = (−y, x, 0) has curl (0, 0, 2).
+
+    The curl convention maps component ``i`` to array axis ``i`` (axis 0 = x,
+    axis 1 = y, axis 2 = z), so the coordinates are built the same way here.
+    """
+    n = 24
+    coords = np.linspace(0, 2 * np.pi, n)
+    x, y, z = np.meshgrid(coords, coords, coords, indexing="ij")
+    h = coords[1] - coords[0]
+    vx, vy, vz = -y, x, np.zeros_like(x)
+    cx, cy, cz = curl((vx, vy, vz), h)
+    interior = (slice(2, -2),) * 3
+    assert np.allclose(cx[interior], 0.0, atol=1e-6)
+    assert np.allclose(cy[interior], 0.0, atol=1e-6)
+    assert np.allclose(cz[interior], 2.0, atol=1e-6)
+    assert np.allclose(curl_magnitude((vx, vy, vz), h)[interior], 2.0, atol=1e-6)
+
+
+def test_divergence_of_radial_field():
+    (z, y, x), h = _grid3()
+    div = divergence((z, y, x), h)  # identity field → divergence 3
+    assert np.allclose(div[2:-2, 2:-2, 2:-2], 3.0, atol=1e-6)
+
+
+def test_divergence_needs_matching_components():
+    with pytest.raises(ConfigurationError):
+        divergence((np.zeros((4, 4)),))
+
+
+def test_curl_requires_three_3d_components():
+    with pytest.raises(ConfigurationError):
+        curl((np.zeros((4, 4)), np.zeros((4, 4)), np.zeros((4, 4))))
+    with pytest.raises(ConfigurationError):
+        curl((np.zeros((4, 4, 4)), np.zeros((4, 4, 4))))
+
+
+def test_gradient_1d():
+    t = np.linspace(0, 1, 50)
+    (g,) = gradient(t**2, t[1] - t[0])
+    assert np.allclose(g[1:-1], 2 * t[1:-1], atol=1e-3)
+
+
+def test_derived_quantities_are_error_sensitive(rng):
+    """Laplacian amplifies noise much more than the raw field (Fig. 11's point)."""
+    (z, y, x), h = _grid3(32)
+    field = np.sin(x) * np.sin(y) * np.sin(z)
+    noisy = field + rng.normal(scale=1e-3, size=field.shape)
+    raw_rel = np.abs(noisy - field).max() / np.abs(field).max()
+    lap_rel = np.abs(laplacian(noisy, h) - laplacian(field, h)).max() / np.abs(
+        laplacian(field, h)
+    ).max()
+    assert lap_rel > raw_rel

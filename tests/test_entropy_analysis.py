@@ -1,0 +1,45 @@
+"""Tests of the Table 2 prefix-coding entropy study."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import prefix_coding_entropy, prefix_entropy_table
+from repro.datasets import load_dataset
+
+
+@pytest.fixture(scope="module")
+def field():
+    return load_dataset("density", shape=(24, 28, 28))
+
+
+def test_entropy_values_are_probabilities_per_bit(field):
+    table = prefix_entropy_table(field, error_bound=1e-5)
+    assert set(table) == {0, 1, 2, 3}
+    for value in table.values():
+        assert 0.0 <= value <= 1.0
+
+
+def test_prefix_prediction_reduces_entropy(field):
+    """Table 2: 1–3 prefix bits all lower the entropy vs. the raw planes."""
+    table = prefix_entropy_table(field, error_bound=1e-5)
+    for prefix in (1, 2, 3):
+        assert table[prefix] <= table[0] + 1e-9
+
+
+def test_two_bit_prefix_is_at_least_as_good_as_one(field):
+    table = prefix_entropy_table(field, error_bound=1e-5)
+    assert table[2] <= table[1] + 5e-3
+
+
+def test_entropy_single_call_matches_table(field):
+    table = prefix_entropy_table(field, prefixes=(0, 2), error_bound=1e-4)
+    single = prefix_coding_entropy(field, 2, error_bound=1e-4)
+    assert single == pytest.approx(table[2])
+
+
+def test_rougher_bounds_change_entropy(field):
+    tight = prefix_coding_entropy(field, 2, error_bound=1e-7)
+    loose = prefix_coding_entropy(field, 2, error_bound=1e-3)
+    assert tight != pytest.approx(loose)

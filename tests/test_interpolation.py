@@ -1,0 +1,135 @@
+"""Unit tests of the multi-level interpolation predictor."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.interpolation import InterpolationPredictor, STENCIL_NORMS
+from repro.core.quantizer import LinearQuantizer
+from repro.errors import ConfigurationError
+
+
+SHAPES = [(17,), (64,), (100,), (33, 20), (16, 16, 16), (13, 7, 5), (1, 9), (4, 4, 4, 4)]
+
+
+@pytest.mark.parametrize("shape", SHAPES)
+def test_levels_cover_every_point_exactly_once(shape):
+    predictor = InterpolationPredictor(shape)
+    assert predictor.total_points() == int(np.prod(shape))
+
+
+@pytest.mark.parametrize("shape", SHAPES)
+@pytest.mark.parametrize("method", ["linear", "cubic"])
+def test_decompose_respects_error_bound(shape, method, rng):
+    predictor = InterpolationPredictor(shape, method)
+    data = np.cumsum(rng.normal(size=shape), axis=0)
+    quantizer = LinearQuantizer(1e-3)
+    _, _, reconstruction = predictor.decompose(data, quantizer)
+    assert np.abs(data - reconstruction).max() <= 1e-3 + 1e-12
+
+
+@pytest.mark.parametrize("method", ["linear", "cubic"])
+def test_reconstruct_matches_decompose_output(smooth_3d, method):
+    predictor = InterpolationPredictor(smooth_3d.shape, method)
+    quantizer = LinearQuantizer(1e-4)
+    anchors, level_codes, reconstruction = predictor.decompose(smooth_3d, quantizer)
+    rebuilt = predictor.reconstruct(
+        quantizer.dequantize(anchors),
+        {level: quantizer.dequantize(codes) for level, codes in level_codes.items()},
+    )
+    assert np.allclose(rebuilt, reconstruction, atol=1e-12)
+
+
+def test_reconstruct_is_linear(smooth_3d):
+    """Algorithm 2 relies on reconstruction being linear in its inputs."""
+    predictor = InterpolationPredictor(smooth_3d.shape)
+    quantizer = LinearQuantizer(1e-4)
+    anchors, codes, _ = predictor.decompose(smooth_3d, quantizer)
+    diffs_full = {l: quantizer.dequantize(c) for l, c in codes.items()}
+    diffs_half = {l: 0.5 * d for l, d in diffs_full.items()}
+    anchors_dq = quantizer.dequantize(anchors)
+
+    full = predictor.reconstruct(anchors_dq, diffs_full)
+    half = predictor.reconstruct(0.5 * anchors_dq, diffs_half)
+    assert np.allclose(full * 0.5, half, atol=1e-10)
+
+    zero = predictor.reconstruct(np.zeros_like(anchors_dq), {})
+    assert np.allclose(zero, 0.0)
+
+
+def test_cubic_predicts_smooth_data_better_than_linear(smooth_3d):
+    quantizer = LinearQuantizer(1e-6)
+    magnitudes = {}
+    for method in ("linear", "cubic"):
+        predictor = InterpolationPredictor(smooth_3d.shape, method)
+        _, codes, _ = predictor.decompose(smooth_3d, quantizer)
+        finest = np.abs(codes[1]).mean()
+        magnitudes[method] = finest
+    assert magnitudes["cubic"] <= magnitudes["linear"]
+
+
+def test_transform_is_exactly_invertible(smooth_3d):
+    predictor = InterpolationPredictor(smooth_3d.shape, "linear")
+    anchors, coeffs = predictor.transform(smooth_3d)
+    rebuilt = predictor.reconstruct(anchors, coeffs)
+    assert np.allclose(rebuilt, smooth_3d, atol=1e-9)
+
+
+def test_transform_coefficient_counts_match_level_sizes(smooth_2d):
+    predictor = InterpolationPredictor(smooth_2d.shape)
+    _, coeffs = predictor.transform(smooth_2d)
+    sizes = predictor.level_sizes()
+    for level, values in coeffs.items():
+        assert values.size == sizes[level]
+
+
+def test_level_sizes_sum_to_total(smooth_2d):
+    predictor = InterpolationPredictor(smooth_2d.shape)
+    assert predictor.anchor_count + sum(predictor.level_sizes().values()) == smooth_2d.size
+
+
+def test_missing_level_diffs_treated_as_zero(smooth_2d):
+    predictor = InterpolationPredictor(smooth_2d.shape)
+    quantizer = LinearQuantizer(1e-3)
+    anchors, codes, _ = predictor.decompose(smooth_2d, quantizer)
+    partial = predictor.reconstruct(
+        quantizer.dequantize(anchors),
+        {predictor.num_levels: quantizer.dequantize(codes[predictor.num_levels])},
+    )
+    assert partial.shape == smooth_2d.shape
+    assert np.isfinite(partial).all()
+
+
+def test_wrong_shape_rejected(smooth_2d):
+    predictor = InterpolationPredictor((8, 8))
+    with pytest.raises(ConfigurationError):
+        predictor.decompose(smooth_2d, LinearQuantizer(1e-3))
+
+
+def test_wrong_diff_count_rejected(smooth_2d):
+    predictor = InterpolationPredictor(smooth_2d.shape)
+    with pytest.raises(ConfigurationError):
+        predictor.reconstruct(
+            np.zeros(predictor.anchor_count), {1: np.zeros(3)}
+        )
+
+
+def test_invalid_configuration_rejected():
+    with pytest.raises(ConfigurationError):
+        InterpolationPredictor((0, 4))
+    with pytest.raises(ConfigurationError):
+        InterpolationPredictor((8, 8), method="quintic")
+
+
+def test_stencil_norms_match_paper():
+    assert STENCIL_NORMS["linear"] == 1.0
+    assert STENCIL_NORMS["cubic"] == 1.25
+    assert InterpolationPredictor((16,), "cubic").stencil_norm == 1.25
+
+
+def test_describe_reports_every_level():
+    predictor = InterpolationPredictor((32, 32))
+    summary = predictor.describe()
+    assert set(summary) == set(range(1, predictor.num_levels + 1))
+    assert all("points" in info for info in summary.values())

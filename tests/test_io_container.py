@@ -1,0 +1,79 @@
+"""Tests of the block container file format."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import IPComp, ProgressiveRetriever
+from repro.errors import StreamFormatError
+from repro.io import BlockContainerReader, BlockContainerWriter
+
+
+def test_roundtrip_named_blocks(tmp_path):
+    path = tmp_path / "store.rprc"
+    with BlockContainerWriter(path) as writer:
+        writer.add_block("alpha", b"first block", {"kind": "test"})
+        writer.add_block("beta", b"\x00" * 1000)
+    with BlockContainerReader(path) as reader:
+        assert set(reader.block_names()) == {"alpha", "beta"}
+        assert reader.read_block("alpha") == b"first block"
+        assert reader.read_block("beta") == b"\x00" * 1000
+        assert reader.metadata("alpha") == {"kind": "test"}
+        assert reader.block_size("beta") == 1000
+
+
+def test_bytes_read_accounting(tmp_path):
+    path = tmp_path / "store.rprc"
+    with BlockContainerWriter(path) as writer:
+        writer.add_block("a", b"x" * 100)
+        writer.add_block("b", b"y" * 900)
+    with BlockContainerReader(path) as reader:
+        reader.read_block("a")
+        assert reader.bytes_read == 100
+
+
+def test_duplicate_names_rejected(tmp_path):
+    writer = BlockContainerWriter(tmp_path / "store.rprc")
+    writer.add_block("a", b"1")
+    with pytest.raises(StreamFormatError):
+        writer.add_block("a", b"2")
+    writer.close()
+
+
+def test_missing_block_rejected(tmp_path):
+    path = tmp_path / "store.rprc"
+    with BlockContainerWriter(path) as writer:
+        writer.add_block("a", b"1")
+    with BlockContainerReader(path) as reader:
+        with pytest.raises(StreamFormatError):
+            reader.read_block("nope")
+
+
+def test_not_a_container_rejected(tmp_path):
+    path = tmp_path / "bogus.bin"
+    path.write_bytes(b"clearly not a container file")
+    with pytest.raises(StreamFormatError):
+        BlockContainerReader(path)
+
+
+def test_write_after_close_rejected(tmp_path):
+    writer = BlockContainerWriter(tmp_path / "store.rprc")
+    writer.close()
+    with pytest.raises(StreamFormatError):
+        writer.add_block("late", b"data")
+
+
+def test_partial_read_of_compressed_stream_saves_io(tmp_path, smooth_3d):
+    """End-to-end: store an IPComp stream per level-group and read selectively."""
+    comp = IPComp(error_bound=1e-6, relative=True)
+    blob = comp.compress(smooth_3d)
+    path = tmp_path / "field.rprc"
+    with BlockContainerWriter(path) as writer:
+        writer.add_block("ipcomp-stream", blob, {"shape": list(smooth_3d.shape)})
+        writer.add_block("provenance", b"synthetic smooth field")
+    with BlockContainerReader(path) as reader:
+        restored_blob = reader.read_block("ipcomp-stream")
+        assert reader.bytes_read == len(blob)
+    result = ProgressiveRetriever(restored_blob).retrieve(bitrate=2.0)
+    assert result.data.shape == smooth_3d.shape

@@ -1,0 +1,93 @@
+"""Tests of the §3.1.1 quality metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    bitrate,
+    compression_ratio,
+    max_error,
+    mean_squared_error,
+    normalized_root_mean_squared_error,
+    psnr,
+    summarize,
+)
+from repro.errors import ConfigurationError
+
+
+def test_max_error_basic():
+    a = np.array([0.0, 1.0, 2.0])
+    b = np.array([0.0, 1.5, 1.0])
+    assert max_error(a, b) == pytest.approx(1.0)
+
+
+def test_identical_arrays_have_zero_error():
+    a = np.linspace(0, 1, 100)
+    assert max_error(a, a) == 0.0
+    assert mean_squared_error(a, a) == 0.0
+    assert psnr(a, a) == float("inf")
+
+
+def test_mse_matches_manual_computation(rng):
+    a = rng.normal(size=1000)
+    b = a + rng.normal(scale=0.1, size=1000)
+    assert mean_squared_error(a, b) == pytest.approx(np.mean((a - b) ** 2))
+
+
+def test_psnr_definition(rng):
+    a = rng.uniform(0, 10, size=5000)
+    b = a + rng.normal(scale=0.01, size=5000)
+    expected = 20 * np.log10((a.max() - a.min()) / np.sqrt(np.mean((a - b) ** 2)))
+    assert psnr(a, b) == pytest.approx(expected)
+
+
+def test_psnr_decreases_with_noise(rng):
+    a = rng.uniform(0, 1, size=2000)
+    small = psnr(a, a + rng.normal(scale=1e-4, size=2000))
+    large = psnr(a, a + rng.normal(scale=1e-2, size=2000))
+    assert small > large
+
+
+def test_nrmse_scale_invariance(rng):
+    a = rng.uniform(0, 1, size=3000)
+    b = a + rng.normal(scale=0.01, size=3000)
+    assert normalized_root_mean_squared_error(10 * a, 10 * b) == pytest.approx(
+        normalized_root_mean_squared_error(a, b)
+    )
+
+
+def test_compression_ratio_and_bitrate():
+    data = np.zeros((100, 100), dtype=np.float64)
+    compressed = bytes(10000)
+    assert compression_ratio(data, compressed) == pytest.approx(8.0)
+    assert bitrate(data, compressed) == pytest.approx(8.0)
+    assert compression_ratio(data, 20000) == pytest.approx(4.0)
+
+
+def test_cr_times_bitrate_is_word_size(rng):
+    data = rng.normal(size=(64, 64)).astype(np.float64)
+    compressed = bytes(12345)
+    assert compression_ratio(data, compressed) * bitrate(data, compressed) == pytest.approx(64.0)
+
+
+def test_summarize_bundle(rng):
+    a = rng.normal(size=(32, 32))
+    b = a + rng.normal(scale=1e-3, size=(32, 32))
+    report = summarize(a, b, bytes(1000))
+    assert set(report) == {"max_error", "mse", "nrmse", "psnr", "compression_ratio", "bitrate"}
+    report_no_size = summarize(a, b)
+    assert "compression_ratio" not in report_no_size
+
+
+def test_shape_mismatch_rejected():
+    with pytest.raises(ConfigurationError):
+        max_error(np.zeros(3), np.zeros(4))
+
+
+def test_invalid_sizes_rejected():
+    with pytest.raises(ConfigurationError):
+        compression_ratio(np.zeros(10), 0)
+    with pytest.raises(ConfigurationError):
+        bitrate(np.zeros(0), 10)

@@ -1,0 +1,89 @@
+"""Unit tests of the negabinary (base −2) integer representation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.negabinary import (
+    from_negabinary,
+    required_bits,
+    to_negabinary,
+    truncate_low_planes,
+    truncation_uncertainty,
+)
+
+
+def test_known_small_codes():
+    # Classic base(-2) digit patterns.
+    assert int(to_negabinary(np.array([0]))[0]) == 0b0
+    assert int(to_negabinary(np.array([1]))[0]) == 0b1
+    assert int(to_negabinary(np.array([-1]))[0]) == 0b11
+    assert int(to_negabinary(np.array([2]))[0]) == 0b110
+    assert int(to_negabinary(np.array([-2]))[0]) == 0b10
+    assert int(to_negabinary(np.array([3]))[0]) == 0b111
+
+
+def test_roundtrip_range():
+    values = np.arange(-5000, 5000, dtype=np.int64)
+    assert np.array_equal(from_negabinary(to_negabinary(values)), values)
+
+
+def test_roundtrip_large_values():
+    values = np.array([-(2**50), 2**50, -(2**31), 2**31, -1, 0, 1], dtype=np.int64)
+    assert np.array_equal(from_negabinary(to_negabinary(values)), values)
+
+
+def test_small_magnitudes_have_small_codes():
+    # §4.4.2: values fluctuating around zero keep high-order bits at zero.
+    values = np.arange(-8, 9, dtype=np.int64)
+    codes = to_negabinary(values)
+    assert int(codes.max()) < 64  # all fit in 6 negabinary digits
+
+
+def test_required_bits_monotone_in_magnitude():
+    assert required_bits(np.array([0])) == 1
+    assert required_bits(np.array([1])) == 1
+    assert required_bits(np.array([-1])) == 2
+    small = required_bits(np.array([3, -3]))
+    large = required_bits(np.array([3000, -3000]))
+    assert large > small
+
+
+def test_truncate_zero_planes_is_identity():
+    values = np.array([-7, 0, 13, 255, -300], dtype=np.int64)
+    assert np.array_equal(truncate_low_planes(values, 0), values)
+
+
+def test_truncate_all_planes_gives_zero():
+    values = np.array([-7, 0, 13], dtype=np.int64)
+    assert np.array_equal(truncate_low_planes(values, 64), np.zeros(3, dtype=np.int64))
+
+
+@pytest.mark.parametrize("dropped", [1, 2, 3, 5, 8])
+def test_truncation_error_within_theoretical_uncertainty(dropped):
+    values = np.arange(-4096, 4096, dtype=np.int64)
+    truncated = truncate_low_planes(values, dropped)
+    worst = np.abs(values - truncated).max()
+    assert worst <= truncation_uncertainty(dropped, "negabinary") + 1e-9
+
+
+def test_uncertainty_formulas():
+    # d odd: 2/3·2^d − 1/3 ; d even: 2/3·2^d − 2/3 ; sign-magnitude: 2^d − 1.
+    assert truncation_uncertainty(1) == pytest.approx(1.0)
+    assert truncation_uncertainty(2) == pytest.approx(2.0)
+    assert truncation_uncertainty(3) == pytest.approx(5.0)
+    assert truncation_uncertainty(4, "sign-magnitude") == pytest.approx(15.0)
+    assert truncation_uncertainty(0) == 0.0
+
+
+def test_negabinary_uncertainty_beats_sign_magnitude():
+    for dropped in range(2, 20):
+        assert truncation_uncertainty(dropped) < truncation_uncertainty(
+            dropped, "sign-magnitude"
+        )
+
+
+def test_unknown_scheme_rejected():
+    with pytest.raises(ValueError):
+        truncation_uncertainty(3, "gray")

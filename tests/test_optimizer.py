@@ -1,0 +1,119 @@
+"""Unit tests of the optimized data loader (knapsack DP of §5)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import IPComp
+from repro.core.optimizer import OptimizedLoader
+from repro.core.stream import CompressedStore
+from repro.errors import ConfigurationError, RetrievalError
+
+
+@pytest.fixture(scope="module")
+def compressed(rng=None):
+    rng = np.random.default_rng(99)
+    data = np.cumsum(np.cumsum(rng.normal(size=(28, 26, 22)), axis=0), axis=1)
+    comp = IPComp(error_bound=1e-5, relative=True)
+    blob = comp.compress(data)
+    store = CompressedStore(blob)
+    loader = OptimizedLoader(store.header, overhead_bytes=store.overhead_bytes)
+    return data, comp.absolute_bound(data), store, loader
+
+
+def test_full_plan_when_target_equals_eb(compressed):
+    _, eb, store, loader = compressed
+    plan = loader.plan_for_error_bound(eb)
+    assert plan.keep == {enc.level: enc.nbits for enc in store.header.levels}
+    assert plan.predicted_error == pytest.approx(eb)
+
+
+def test_larger_targets_load_fewer_bytes(compressed):
+    _, eb, _, loader = compressed
+    sizes = [
+        loader.plan_for_error_bound(eb * mult).payload_bytes
+        for mult in (1, 4, 16, 64, 256, 1024, 4096)
+    ]
+    assert all(b >= a for a, b in zip(sizes[1:], sizes))  # non-increasing
+    assert sizes[-1] < sizes[0]
+
+
+def test_plan_error_never_exceeds_target(compressed):
+    _, eb, _, loader = compressed
+    for mult in (1, 2, 10, 100, 1000, 10000):
+        target = eb * mult
+        plan = loader.plan_for_error_bound(target)
+        assert plan.predicted_error <= target * (1 + 1e-12)
+
+
+def test_infeasible_target_falls_back_to_full_plan(compressed):
+    _, eb, store, loader = compressed
+    plan = loader.plan_for_error_bound(eb / 10)
+    assert plan.keep == {enc.level: enc.nbits for enc in store.header.levels}
+
+
+def test_size_plans_respect_budget(compressed):
+    _, _, store, loader = compressed
+    full = loader.plan_for_error_bound(store.header.error_bound)
+    for fraction in (0.1, 0.3, 0.5, 0.8):
+        budget = int(full.total_bytes * fraction)
+        plan = loader.plan_for_size(budget)
+        assert plan.total_bytes <= budget
+
+
+def test_smaller_budgets_never_reduce_error(compressed):
+    _, _, store, loader = compressed
+    full = loader.plan_for_error_bound(store.header.error_bound)
+    errors = [
+        loader.plan_for_size(int(full.total_bytes * f)).predicted_error
+        for f in (0.8, 0.5, 0.3, 0.15)
+    ]
+    assert all(b >= a - 1e-12 for a, b in zip(errors, errors[1:]))
+
+
+def test_generous_budget_returns_full_plan(compressed):
+    _, eb, store, loader = compressed
+    plan = loader.plan_for_size(store.total_bytes * 2)
+    assert plan.keep == {enc.level: enc.nbits for enc in store.header.levels}
+    assert plan.predicted_error == pytest.approx(eb)
+
+
+def test_budget_below_overhead_rejected(compressed):
+    _, _, _, loader = compressed
+    with pytest.raises(RetrievalError):
+        loader.plan_for_size(loader.overhead_bytes)
+
+
+def test_bitrate_wrapper_consistent_with_size(compressed):
+    data, _, _, loader = compressed
+    bitrate = 2.0
+    plan = loader.plan_for_bitrate(bitrate)
+    assert plan.total_bytes <= bitrate * data.size / 8 + 1
+    assert plan.bitrate(data.size) <= bitrate * (1 + 1e-9)
+
+
+def test_plan_error_and_payload_helpers(compressed):
+    _, eb, store, loader = compressed
+    keep_none = {enc.level: 0 for enc in store.header.levels}
+    keep_all = {enc.level: enc.nbits for enc in store.header.levels}
+    assert loader.plan_payload(keep_none) == 0
+    assert loader.plan_error(keep_all) == pytest.approx(eb)
+    assert loader.plan_error(keep_none) > loader.plan_error(keep_all)
+
+
+def test_invalid_requests_rejected(compressed):
+    _, _, _, loader = compressed
+    with pytest.raises(ConfigurationError):
+        loader.plan_for_error_bound(0.0)
+    with pytest.raises(ConfigurationError):
+        loader.plan_for_bitrate(-1.0)
+    with pytest.raises(ConfigurationError):
+        loader.plan_for_size(0)
+
+
+def test_loading_plan_bitrate_requires_positive_elements(compressed):
+    _, eb, _, loader = compressed
+    plan = loader.plan_for_error_bound(eb * 100)
+    with pytest.raises(ConfigurationError):
+        plan.bitrate(0)

@@ -1,0 +1,113 @@
+"""Tests of the domain-decomposition parallel substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import max_error
+from repro.errors import ConfigurationError
+from repro.parallel import (
+    BlockParallelCompressor,
+    block_slices,
+    partition_shape,
+    reassemble,
+)
+
+
+def test_partition_shape_covers_domain():
+    blocks = partition_shape((10, 7), 4)
+    covered = np.zeros((10, 7), dtype=int)
+    for slc in blocks:
+        covered[slc] += 1
+    assert np.all(covered == 1)
+
+
+def test_partition_shape_respects_max_block():
+    for slc in partition_shape((32, 32, 32), (8, 16, 32)):
+        sizes = [s.stop - s.start for s in slc]
+        assert sizes[0] <= 8 and sizes[1] <= 16 and sizes[2] <= 32
+
+
+def test_partition_validation():
+    with pytest.raises(ConfigurationError):
+        partition_shape((8, 8), (4,))
+    with pytest.raises(ConfigurationError):
+        partition_shape((8, 8), 0)
+
+
+def test_block_slices_slab_decomposition():
+    slabs = block_slices((20, 6, 6), 4)
+    assert len(slabs) == 4
+    covered = np.zeros((20, 6, 6), dtype=int)
+    for slc in slabs:
+        covered[slc] += 1
+    assert np.all(covered == 1)
+
+
+def test_block_slices_more_blocks_than_rows():
+    slabs = block_slices((3, 5), 10)
+    assert len(slabs) == 3
+
+
+def test_reassemble_checks_coverage():
+    pieces = [((slice(0, 2), slice(None)), np.ones((2, 4)))]
+    with pytest.raises(ConfigurationError):
+        reassemble((4, 4), pieces)
+
+
+def test_reassemble_roundtrip(rng):
+    data = rng.normal(size=(9, 6))
+    slabs = block_slices(data.shape, 3)
+    pieces = [(slc, data[slc]) for slc in slabs]
+    assert np.array_equal(reassemble(data.shape, pieces), data)
+
+
+def test_serial_block_compression_roundtrip(smooth_3d):
+    comp = BlockParallelCompressor(error_bound=1e-5, relative=True, n_blocks=3, workers=0)
+    blocks = comp.compress(smooth_3d)
+    assert len(blocks) == 3
+    restored = comp.decompress(blocks, smooth_3d.shape)
+    eb = 1e-5 * (smooth_3d.max() - smooth_3d.min())
+    assert max_error(smooth_3d, restored) <= eb * (1 + 1e-9)
+
+
+def test_block_compression_preserves_global_relative_bound(smooth_3d):
+    """Per-block relative bounds would differ; the global bound must be used."""
+    comp = BlockParallelCompressor(error_bound=1e-4, relative=True, n_blocks=4, workers=0)
+    blocks = comp.compress(smooth_3d)
+    restored = comp.decompress(blocks, smooth_3d.shape)
+    global_eb = 1e-4 * (smooth_3d.max() - smooth_3d.min())
+    assert max_error(smooth_3d, restored) <= global_eb * (1 + 1e-9)
+
+
+def test_block_progressive_retrieval(smooth_3d):
+    comp = BlockParallelCompressor(error_bound=1e-6, relative=True, n_blocks=2, workers=0)
+    blocks = comp.compress(smooth_3d)
+    eb = 1e-6 * (smooth_3d.max() - smooth_3d.min())
+    coarse = comp.retrieve(blocks, smooth_3d.shape, error_bound=eb * 128)
+    assert max_error(smooth_3d, coarse) <= eb * 128 * (1 + 1e-9)
+
+
+def test_parallel_workers_match_serial_results(smooth_3d):
+    serial = BlockParallelCompressor(error_bound=1e-5, relative=True, n_blocks=2, workers=0)
+    parallel = BlockParallelCompressor(error_bound=1e-5, relative=True, n_blocks=2, workers=2)
+    blocks_serial = serial.compress(smooth_3d)
+    blocks_parallel = parallel.compress(smooth_3d)
+    # Streams must be byte-identical regardless of the execution mode.
+    assert [b.blob for b in blocks_serial] == [b.blob for b in blocks_parallel]
+    assert np.array_equal(
+        serial.decompress(blocks_serial, smooth_3d.shape),
+        parallel.decompress(blocks_parallel, smooth_3d.shape),
+    )
+
+
+def test_compressed_bytes_accounting(smooth_3d):
+    comp = BlockParallelCompressor(error_bound=1e-5, relative=True, n_blocks=3, workers=0)
+    blocks = comp.compress(smooth_3d)
+    assert BlockParallelCompressor.compressed_bytes(blocks) == sum(b.nbytes for b in blocks)
+
+
+def test_invalid_configuration():
+    with pytest.raises(ConfigurationError):
+        BlockParallelCompressor(n_blocks=0)

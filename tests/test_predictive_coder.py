@@ -1,0 +1,107 @@
+"""Unit tests of the per-level predictive bitplane encoder."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.coders.backend import get_backend
+from repro.core.predictive_coder import PredictiveCoder
+from repro.core.quantizer import LinearQuantizer
+from repro.errors import StreamFormatError
+
+
+@pytest.fixture
+def coder():
+    return PredictiveCoder(LinearQuantizer(0.01), get_backend("zlib"), prefix_bits=2)
+
+
+@pytest.fixture
+def codes(rng):
+    # A zero-heavy, small-magnitude integer distribution like real level diffs.
+    return np.rint(rng.normal(scale=6.0, size=4000)).astype(np.int64)
+
+
+def test_full_decode_matches_input(coder, codes):
+    encoding = coder.encode_level(3, codes)
+    decoded = coder.decode_level_codes(encoding, encoding.plane_blocks)
+    assert np.array_equal(decoded, codes)
+
+
+def test_decoded_diffs_are_dequantized(coder, codes):
+    encoding = coder.encode_level(3, codes)
+    diffs = coder.decode_level(encoding, encoding.plane_blocks)
+    assert np.allclose(diffs, codes * coder.quantizer.bin_width)
+
+
+def test_partial_decode_error_matches_delta_table(coder, codes):
+    """delta_table[b] must be the exact max error of dropping b planes."""
+    encoding = coder.encode_level(2, codes)
+    for keep in range(encoding.nbits + 1):
+        dropped = encoding.nbits - keep
+        partial = coder.decode_level_codes(encoding, encoding.plane_blocks[:keep])
+        error = np.abs(partial - codes).max() * coder.quantizer.bin_width if codes.size else 0
+        assert error <= encoding.delta_table[dropped] + 1e-12
+    # And it must be tight for the all-dropped case.
+    assert encoding.delta_table[-1] == pytest.approx(
+        np.abs(codes).max() * coder.quantizer.bin_width
+    )
+
+
+def test_delta_table_monotone_nondecreasing(coder, codes):
+    encoding = coder.encode_level(1, codes)
+    assert np.all(np.diff(encoding.delta_table) >= -1e-15)
+
+
+def test_zero_planes_decode_to_zero(coder, codes):
+    encoding = coder.encode_level(1, codes)
+    decoded = coder.decode_level_codes(encoding, [])
+    assert np.array_equal(decoded, np.zeros_like(codes))
+
+
+def test_empty_level(coder):
+    encoding = coder.encode_level(5, np.zeros(0, dtype=np.int64))
+    assert encoding.count == 0
+    assert coder.decode_level(encoding, encoding.plane_blocks).size == 0
+
+
+def test_plane_sizes_and_total_bytes(coder, codes):
+    encoding = coder.encode_level(1, codes)
+    assert len(encoding.plane_sizes) == encoding.nbits
+    assert encoding.total_bytes == sum(encoding.plane_sizes)
+    assert all(size > 0 for size in encoding.plane_sizes)
+
+
+def test_high_planes_compress_better_than_low_planes(coder, codes):
+    """Negabinary keeps high planes near-constant → much smaller blocks."""
+    encoding = coder.encode_level(1, codes)
+    assert encoding.plane_sizes[0] < encoding.plane_sizes[-1]
+
+
+def test_anchor_roundtrip(coder, rng):
+    anchor_codes = rng.integers(-1000, 1000, size=27)
+    block = coder.encode_anchor(anchor_codes)
+    values = coder.decode_anchor(block, 27)
+    assert np.allclose(values, anchor_codes * coder.quantizer.bin_width)
+
+
+def test_anchor_count_mismatch_rejected(coder, rng):
+    block = coder.encode_anchor(rng.integers(-5, 5, size=10))
+    with pytest.raises(StreamFormatError):
+        coder.decode_anchor(block, 11)
+
+
+def test_too_many_blocks_rejected(coder, codes):
+    encoding = coder.encode_level(1, codes)
+    with pytest.raises(StreamFormatError):
+        coder.decode_level(encoding, encoding.plane_blocks + [encoding.plane_blocks[0]])
+
+
+@pytest.mark.parametrize("prefix_bits", [0, 1, 2, 3])
+def test_all_prefix_settings_roundtrip(rng, prefix_bits):
+    coder = PredictiveCoder(LinearQuantizer(0.5), get_backend("zlib"), prefix_bits)
+    codes = rng.integers(-100, 100, size=777)
+    encoding = coder.encode_level(4, codes)
+    assert np.array_equal(
+        coder.decode_level_codes(encoding, encoding.plane_blocks), codes
+    )

@@ -1,0 +1,140 @@
+"""Tests of Algorithm 1/2 progressive retrieval (the heart of the paper)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import IPComp, ProgressiveRetriever
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def compressed_pair():
+    rng = np.random.default_rng(1234)
+    data = np.cumsum(np.cumsum(rng.normal(size=(30, 28, 26)), axis=0), axis=1)
+    data += 5.0 * np.sin(np.linspace(0, 12, data.size)).reshape(data.shape)
+    comp = IPComp(error_bound=1e-5, relative=True)
+    blob = comp.compress(data)
+    return data, comp, blob
+
+
+def test_full_retrieval_error_within_compression_bound(compressed_pair):
+    data, comp, blob = compressed_pair
+    eb = comp.absolute_bound(data)
+    restored = comp.decompress(blob)
+    assert np.abs(data - restored).max() <= eb * (1 + 1e-12)
+    assert restored.dtype == data.dtype
+    assert restored.shape == data.shape
+
+
+@pytest.mark.parametrize("multiplier", [1, 2, 16, 128, 1024, 8192])
+def test_error_bound_requests_are_honoured(compressed_pair, multiplier):
+    data, comp, blob = compressed_pair
+    eb = comp.absolute_bound(data)
+    target = eb * multiplier
+    result = ProgressiveRetriever(blob).retrieve(error_bound=target)
+    assert np.abs(data - result.data).max() <= target * (1 + 1e-12)
+    assert result.error_bound <= target * (1 + 1e-12)
+
+
+def test_coarser_requests_load_fewer_bytes(compressed_pair):
+    data, comp, blob = compressed_pair
+    eb = comp.absolute_bound(data)
+    fine = ProgressiveRetriever(blob).retrieve(error_bound=eb)
+    coarse = ProgressiveRetriever(blob).retrieve(error_bound=eb * 4096)
+    assert coarse.bytes_loaded < fine.bytes_loaded
+
+
+def test_incremental_refinement_matches_from_scratch(compressed_pair):
+    data, comp, blob = compressed_pair
+    eb = comp.absolute_bound(data)
+    stepwise = ProgressiveRetriever(blob)
+    for multiplier in (4096, 512, 64, 8, 1):
+        refined = stepwise.retrieve(error_bound=eb * multiplier)
+    direct = ProgressiveRetriever(blob).retrieve(error_bound=eb)
+    assert np.allclose(refined.data, direct.data, atol=0.0)
+
+
+def test_refinement_never_reloads_blocks(compressed_pair):
+    data, comp, blob = compressed_pair
+    eb = comp.absolute_bound(data)
+    retriever = ProgressiveRetriever(blob)
+    first = retriever.retrieve(error_bound=eb * 1024)
+    second = retriever.retrieve(error_bound=eb)
+    total_incremental = first.bytes_loaded + second.bytes_loaded
+    one_shot = ProgressiveRetriever(blob).retrieve(error_bound=eb)
+    # Incremental refinement touches (almost) the same total volume as a
+    # single fine retrieval: nothing is read twice.
+    assert total_incremental <= one_shot.bytes_loaded * 1.02 + 1024
+
+
+def test_coarsening_request_is_free(compressed_pair):
+    data, comp, blob = compressed_pair
+    eb = comp.absolute_bound(data)
+    retriever = ProgressiveRetriever(blob)
+    fine = retriever.retrieve(error_bound=eb)
+    coarse = retriever.retrieve(error_bound=eb * 10000)
+    assert coarse.bytes_loaded == 0
+    assert np.array_equal(coarse.data, fine.data)
+
+
+def test_bitrate_requests_respect_budget(compressed_pair):
+    data, comp, blob = compressed_pair
+    for bitrate in (0.5, 1.0, 2.0, 4.0):
+        result = ProgressiveRetriever(blob).retrieve(bitrate=bitrate)
+        assert result.bytes_loaded * 8.0 / data.size <= bitrate * (1 + 1e-9)
+
+
+def test_higher_bitrate_budgets_reduce_error(compressed_pair):
+    data, comp, blob = compressed_pair
+    errors = []
+    for bitrate in (0.5, 1.0, 2.0, 4.0):
+        result = ProgressiveRetriever(blob).retrieve(bitrate=bitrate)
+        errors.append(np.abs(data - result.data).max())
+    assert errors[-1] < errors[0]
+
+
+def test_byte_budget_requests(compressed_pair):
+    data, comp, blob = compressed_pair
+    retriever = ProgressiveRetriever(blob)
+    budget = len(blob) // 3
+    result = retriever.retrieve(byte_budget=budget)
+    assert result.bytes_loaded <= budget
+
+
+def test_result_reports_bitrates(compressed_pair):
+    data, comp, blob = compressed_pair
+    result = ProgressiveRetriever(blob).retrieve(bitrate=2.0)
+    assert result.bitrate() == pytest.approx(8.0 * result.bytes_loaded / data.size)
+    assert result.cumulative_bitrate() >= result.bitrate() - 1e-12
+
+
+def test_current_state_accessors(compressed_pair):
+    data, comp, blob = compressed_pair
+    retriever = ProgressiveRetriever(blob)
+    assert retriever.current_output is None
+    retriever.retrieve(bitrate=1.0)
+    assert retriever.current_output is not None
+    assert set(retriever.current_keep) == {
+        enc.level for enc in retriever.header.levels
+    }
+
+
+def test_exactly_one_request_kind_required(compressed_pair):
+    _, _, blob = compressed_pair
+    retriever = ProgressiveRetriever(blob)
+    with pytest.raises(ConfigurationError):
+        retriever.retrieve()
+    with pytest.raises(ConfigurationError):
+        retriever.retrieve(error_bound=1.0, bitrate=2.0)
+
+
+def test_linear_method_progressive_roundtrip():
+    rng = np.random.default_rng(7)
+    data = np.cumsum(rng.normal(size=(40, 30)), axis=0)
+    comp = IPComp(error_bound=1e-4, relative=True, method="linear")
+    blob = comp.compress(data)
+    eb = comp.absolute_bound(data)
+    result = ProgressiveRetriever(blob).retrieve(error_bound=eb * 32)
+    assert np.abs(data - result.data).max() <= eb * 32 * (1 + 1e-12)

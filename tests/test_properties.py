@@ -1,0 +1,170 @@
+"""Property-based tests (hypothesis) of the core invariants.
+
+These probe the algebraic invariants the paper's guarantees rest on, over
+randomly generated inputs rather than hand-picked fixtures:
+
+* negabinary and bitplane codings are bijections;
+* the quantizer never exceeds its bound and truncation errors never exceed
+  the pre-computed δ tables;
+* the end-to-end compressor honours arbitrary error bounds on arbitrary
+  shapes; and
+* progressive retrieval never violates a requested bound and refinement is
+  path-independent.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro import IPComp, ProgressiveRetriever
+from repro.coders.backend import get_backend
+from repro.coders.huffman import decode_symbols, encode_symbols
+from repro.core.bitplane import (
+    assemble_bitplanes,
+    extract_bitplanes,
+    predictive_decode,
+    predictive_encode,
+)
+from repro.core.negabinary import (
+    from_negabinary,
+    required_bits,
+    to_negabinary,
+    truncate_low_planes,
+    truncation_uncertainty,
+)
+from repro.core.predictive_coder import PredictiveCoder
+from repro.core.quantizer import LinearQuantizer
+
+_SETTINGS = dict(
+    deadline=None,
+    max_examples=25,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+int64_arrays = hnp.arrays(
+    dtype=np.int64,
+    shape=st.integers(min_value=1, max_value=400),
+    elements=st.integers(min_value=-(2**40), max_value=2**40),
+)
+
+small_int_arrays = hnp.arrays(
+    dtype=np.int64,
+    shape=st.integers(min_value=1, max_value=600),
+    elements=st.integers(min_value=-5000, max_value=5000),
+)
+
+
+@given(values=int64_arrays)
+@settings(**_SETTINGS)
+def test_negabinary_is_a_bijection(values):
+    assert np.array_equal(from_negabinary(to_negabinary(values)), values)
+
+
+@given(values=small_int_arrays, dropped=st.integers(min_value=0, max_value=20))
+@settings(**_SETTINGS)
+def test_truncation_error_bounded_by_uncertainty_formula(values, dropped):
+    truncated = truncate_low_planes(values, dropped)
+    worst = np.abs(values - truncated).max() if values.size else 0
+    assert worst <= truncation_uncertainty(dropped) + 1e-9
+
+
+@given(values=small_int_arrays, prefix=st.integers(min_value=0, max_value=3))
+@settings(**_SETTINGS)
+def test_bitplane_predictive_coding_roundtrip(values, prefix):
+    nbits = required_bits(values)
+    planes = extract_bitplanes(to_negabinary(values), nbits)
+    decoded = predictive_decode(predictive_encode(planes, prefix), prefix)
+    assert np.array_equal(assemble_bitplanes(decoded, nbits), to_negabinary(values))
+
+
+@given(values=small_int_arrays)
+@settings(**_SETTINGS)
+def test_huffman_symbols_roundtrip(values):
+    assert np.array_equal(decode_symbols(encode_symbols(values)), values)
+
+
+@given(
+    data=hnp.arrays(
+        dtype=np.float64,
+        shape=st.integers(min_value=1, max_value=500),
+        elements=st.floats(min_value=-1e6, max_value=1e6, allow_nan=False, width=64),
+    ),
+    error_bound=st.floats(min_value=1e-8, max_value=10.0),
+)
+@settings(**_SETTINGS)
+def test_quantizer_never_exceeds_bound(data, error_bound):
+    quantizer = LinearQuantizer(error_bound)
+    _, restored = quantizer.roundtrip(data)
+    assert np.abs(data - restored).max() <= error_bound * (1 + 1e-9)
+
+
+@given(values=small_int_arrays, keep_fraction=st.floats(min_value=0.0, max_value=1.0))
+@settings(**_SETTINGS)
+def test_delta_tables_upper_bound_partial_decoding_error(values, keep_fraction):
+    quantizer = LinearQuantizer(0.01)
+    coder = PredictiveCoder(quantizer, get_backend("zlib"))
+    encoding = coder.encode_level(1, values)
+    keep = int(round(keep_fraction * encoding.nbits))
+    decoded = coder.decode_level_codes(encoding, encoding.plane_blocks[:keep])
+    error = np.abs(decoded - values).max() * quantizer.bin_width if values.size else 0.0
+    assert error <= encoding.delta_table[encoding.nbits - keep] + 1e-12
+
+
+_field_shapes = st.sampled_from(
+    [(40,), (65,), (9, 9), (17, 12), (33, 7), (8, 9, 10), (17, 6, 5)]
+)
+
+
+@st.composite
+def _smooth_fields(draw):
+    shape = draw(_field_shapes)
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    rng = np.random.default_rng(seed)
+    field = np.cumsum(rng.normal(size=shape), axis=0)
+    if field.ndim > 1:
+        field = field + np.cumsum(rng.normal(size=shape), axis=1)
+    return field
+
+
+@given(field=_smooth_fields(), exponent=st.integers(min_value=-7, max_value=-2))
+@settings(**_SETTINGS)
+def test_compressor_roundtrip_is_error_bounded(field, exponent):
+    comp = IPComp(error_bound=10.0**exponent, relative=True)
+    blob = comp.compress(field)
+    restored = comp.decompress(blob)
+    assert np.abs(field - restored).max() <= comp.absolute_bound(field) * (1 + 1e-9)
+
+
+@given(field=_smooth_fields(), multiplier=st.sampled_from([2, 8, 32, 128, 1024]))
+@settings(**_SETTINGS)
+def test_progressive_retrieval_never_violates_requested_bound(field, multiplier):
+    comp = IPComp(error_bound=1e-5, relative=True)
+    blob = comp.compress(field)
+    eb = comp.absolute_bound(field)
+    target = eb * multiplier
+    result = ProgressiveRetriever(blob).retrieve(error_bound=target)
+    assert np.abs(field - result.data).max() <= target * (1 + 1e-9)
+
+
+@given(
+    field=_smooth_fields(),
+    multipliers=st.lists(
+        st.sampled_from([1, 4, 16, 64, 256, 1024]), min_size=2, max_size=4
+    ),
+)
+@settings(**_SETTINGS)
+def test_refinement_is_path_independent(field, multipliers):
+    """Any refinement path must land on the same output as a direct request."""
+    comp = IPComp(error_bound=1e-5, relative=True)
+    blob = comp.compress(field)
+    eb = comp.absolute_bound(field)
+    # Sort loosest-to-tightest so every step refines.
+    path = sorted(multipliers, reverse=True)
+    retriever = ProgressiveRetriever(blob)
+    for multiplier in path:
+        result = retriever.retrieve(error_bound=eb * multiplier)
+    direct = ProgressiveRetriever(blob).retrieve(error_bound=eb * path[-1])
+    assert np.allclose(result.data, direct.data, atol=0.0)

@@ -1,0 +1,68 @@
+"""Unit tests of the error-bounded linear quantizer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.quantizer import LinearQuantizer, relative_to_absolute
+from repro.errors import ConfigurationError
+
+
+def test_roundtrip_error_within_bound(rng):
+    quantizer = LinearQuantizer(1e-3)
+    values = rng.normal(scale=10.0, size=10000)
+    _, restored = quantizer.roundtrip(values)
+    assert np.abs(values - restored).max() <= 1e-3 + 1e-15
+
+
+@pytest.mark.parametrize("eb", [1e-9, 1e-6, 1e-2, 1.0, 100.0])
+def test_bound_scales_with_eb(rng, eb):
+    quantizer = LinearQuantizer(eb)
+    values = rng.normal(scale=1000.0, size=2000)
+    _, restored = quantizer.roundtrip(values)
+    assert np.abs(values - restored).max() <= eb * (1 + 1e-12)
+
+
+def test_bin_width_is_twice_the_bound():
+    assert LinearQuantizer(0.25).bin_width == 0.5
+
+
+def test_zero_maps_to_zero():
+    quantizer = LinearQuantizer(0.1)
+    assert quantizer.quantize(np.zeros(5)).tolist() == [0, 0, 0, 0, 0]
+
+
+def test_quantize_returns_int64(rng):
+    codes = LinearQuantizer(1e-6).quantize(rng.normal(size=10))
+    assert codes.dtype == np.int64
+
+
+def test_dequantize_is_linear():
+    quantizer = LinearQuantizer(0.5)
+    codes = np.array([-3, 0, 7], dtype=np.int64)
+    assert np.allclose(quantizer.dequantize(codes), codes * 1.0)
+
+
+def test_invalid_bounds_rejected():
+    with pytest.raises(ConfigurationError):
+        LinearQuantizer(0.0)
+    with pytest.raises(ConfigurationError):
+        LinearQuantizer(-1.0)
+    with pytest.raises(ConfigurationError):
+        LinearQuantizer(float("nan"))
+
+
+def test_relative_to_absolute_uses_value_range():
+    data = np.array([0.0, 10.0])
+    assert relative_to_absolute(1e-3, data) == pytest.approx(1e-2)
+
+
+def test_relative_to_absolute_constant_field():
+    data = np.full(10, 3.0)
+    assert relative_to_absolute(1e-3, data) == pytest.approx(1e-3)
+
+
+def test_relative_to_absolute_rejects_nonpositive():
+    with pytest.raises(ConfigurationError):
+        relative_to_absolute(0.0, np.arange(4.0))

@@ -1,0 +1,107 @@
+"""Unit tests of the analytical error models (§4.2, Theorem 1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.theory import (
+    guaranteed_retrieval_bound,
+    level_sweep_counts,
+    linf_operator_norm,
+    negabinary_vs_signmagnitude_uncertainty,
+    prediction_amplification,
+    propagation_factor,
+    propagation_weights,
+    retrieval_error_bound,
+    running_difference_inverse,
+    running_difference_matrix,
+    stencil_norm,
+    transform_amplification,
+)
+from repro.errors import ConfigurationError
+
+
+def test_stencil_norms():
+    assert stencil_norm("linear") == 1.0
+    assert stencil_norm("cubic") == 1.25
+    with pytest.raises(ConfigurationError):
+        stencil_norm("sinc")
+
+
+def test_propagation_factor_matches_paper_formula():
+    assert propagation_factor("cubic", 1) == 1.0
+    assert propagation_factor("cubic", 3) == pytest.approx(1.25**2)
+    assert propagation_factor("linear", 9) == 1.0
+    with pytest.raises(ConfigurationError):
+        propagation_factor("cubic", 0)
+
+
+def test_retrieval_error_bound_accumulates_levels():
+    deltas = {1: 0.1, 2: 0.2, 3: 0.4}
+    linear = retrieval_error_bound(deltas, error_bound=0.05, method="linear")
+    assert linear == pytest.approx(0.05 + 0.1 + 0.2 + 0.4)
+    cubic = retrieval_error_bound(deltas, error_bound=0.05, method="cubic")
+    assert cubic > linear
+
+
+def test_level_sweep_counts_shrink_with_level():
+    counts = level_sweep_counts((64, 64, 4), num_levels=6)
+    assert counts[1] == 3           # every dimension has points at stride 1
+    assert counts[3] == 2           # the short axis (4) stops contributing
+    assert counts[6] == 2
+
+
+def test_propagation_weights_linear_equal_sweep_counts():
+    shape = (32, 32, 32)
+    weights = propagation_weights(shape, 5, "linear")
+    counts = level_sweep_counts(shape, 5)
+    for level in range(1, 6):
+        assert weights[level] == pytest.approx(counts[level])
+
+
+def test_propagation_weights_1d_match_paper_factor():
+    weights = propagation_weights((1024,), 10, "cubic")
+    for level in range(1, 11):
+        assert weights[level] == pytest.approx(1.25 ** (level - 1))
+
+
+def test_propagation_weights_grow_with_level():
+    weights = propagation_weights((64, 64, 64), 6, "cubic")
+    values = [weights[l] for l in range(1, 7)]
+    assert all(b >= a for a, b in zip(values, values[1:]))
+
+
+def test_guaranteed_bound_at_least_paper_bound():
+    deltas = {1: 0.3, 2: 0.1, 4: 0.05}
+    paper = retrieval_error_bound(deltas, 0.01, "cubic")
+    safe = guaranteed_retrieval_bound(deltas, 0.01, (64, 64, 64), 6, "cubic")
+    assert safe >= paper
+
+
+def test_transform_amplification_grows_with_n():
+    assert transform_amplification(10) == 10.0
+    assert transform_amplification(10**7) == 1e7
+    assert prediction_amplification(10**7) == 1.0
+    with pytest.raises(ConfigurationError):
+        transform_amplification(0)
+
+
+def test_running_difference_matrices():
+    n = 6
+    t = running_difference_matrix(n)
+    t_inv = running_difference_inverse(n)
+    assert np.allclose(t @ t_inv, np.eye(n))
+    # §4.2.1: the L∞ norm of the inverse equals the data size n.
+    assert linf_operator_norm(t_inv) == pytest.approx(n)
+
+
+def test_linf_operator_norm_requires_matrix():
+    with pytest.raises(ConfigurationError):
+        linf_operator_norm(np.zeros(3))
+
+
+def test_uncertainty_table_ratio_approaches_two_thirds():
+    table = negabinary_vs_signmagnitude_uncertainty(range(1, 16))
+    assert table[15]["ratio"] == pytest.approx(2.0 / 3.0, rel=1e-3)
+    assert all(row["negabinary"] <= row["sign_magnitude"] for row in table.values())
