@@ -29,6 +29,7 @@ Quickstart::
 from __future__ import annotations
 
 from repro.core.compressor import IPComp, IPCompConfig
+from repro.core.kernels import available_kernels, get_kernel, register_kernel
 from repro.core.progressive import ProgressiveRetriever, RetrievalResult
 from repro.core.optimizer import LoadingPlan, OptimizedLoader
 
@@ -41,5 +42,8 @@ __all__ = [
     "RetrievalResult",
     "OptimizedLoader",
     "LoadingPlan",
+    "available_kernels",
+    "get_kernel",
+    "register_kernel",
     "__version__",
 ]

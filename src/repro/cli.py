@@ -24,6 +24,7 @@ import numpy as np
 
 from repro import IPComp, ProgressiveRetriever
 from repro.analysis import summarize
+from repro.core.kernels import DEFAULT_KERNEL, available_kernels
 from repro.core.stream import IPCompStream
 from repro.datasets import dataset_table, load_dataset, load_raw, save_raw
 from repro.errors import ReproError
@@ -34,6 +35,15 @@ def _parse_shape(text: str) -> tuple:
         return tuple(int(part) for part in text.lower().replace(",", "x").split("x"))
     except ValueError:
         raise argparse.ArgumentTypeError(f"cannot parse shape {text!r}") from None
+
+
+def _add_kernel_argument(subparser: argparse.ArgumentParser) -> None:
+    subparser.add_argument(
+        "--kernel",
+        choices=available_kernels(),
+        default=DEFAULT_KERNEL,
+        help="bit-level kernel implementation (default: %(default)s)",
+    )
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -52,10 +62,12 @@ def _build_parser() -> argparse.ArgumentParser:
         "--abs", action="store_true", help="treat --eb as absolute instead of range-relative"
     )
     compress.add_argument("--method", choices=("cubic", "linear"), default="cubic")
+    _add_kernel_argument(compress)
 
     decompress = sub.add_parser("decompress", help="full-precision decompression")
     decompress.add_argument("input", type=Path)
     decompress.add_argument("-o", "--output", type=Path, required=True)
+    _add_kernel_argument(decompress)
 
     retrieve = sub.add_parser("retrieve", help="partial retrieval at a fidelity target")
     retrieve.add_argument("input", type=Path)
@@ -63,6 +75,7 @@ def _build_parser() -> argparse.ArgumentParser:
     group = retrieve.add_mutually_exclusive_group(required=True)
     group.add_argument("--error-bound", type=float)
     group.add_argument("--bitrate", type=float)
+    _add_kernel_argument(retrieve)
 
     info = sub.add_parser("info", help="print the stream header")
     info.add_argument("input", type=Path)
@@ -73,12 +86,16 @@ def _build_parser() -> argparse.ArgumentParser:
     demo.add_argument("--dataset", default="density")
     demo.add_argument("--shape", type=_parse_shape, default=None)
     demo.add_argument("--eb", type=float, default=1e-6)
+    _add_kernel_argument(demo)
     return parser
 
 
 def _cmd_compress(args) -> int:
     data = load_raw(args.input, args.shape, args.dtype)
-    comp = IPComp(error_bound=args.eb, relative=not args.abs, method=args.method)
+    comp = IPComp(
+        error_bound=args.eb, relative=not args.abs, method=args.method,
+        kernel=args.kernel,
+    )
     blob = comp.compress(data)
     args.output.write_bytes(blob)
     print(
@@ -90,7 +107,7 @@ def _cmd_compress(args) -> int:
 
 def _cmd_decompress(args) -> int:
     blob = args.input.read_bytes()
-    retriever = ProgressiveRetriever(blob)
+    retriever = ProgressiveRetriever(blob, kernel=args.kernel)
     result = retriever.retrieve(error_bound=retriever.header.error_bound)
     save_raw(args.output, result.data)
     print(f"decompressed to {args.output} shape={result.data.shape}")
@@ -99,7 +116,7 @@ def _cmd_decompress(args) -> int:
 
 def _cmd_retrieve(args) -> int:
     blob = args.input.read_bytes()
-    retriever = ProgressiveRetriever(blob)
+    retriever = ProgressiveRetriever(blob, kernel=args.kernel)
     result = retriever.retrieve(error_bound=args.error_bound, bitrate=args.bitrate)
     save_raw(args.output, result.data)
     print(
@@ -122,7 +139,7 @@ def _cmd_datasets(_args) -> int:
 
 def _cmd_demo(args) -> int:
     field = load_dataset(args.dataset, shape=args.shape)
-    comp = IPComp(error_bound=args.eb, relative=True)
+    comp = IPComp(error_bound=args.eb, relative=True, kernel=args.kernel)
     blob = comp.compress(field)
     restored = comp.decompress(blob)
     report = summarize(field, restored, blob)

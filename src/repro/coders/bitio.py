@@ -1,17 +1,21 @@
 """Bit-granular I/O.
 
-The canonical Huffman coder and the embedded coders used by the ZFP / SPERR
-baselines need to emit and consume individual bits.  ``BitWriter`` packs bits
-LSB-first into a growing bytearray; ``BitReader`` is its exact inverse.
-
-The implementation keeps the hot loops simple (append to an integer
-accumulator, flush whole bytes) — profiling showed this is dominated by the
-surrounding Python-level symbol loops anyway, and the production path of
-IPComp itself uses vectorised NumPy bitplane packing (:mod:`repro.core.bitplane`)
-rather than this module.
+``BitWriter`` packs bits LSB-first into a growing bytearray; ``BitReader``
+is its exact inverse.  The single-bit paths keep the hot loops simple
+(append to an integer accumulator, flush whole bytes) and are the substrate
+of the ``"reference"`` kernel's auditable bit-by-bit plane packing
+(:mod:`repro.core.kernels`).  :meth:`BitWriter.write_bit_array` /
+:meth:`BitReader.read_bit_array` are the bulk counterparts — one
+``np.packbits`` / ``np.unpackbits`` pass when the stream is byte-aligned —
+for coders that interleave bulk bit runs with single bits; the vectorized
+kernel's per-plane packing uses ``np.packbits`` directly (a fresh plane is
+always byte-aligned, so the writer object would only add copies).  All
+routes emit identical bytes for the same bit sequence.
 """
 
 from __future__ import annotations
+
+import numpy as np
 
 from repro.errors import StreamFormatError
 
@@ -51,6 +55,25 @@ class BitWriter:
         for _ in range(value):
             self.write_bit(0)
         self.write_bit(1)
+
+    def write_bit_array(self, bits: np.ndarray) -> None:
+        """Append an array of bits (any nonzero value counts as 1) in one pass.
+
+        When the writer is byte-aligned the whole array is packed with a
+        single ``np.packbits`` call and only the trailing partial byte goes
+        through the accumulator; a misaligned writer falls back to the
+        bit-by-bit path (same output either way).
+        """
+        bits = (np.asarray(bits).ravel() != 0).astype(np.uint8)
+        if self._nbits != 0 or bits.size < 8:
+            for bit in bits.tolist():
+                self.write_bit(bit)
+            return
+        full = bits.size & ~7
+        self._buffer += np.packbits(bits[:full], bitorder="little").tobytes()
+        self._total_bits += full
+        for bit in bits[full:].tolist():
+            self.write_bit(bit)
 
     def getvalue(self) -> bytes:
         """Return the packed bytes (the final partial byte is zero-padded)."""
@@ -93,3 +116,17 @@ class BitReader:
         while self.read_bit() == 0:
             count += 1
         return count
+
+    def read_bit_array(self, count: int) -> np.ndarray:
+        """Read ``count`` bits as a ``uint8`` 0/1 array in one pass."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        if count > self.bits_remaining:
+            raise StreamFormatError("bit stream exhausted")
+        start_byte, start_bit = divmod(self._pos, 8)
+        end_byte = (self._pos + count + 7) // 8
+        window = np.frombuffer(self._data, dtype=np.uint8, count=end_byte - start_byte,
+                               offset=start_byte)
+        bits = np.unpackbits(window, bitorder="little")[start_bit : start_bit + count]
+        self._pos += count
+        return bits

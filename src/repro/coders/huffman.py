@@ -72,7 +72,7 @@ def _canonical_codes(lengths: Dict[int, int]) -> Dict[int, Tuple[int, int]]:
     return codes
 
 
-def encode_symbols(symbols: np.ndarray) -> bytes:
+def encode_symbols(symbols: np.ndarray, kernel=None) -> bytes:
     """Huffman-encode an integer array into a self-describing byte stream.
 
     The stream layout is::
@@ -80,11 +80,16 @@ def encode_symbols(symbols: np.ndarray) -> bytes:
         MAGIC | n_symbols:u64 | alphabet_size:u32 |
         (symbol:i64, length:u8) * alphabet_size | n_bits:u64 | packed bits
 
-    Bit packing is vectorised: for every bit position of every code we scatter
-    the corresponding bit into a flat bit array with one NumPy pass, so the
-    cost is ``O(max_code_length)`` vector operations instead of a Python loop
-    over all symbols.
+    The bit scatter and packing run on a :mod:`repro.core.kernels` kernel
+    (``kernel`` is a registry name or instance; default ``"vectorized"``).
+    The vectorized kernel scatters one bit position of every code per NumPy
+    pass, so the cost is ``O(max_code_length)`` vector operations instead of
+    a Python loop over all symbols; the ``"reference"`` kernel writes code
+    bits one by one and produces the identical stream.
     """
+    from repro.core.kernels import get_kernel
+
+    kern = get_kernel(kernel)
     flat = np.asarray(symbols).ravel()
     values, counts = np.unique(flat, return_counts=True)
     frequencies = {int(v): int(c) for v, c in zip(values, counts)}
@@ -113,25 +118,16 @@ def encode_symbols(symbols: np.ndarray) -> bytes:
     np.cumsum(sym_lengths[:-1], out=offsets[1:])
     total_bits = int(offsets[-1] + sym_lengths[-1]) if flat.size else 0
 
-    bits = np.zeros(total_bits, dtype=np.uint8)
-    max_len = int(sym_lengths.max())
-    for bit in range(max_len):
-        # The i-th emitted bit of a code is the (length-1-i)-th bit of its value
-        # (codes are written MSB first).
-        active = sym_lengths > bit
-        if not active.any():
-            continue
-        shift = (sym_lengths[active] - 1 - bit).astype(np.uint64)
-        bit_vals = ((sym_codes[active] >> shift) & np.uint64(1)).astype(np.uint8)
-        bits[offsets[active] + bit] = bit_vals
-
-    packed = np.packbits(bits, bitorder="little")
-    payload = bytes(header) + struct.pack("<Q", total_bits) + packed.tobytes()
+    bits = kern.scatter_code_bits(sym_codes, sym_lengths, offsets, total_bits)
+    payload = bytes(header) + struct.pack("<Q", total_bits) + kern.pack_bits(bits)
     return payload
 
 
-def decode_symbols(data: bytes) -> np.ndarray:
+def decode_symbols(data: bytes, kernel=None) -> np.ndarray:
     """Invert :func:`encode_symbols`, returning an ``int64`` array."""
+    from repro.core.kernels import get_kernel
+
+    kern = get_kernel(kernel)
     if data[:4] != _MAGIC:
         raise StreamFormatError("not a Huffman symbol stream")
     pos = 4
@@ -154,8 +150,8 @@ def decode_symbols(data: bytes) -> np.ndarray:
         (length, value): sym for sym, (value, length) in codes.items()
     }
 
-    packed = np.frombuffer(data, dtype=np.uint8, count=(total_bits + 7) // 8, offset=pos)
-    bits = np.unpackbits(packed, count=total_bits, bitorder="little")
+    packed = memoryview(data)[pos : pos + (total_bits + 7) // 8]  # zero-copy
+    bits = kern.unpack_bits(packed, total_bits)
 
     out = np.empty(n_symbols, dtype=np.int64)
     value = 0
@@ -183,12 +179,15 @@ class HuffmanCoder:
 
     name = "huffman"
 
+    def __init__(self, kernel=None) -> None:
+        self.kernel = kernel
+
     def encode(self, data: bytes) -> bytes:
         symbols = np.frombuffer(data, dtype=np.uint8).astype(np.int64)
-        return encode_symbols(symbols)
+        return encode_symbols(symbols, kernel=self.kernel)
 
     def decode(self, data: bytes) -> bytes:
-        symbols = decode_symbols(data)
+        symbols = decode_symbols(data, kernel=self.kernel)
         return symbols.astype(np.uint8).tobytes()
 
 

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from repro.core.compressor import IPComp, IPCompConfig
 from repro.core.interpolation import InterpolationPredictor
+from repro.core.kernels import Kernel, available_kernels, get_kernel, register_kernel
 from repro.core.optimizer import LoadingPlan, OptimizedLoader
 from repro.core.progressive import ProgressiveRetriever
 from repro.core.quantizer import LinearQuantizer
@@ -25,10 +26,14 @@ __all__ = [
     "IPComp",
     "IPCompConfig",
     "InterpolationPredictor",
+    "Kernel",
     "LinearQuantizer",
     "OptimizedLoader",
     "LoadingPlan",
     "ProgressiveRetriever",
     "IPCompStream",
     "CompressedStore",
+    "available_kernels",
+    "get_kernel",
+    "register_kernel",
 ]

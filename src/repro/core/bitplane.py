@@ -12,19 +12,29 @@ its ``prefix_bits`` previously-loaded (more significant) bits and only the
 prediction error is stored.  Two prefix bits minimise the entropy on the
 paper's datasets (Table 2), so 2 is the default here.
 
-All operations are vectorised over the whole level.
+The actual bit twiddling lives in :mod:`repro.core.kernels`; the functions
+below are thin wrappers that dispatch to a registered kernel (the bulk-NumPy
+``"vectorized"`` kernel unless a ``kernel=`` argument selects another), kept
+so existing call sites and the paper-facing naming survive the kernel
+refactor unchanged.
 """
 
 from __future__ import annotations
 
+from typing import Optional, Union
+
 import numpy as np
 
-from repro.errors import ConfigurationError
+from repro.core.kernels import Kernel, get_kernel
 
 DEFAULT_PREFIX_BITS = 2
 
+_KernelArg = Optional[Union[str, Kernel]]
 
-def extract_bitplanes(codes: np.ndarray, nbits: int) -> np.ndarray:
+
+def extract_bitplanes(
+    codes: np.ndarray, nbits: int, kernel: _KernelArg = None
+) -> np.ndarray:
     """Split unsigned codes into ``nbits`` bitplanes.
 
     Parameters
@@ -33,6 +43,8 @@ def extract_bitplanes(codes: np.ndarray, nbits: int) -> np.ndarray:
         1-D ``uint64`` array of negabinary codes.
     nbits:
         Number of planes to produce; must cover the largest code.
+    kernel:
+        Optional kernel name or instance (default ``"vectorized"``).
 
     Returns
     -------
@@ -41,74 +53,52 @@ def extract_bitplanes(codes: np.ndarray, nbits: int) -> np.ndarray:
         significant plane (bit position ``nbits − 1``), row ``nbits − 1`` the
         least significant — i.e. rows are in *load order*.
     """
-    codes = np.asarray(codes, dtype=np.uint64).ravel()
-    if nbits < 1 or nbits > 64:
-        raise ConfigurationError("nbits must be in [1, 64]")
-    planes = np.empty((nbits, codes.size), dtype=np.uint8)
-    for row, bit_position in enumerate(range(nbits - 1, -1, -1)):
-        planes[row] = ((codes >> np.uint64(bit_position)) & np.uint64(1)).astype(np.uint8)
-    return planes
+    return get_kernel(kernel).extract_bitplanes(codes, nbits)
 
 
-def assemble_bitplanes(planes: np.ndarray, nbits: int) -> np.ndarray:
+def assemble_bitplanes(
+    planes: np.ndarray, nbits: int, kernel: _KernelArg = None
+) -> np.ndarray:
     """Rebuild codes from the first ``planes.shape[0]`` (most significant) planes.
 
     Missing (unloaded) low planes are treated as zero, matching the partial
     retrieval semantics of §4.3.
     """
-    planes = np.asarray(planes, dtype=np.uint8)
-    loaded = planes.shape[0]
-    if loaded > nbits:
-        raise ConfigurationError("more planes supplied than the level width")
-    n = planes.shape[1] if planes.ndim == 2 else 0
-    codes = np.zeros(n, dtype=np.uint64)
-    for row in range(loaded):
-        bit_position = nbits - 1 - row
-        codes |= planes[row].astype(np.uint64) << np.uint64(bit_position)
-    return codes
+    return get_kernel(kernel).assemble_bitplanes(planes, nbits)
 
 
-def predictive_encode(planes: np.ndarray, prefix_bits: int = DEFAULT_PREFIX_BITS) -> np.ndarray:
+def predictive_encode(
+    planes: np.ndarray,
+    prefix_bits: int = DEFAULT_PREFIX_BITS,
+    kernel: _KernelArg = None,
+) -> np.ndarray:
     """XOR-predict every plane from its ``prefix_bits`` predecessors.
 
     ``encoded[k] = planes[k] ^ planes[k-1] ^ ... ^ planes[k-prefix_bits]``
     (with fewer terms near the top).  ``prefix_bits = 0`` is the identity.
     """
-    if not 0 <= prefix_bits <= 3:
-        raise ConfigurationError("prefix_bits must be in [0, 3]")
-    planes = np.asarray(planes, dtype=np.uint8)
-    encoded = planes.copy()
-    for k in range(planes.shape[0]):
-        for j in range(1, prefix_bits + 1):
-            if k - j >= 0:
-                encoded[k] ^= planes[k - j]
-    return encoded
+    return get_kernel(kernel).predictive_encode(planes, prefix_bits)
 
 
-def predictive_decode(encoded: np.ndarray, prefix_bits: int = DEFAULT_PREFIX_BITS) -> np.ndarray:
+def predictive_decode(
+    encoded: np.ndarray,
+    prefix_bits: int = DEFAULT_PREFIX_BITS,
+    kernel: _KernelArg = None,
+) -> np.ndarray:
     """Invert :func:`predictive_encode` plane by plane (top to bottom).
 
     Decoding only needs the *already decoded* more-significant planes, which is
     precisely why the scheme is compatible with progressive loading: the
     planes available at retrieval time are always a prefix of the sequence.
     """
-    if not 0 <= prefix_bits <= 3:
-        raise ConfigurationError("prefix_bits must be in [0, 3]")
-    encoded = np.asarray(encoded, dtype=np.uint8)
-    planes = encoded.copy()
-    for k in range(encoded.shape[0]):
-        for j in range(1, prefix_bits + 1):
-            if k - j >= 0:
-                planes[k] ^= planes[k - j]
-    return planes
+    return get_kernel(kernel).predictive_decode(encoded, prefix_bits)
 
 
-def pack_plane(plane: np.ndarray) -> bytes:
+def pack_plane(plane: np.ndarray, kernel: _KernelArg = None) -> bytes:
     """Pack one bitplane (uint8 0/1 values) into bytes, little-endian bit order."""
-    return np.packbits(np.asarray(plane, dtype=np.uint8), bitorder="little").tobytes()
+    return get_kernel(kernel).pack_bits(plane)
 
 
-def unpack_plane(data: bytes, count: int) -> np.ndarray:
+def unpack_plane(data: bytes, count: int, kernel: _KernelArg = None) -> np.ndarray:
     """Invert :func:`pack_plane`, recovering exactly ``count`` bits."""
-    packed = np.frombuffer(data, dtype=np.uint8)
-    return np.unpackbits(packed, count=count, bitorder="little")
+    return get_kernel(kernel).unpack_bits(data, count)

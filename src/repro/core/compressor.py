@@ -33,6 +33,7 @@ import numpy as np
 from repro.coders.backend import get_backend
 from repro.core.bitplane import DEFAULT_PREFIX_BITS
 from repro.core.interpolation import InterpolationPredictor
+from repro.core.kernels import DEFAULT_KERNEL, get_kernel
 from repro.core.predictive_coder import PredictiveCoder
 from repro.core.progressive import ProgressiveRetriever, RetrievalResult
 from repro.core.quantizer import LinearQuantizer, relative_to_absolute
@@ -61,6 +62,11 @@ class IPCompConfig:
     backend:
         Registered lossless backend name used for every block (default
         ``"zlib"``, the zstd stand-in).
+    kernel:
+        Registered bit-level kernel name (:mod:`repro.core.kernels`) used for
+        quantization, negabinary conversion, and bitplane coding.  Default
+        ``"vectorized"``; ``"reference"`` selects the loop-based oracle.
+        Both kernels produce byte-identical streams.
     """
 
     error_bound: float = 1e-6
@@ -68,6 +74,7 @@ class IPCompConfig:
     method: str = "cubic"
     prefix_bits: int = DEFAULT_PREFIX_BITS
     backend: str = "zlib"
+    kernel: str = DEFAULT_KERNEL
 
     def __post_init__(self) -> None:
         if self.error_bound <= 0 or not np.isfinite(self.error_bound):
@@ -76,6 +83,7 @@ class IPCompConfig:
             raise ConfigurationError("method must be 'cubic' or 'linear'")
         if not 0 <= self.prefix_bits <= 3:
             raise ConfigurationError("prefix_bits must be in [0, 3]")
+        get_kernel(self.kernel)  # fail fast on unknown kernel names
 
 
 class IPComp:
@@ -103,9 +111,12 @@ class IPComp:
             raise ConfigurationError("IPComp requires finite input values")
         eb = self.absolute_bound(data)
         predictor = InterpolationPredictor(data.shape, self.config.method)
-        quantizer = LinearQuantizer(eb)
+        quantizer = LinearQuantizer(eb, kernel=self.config.kernel)
         coder = PredictiveCoder(
-            quantizer, get_backend(self.config.backend), self.config.prefix_bits
+            quantizer,
+            get_backend(self.config.backend),
+            self.config.prefix_bits,
+            kernel=self.config.kernel,
         )
 
         # Progressive blocks are grouped per interpolation *sweep* (one unit
@@ -136,13 +147,13 @@ class IPComp:
 
     def decompress(self, blob: bytes) -> np.ndarray:
         """Full-precision decompression (error ≤ the compression bound)."""
-        retriever = ProgressiveRetriever(blob)
+        retriever = self.retriever(blob)
         result = retriever.retrieve(error_bound=retriever.header.error_bound)
         return result.data
 
     def retriever(self, blob: bytes) -> ProgressiveRetriever:
         """Create a stateful progressive retriever over a compressed stream."""
-        return ProgressiveRetriever(blob)
+        return ProgressiveRetriever(blob, kernel=self.config.kernel)
 
     def retrieve(
         self,
@@ -152,7 +163,7 @@ class IPComp:
         byte_budget: Optional[int] = None,
     ) -> RetrievalResult:
         """One-shot partial retrieval (creates a throwaway retriever)."""
-        return ProgressiveRetriever(blob).retrieve(
+        return self.retriever(blob).retrieve(
             error_bound=error_bound, bitrate=bitrate, byte_budget=byte_budget
         )
 

@@ -41,17 +41,21 @@ def from_negabinary(codes: np.ndarray) -> np.ndarray:
         return ((u ^ NEGABINARY_MASK) - NEGABINARY_MASK).astype(np.int64)
 
 
-def required_bits(values: np.ndarray) -> int:
-    """Minimal number of negabinary bitplanes needed to represent ``values``.
+def required_bits_from_codes(codes: np.ndarray) -> int:
+    """Minimal number of bitplanes covering already-converted negabinary codes.
 
     Returns at least 1 so that an all-zero level still produces a (trivially
     compressible) plane, which keeps the stream layout uniform.
     """
-    codes = to_negabinary(values)
+    codes = np.asarray(codes, dtype=np.uint64)
     if codes.size == 0:
         return 1
-    max_code = int(codes.max())
-    return max(1, max_code.bit_length())
+    return max(1, int(codes.max()).bit_length())
+
+
+def required_bits(values: np.ndarray) -> int:
+    """Minimal number of negabinary bitplanes needed to represent ``values``."""
+    return required_bits_from_codes(to_negabinary(values))
 
 
 def truncate_low_planes(values: np.ndarray, dropped: int) -> np.ndarray:

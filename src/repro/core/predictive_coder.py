@@ -8,6 +8,11 @@ sequence of *independently decodable blocks*, one per bitplane:
 3. planes → XOR-predicted planes using the two previously loaded planes;
 4. every predicted plane → packed bits → lossless backend (zstd stand-in).
 
+Steps 1–4 run on a pluggable bit-level kernel (:mod:`repro.core.kernels`):
+the default ``"vectorized"`` kernel performs them as NumPy bulk passes, the
+``"reference"`` kernel as auditable Python loops; both yield byte-identical
+blocks.
+
 Alongside the blocks the encoder records the *exact* information-loss table
 ``δy_l(b)`` — the largest value-domain error introduced at this level when the
 ``b`` least significant planes are not loaded — which is what the optimized
@@ -24,21 +29,9 @@ from typing import List, Sequence
 import numpy as np
 
 from repro.coders.backend import Backend
-from repro.core.bitplane import (
-    DEFAULT_PREFIX_BITS,
-    assemble_bitplanes,
-    extract_bitplanes,
-    pack_plane,
-    predictive_decode,
-    predictive_encode,
-    unpack_plane,
-)
-from repro.core.negabinary import (
-    from_negabinary,
-    required_bits,
-    to_negabinary,
-    truncate_low_planes,
-)
+from repro.core.bitplane import DEFAULT_PREFIX_BITS
+from repro.core.kernels import Kernel, get_kernel
+from repro.core.negabinary import required_bits_from_codes, truncate_low_planes
 from repro.core.quantizer import LinearQuantizer
 from repro.errors import StreamFormatError
 
@@ -87,21 +80,25 @@ class PredictiveCoder:
         quantizer: LinearQuantizer,
         backend: Backend,
         prefix_bits: int = DEFAULT_PREFIX_BITS,
+        kernel: "str | Kernel | None" = None,
     ) -> None:
         self.quantizer = quantizer
         self.backend = backend
         self.prefix_bits = prefix_bits
+        self.kernel = get_kernel(kernel)
 
     # ------------------------------------------------------------------ encode
 
     def encode_level(self, level: int, codes: np.ndarray) -> LevelEncoding:
         """Encode the quantization integers of one level into plane blocks."""
         codes = np.asarray(codes, dtype=np.int64).ravel()
-        nbits = required_bits(codes)
-        negabinary = to_negabinary(codes)
-        planes = extract_bitplanes(negabinary, nbits)
-        predicted = predictive_encode(planes, self.prefix_bits)
-        blocks = [self.backend.encode(pack_plane(plane)) for plane in predicted]
+        negabinary = self.kernel.to_negabinary(codes)
+        nbits = required_bits_from_codes(negabinary)
+        planes = self.kernel.extract_bitplanes(negabinary, nbits)
+        predicted = self.kernel.predictive_encode(planes, self.prefix_bits)
+        blocks = [
+            self.backend.encode(self.kernel.pack_bits(plane)) for plane in predicted
+        ]
 
         delta = np.zeros(nbits + 1, dtype=np.float64)
         for dropped in range(1, nbits + 1):
@@ -155,9 +152,9 @@ class PredictiveCoder:
             return np.zeros(count, dtype=np.float64)
         encoded = np.empty((keep, count), dtype=np.uint8)
         for row, block in enumerate(loaded_blocks):
-            encoded[row] = unpack_plane(self.backend.decode(block), count)
-        planes = predictive_decode(encoded, self.prefix_bits)
-        codes = from_negabinary(assemble_bitplanes(planes, nbits))
+            encoded[row] = self.kernel.unpack_bits(self.backend.decode(block), count)
+        planes = self.kernel.predictive_decode(encoded, self.prefix_bits)
+        codes = self.kernel.from_negabinary(self.kernel.assemble_bitplanes(planes, nbits))
         return self.quantizer.dequantize(codes)
 
     def decode_level_codes(
@@ -178,6 +175,6 @@ class PredictiveCoder:
             return np.zeros(count, dtype=np.int64)
         encoded = np.empty((keep, count), dtype=np.uint8)
         for row, block in enumerate(loaded_blocks):
-            encoded[row] = unpack_plane(self.backend.decode(block), count)
-        planes = predictive_decode(encoded, self.prefix_bits)
-        return from_negabinary(assemble_bitplanes(planes, nbits))
+            encoded[row] = self.kernel.unpack_bits(self.backend.decode(block), count)
+        planes = self.kernel.predictive_decode(encoded, self.prefix_bits)
+        return self.kernel.from_negabinary(self.kernel.assemble_bitplanes(planes, nbits))

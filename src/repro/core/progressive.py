@@ -59,18 +59,24 @@ class RetrievalResult:
 
 
 class ProgressiveRetriever:
-    """Stateful multi-fidelity reader of one IPComp stream."""
+    """Stateful multi-fidelity reader of one IPComp stream.
 
-    def __init__(self, blob: bytes) -> None:
+    ``kernel`` selects the bit-level kernel (:mod:`repro.core.kernels`) used
+    for plane decoding; it is a runtime choice, not a stream property — every
+    kernel reads every stream.
+    """
+
+    def __init__(self, blob: bytes, kernel: Optional[str] = None) -> None:
         self.store = CompressedStore(blob)
         header = self.store.header
         self.header = header
         self.predictor = InterpolationPredictor(header.shape, header.method)
-        self.quantizer = LinearQuantizer(header.error_bound)
+        self.quantizer = LinearQuantizer(header.error_bound, kernel=kernel)
         self.coder = PredictiveCoder(
             self.quantizer,
             get_backend(header.backend),
             prefix_bits=header.prefix_bits,
+            kernel=kernel,
         )
         self.loader = OptimizedLoader(header, overhead_bytes=self.store.overhead_bytes)
         # Retrieval state (Algorithm 2 needs all three).
@@ -207,15 +213,7 @@ class ProgressiveRetriever:
         from the stored integer codes (a cheap vectorised bit extraction),
         decode the new planes on top, and assemble the result.
         """
-        from repro.core.bitplane import (
-            assemble_bitplanes,
-            extract_bitplanes,
-            predictive_decode,
-            predictive_encode,
-            unpack_plane,
-        )
-        from repro.core.negabinary import from_negabinary, to_negabinary
-
+        kernel = self.coder.kernel
         count = enc.count
         if count == 0:
             return np.zeros(0, dtype=np.int64)
@@ -223,20 +221,23 @@ class ProgressiveRetriever:
         if old_codes is None or old_codes.size == 0:
             old_codes = np.zeros(count, dtype=np.int64)
         # Reconstruct the decoded (true) planes 0..old_keep-1 from old codes.
-        old_negabinary = to_negabinary(old_codes)
+        old_negabinary = kernel.to_negabinary(old_codes)
         decoded = np.zeros((new_keep, count), dtype=np.uint8)
         if old_keep:
-            decoded[:old_keep] = extract_bitplanes(old_negabinary, enc.nbits)[:old_keep]
+            decoded[:old_keep] = kernel.extract_bitplanes(old_negabinary, enc.nbits)[
+                :old_keep
+            ]
         # Decode the newly loaded planes using the already-known prefix planes.
         for offset, block in enumerate(new_blocks):
             k = old_keep + offset
-            encoded_plane = unpack_plane(self.coder.backend.decode(block), count)
-            plane = encoded_plane.copy()
+            plane = kernel.unpack_bits(self.coder.backend.decode(block), count).copy()
             for j in range(1, self.coder.prefix_bits + 1):
                 if k - j >= 0:
                     plane ^= decoded[k - j]
             decoded[k] = plane
-        return from_negabinary(assemble_bitplanes(decoded[:new_keep], enc.nbits))
+        return kernel.from_negabinary(
+            kernel.assemble_bitplanes(decoded[:new_keep], enc.nbits)
+        )
 
     def _cast(self, output: np.ndarray) -> np.ndarray:
         return output.astype(self.header.dtype, copy=True).reshape(self.header.shape)

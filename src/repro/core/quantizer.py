@@ -13,23 +13,31 @@ width ``2·eb`` so that rounding to the bin centre keeps the error within
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 import numpy as np
 
+from repro.core.kernels import get_kernel
 from repro.errors import ConfigurationError
 
 
 @dataclass(frozen=True)
 class LinearQuantizer:
-    """Uniform mid-tread quantizer with half-bin error bound ``error_bound``."""
+    """Uniform mid-tread quantizer with half-bin error bound ``error_bound``.
+
+    ``kernel`` selects the arithmetic kernel (see :mod:`repro.core.kernels`)
+    by registry name; ``None`` uses the default vectorized kernel.
+    """
 
     error_bound: float
+    kernel: Optional[str] = None
 
     def __post_init__(self) -> None:
         if not np.isfinite(self.error_bound) or self.error_bound <= 0:
             raise ConfigurationError(
                 f"error_bound must be a positive finite number, got {self.error_bound!r}"
             )
+        get_kernel(self.kernel)  # fail fast on unknown kernel names
 
     @property
     def bin_width(self) -> float:
@@ -38,12 +46,11 @@ class LinearQuantizer:
 
     def quantize(self, values: np.ndarray) -> np.ndarray:
         """Quantize floating-point differences to ``int64`` bin indices."""
-        values = np.asarray(values, dtype=np.float64)
-        return np.rint(values / self.bin_width).astype(np.int64)
+        return get_kernel(self.kernel).quantize(values, self.bin_width)
 
     def dequantize(self, codes: np.ndarray) -> np.ndarray:
         """Map bin indices back to the bin-centre floating point values."""
-        return np.asarray(codes, dtype=np.float64) * self.bin_width
+        return get_kernel(self.kernel).dequantize(codes, self.bin_width)
 
     def roundtrip(self, values: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         """Quantize then dequantize; convenience used by the compressors.

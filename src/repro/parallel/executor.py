@@ -35,9 +35,8 @@ def _compress_block(payload: Tuple[dict, np.ndarray]) -> bytes:
 
 def _decompress_block(blob: bytes) -> np.ndarray:
     """Worker: fully decompress one slab."""
-    return ProgressiveRetriever(blob).retrieve(
-        error_bound=ProgressiveRetriever(blob).header.error_bound
-    ).data
+    retriever = ProgressiveRetriever(blob)
+    return retriever.retrieve(error_bound=retriever.header.error_bound).data
 
 
 def _retrieve_block(payload: Tuple[bytes, float]) -> np.ndarray:

@@ -84,6 +84,26 @@ def test_demo_command(capsys):
     assert "psnr" in out and "compression_ratio" in out
 
 
+def test_kernel_flag_produces_identical_streams(tmp_path, raw_field):
+    _, raw_path = raw_field
+    blobs = {}
+    for kernel in ("reference", "vectorized"):
+        compressed = tmp_path / f"density.{kernel}.ipc"
+        assert main(
+            ["compress", str(raw_path), "-o", str(compressed),
+             "--shape", "16x18x20", "--eb", "1e-4", "--kernel", kernel]
+        ) == 0
+        blobs[kernel] = compressed.read_bytes()
+    assert blobs["reference"] == blobs["vectorized"]
+
+    restored_path = tmp_path / "restored.d64"
+    assert main(
+        ["decompress", str(tmp_path / "density.reference.ipc"),
+         "-o", str(restored_path), "--kernel", "reference"]
+    ) == 0
+    assert restored_path.exists()
+
+
 def test_error_path_returns_nonzero(tmp_path, capsys):
     missing = tmp_path / "missing.d64"
     out_path = tmp_path / "out.ipc"

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import numpy as np
 import pytest
 
 from repro.coders.bitio import BitReader, BitWriter
@@ -67,3 +68,45 @@ def test_bits_remaining():
 def test_negative_count_rejected():
     with pytest.raises(ValueError):
         BitWriter().write_bits(3, -1)
+
+
+@pytest.mark.parametrize("count", [0, 3, 8, 37, 256])
+def test_write_bit_array_matches_bitwise_path(count):
+    rng = np.random.default_rng(count)
+    bits = (rng.random(count) > 0.5).astype(np.uint8)
+    bulk = BitWriter()
+    bulk.write_bit_array(bits)
+    slow = BitWriter()
+    for bit in bits.tolist():
+        slow.write_bit(bit)
+    assert bulk.getvalue() == slow.getvalue()
+    assert len(bulk) == len(slow) == count
+
+
+def test_write_bit_array_on_misaligned_writer():
+    bits = np.array([1, 0, 1, 1, 0, 1, 0, 0, 1, 1], dtype=np.uint8)
+    writer = BitWriter()
+    writer.write_bits(0b101, 3)  # leave the accumulator misaligned
+    writer.write_bit_array(bits)
+    reader = BitReader(writer.getvalue())
+    assert reader.read_bits(3) == 0b101
+    assert np.array_equal(reader.read_bit_array(bits.size), bits)
+
+
+def test_read_bit_array_from_any_offset():
+    rng = np.random.default_rng(9)
+    bits = (rng.random(64) > 0.3).astype(np.uint8)
+    writer = BitWriter()
+    writer.write_bit_array(bits)
+    reader = BitReader(writer.getvalue())
+    assert reader.read_bit() == bits[0]
+    assert np.array_equal(reader.read_bit_array(40), bits[1:41])
+    assert np.array_equal(reader.read_bit_array(23), bits[41:])
+
+
+def test_read_bit_array_past_end_raises():
+    reader = BitReader(b"\x01")
+    with pytest.raises(StreamFormatError):
+        reader.read_bit_array(9)
+    with pytest.raises(ValueError):
+        reader.read_bit_array(-1)
