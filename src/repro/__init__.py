@@ -10,7 +10,8 @@ The package is organised as:
 * :mod:`repro.datasets` — synthetic stand-ins for the six SDRBench fields.
 * :mod:`repro.analysis` — error metrics, derived quantities, entropy studies.
 * :mod:`repro.parallel` — block-decomposed multi-process compression.
-* :mod:`repro.io` — on-disk container with partial (block-range) reads.
+* :mod:`repro.io` — on-disk block container plus the file-backed
+  :class:`~repro.io.ChunkedDataset` with ROI-progressive retrieval.
 
 Quickstart::
 
@@ -32,8 +33,9 @@ from repro.core.compressor import IPComp, IPCompConfig
 from repro.core.kernels import available_kernels, get_kernel, register_kernel
 from repro.core.progressive import ProgressiveRetriever, RetrievalResult
 from repro.core.optimizer import LoadingPlan, OptimizedLoader
+from repro.io.dataset import ChunkedDataset, DatasetReadResult
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "IPComp",
@@ -42,6 +44,8 @@ __all__ = [
     "RetrievalResult",
     "OptimizedLoader",
     "LoadingPlan",
+    "ChunkedDataset",
+    "DatasetReadResult",
     "available_kernels",
     "get_kernel",
     "register_kernel",

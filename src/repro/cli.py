@@ -3,14 +3,19 @@
 Subcommands::
 
     ipcomp compress   INPUT.raw -o OUT.ipc --shape 64x96x96 --eb 1e-6 [--abs]
+    ipcomp compress   INPUT.raw -o OUT.rprc --shape 64x96x96 --blocks 4
     ipcomp decompress OUT.ipc  -o RESTORED.raw
     ipcomp retrieve   OUT.ipc  -o PARTIAL.raw (--error-bound 1e-3 | --bitrate 2.0)
+    ipcomp retrieve   OUT.rprc -o ROI.raw --roi 0:16,:,: --error-bound 1e-3
     ipcomp info       OUT.ipc
     ipcomp datasets                       # print the Table 3 inventory
     ipcomp demo       --dataset density   # synthetic end-to-end demo + metrics
 
 Raw inputs follow the SDRBench layout (headerless little-endian binary); the
-shape is passed as ``AxBxC``.
+shape is passed as ``AxBxC``.  ``compress --blocks N`` writes a sharded
+:class:`~repro.io.ChunkedDataset` container instead of a single stream;
+``retrieve`` detects the format from the file and, for containers, serves
+``--roi START:STOP,...`` regions by opening only the intersecting shards.
 """
 
 from __future__ import annotations
@@ -22,12 +27,13 @@ from pathlib import Path
 
 import numpy as np
 
-from repro import IPComp, ProgressiveRetriever
+from repro import ChunkedDataset, IPComp, ProgressiveRetriever
 from repro.analysis import summarize
 from repro.core.kernels import DEFAULT_KERNEL, available_kernels
 from repro.core.stream import IPCompStream
 from repro.datasets import dataset_table, load_dataset, load_raw, save_raw
-from repro.errors import ReproError
+from repro.errors import ConfigurationError, ReproError
+from repro.io import is_container
 
 
 def _parse_shape(text: str) -> tuple:
@@ -35,6 +41,24 @@ def _parse_shape(text: str) -> tuple:
         return tuple(int(part) for part in text.lower().replace(",", "x").split("x"))
     except ValueError:
         raise argparse.ArgumentTypeError(f"cannot parse shape {text!r}") from None
+
+
+def _parse_roi(text: str) -> tuple:
+    """Parse ``start:stop,start:stop,...`` (``:`` keeps an axis whole)."""
+    axes = []
+    try:
+        for part in text.split(","):
+            bounds = part.strip().split(":")
+            if len(bounds) != 2:
+                raise ValueError(part)
+            start = int(bounds[0]) if bounds[0] else None
+            stop = int(bounds[1]) if bounds[1] else None
+            axes.append(slice(start, stop))
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"cannot parse roi {text!r} (expected start:stop,start:stop,...)"
+        ) from None
+    return tuple(axes)
 
 
 def _add_kernel_argument(subparser: argparse.ArgumentParser) -> None:
@@ -62,6 +86,20 @@ def _build_parser() -> argparse.ArgumentParser:
         "--abs", action="store_true", help="treat --eb as absolute instead of range-relative"
     )
     compress.add_argument("--method", choices=("cubic", "linear"), default="cubic")
+    compress.add_argument(
+        "--blocks",
+        type=int,
+        default=None,
+        metavar="N",
+        help="write a sharded ChunkedDataset container with N slabs "
+        "instead of a single stream (enables ROI retrieval)",
+    )
+    compress.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="process-pool size for --blocks compression (0 = serial)",
+    )
     _add_kernel_argument(compress)
 
     decompress = sub.add_parser("decompress", help="full-precision decompression")
@@ -75,6 +113,14 @@ def _build_parser() -> argparse.ArgumentParser:
     group = retrieve.add_mutually_exclusive_group(required=True)
     group.add_argument("--error-bound", type=float)
     group.add_argument("--bitrate", type=float)
+    retrieve.add_argument(
+        "--roi",
+        type=_parse_roi,
+        default=None,
+        metavar="S:E,S:E,...",
+        help="region of interest (container inputs only): per-axis "
+        "start:stop, ':' keeps an axis whole",
+    )
     _add_kernel_argument(retrieve)
 
     info = sub.add_parser("info", help="print the stream header")
@@ -92,6 +138,24 @@ def _build_parser() -> argparse.ArgumentParser:
 
 def _cmd_compress(args) -> int:
     data = load_raw(args.input, args.shape, args.dtype)
+    if args.blocks is not None:
+        manifest = ChunkedDataset.write(
+            args.output,
+            data,
+            error_bound=args.eb,
+            relative=not args.abs,
+            n_blocks=args.blocks,
+            workers=args.workers,
+            method=args.method,
+            kernel=args.kernel,
+        )
+        size = args.output.stat().st_size
+        print(
+            f"compressed {data.nbytes} B -> {size} B container "
+            f"(CR {data.nbytes / size:.2f}, {len(manifest['shards'])} shards, "
+            f"eb {manifest['error_bound']:.3e})"
+        )
+        return 0
     comp = IPComp(
         error_bound=args.eb, relative=not args.abs, method=args.method,
         kernel=args.kernel,
@@ -106,6 +170,12 @@ def _cmd_compress(args) -> int:
 
 
 def _cmd_decompress(args) -> int:
+    if is_container(args.input):
+        with ChunkedDataset(args.input, kernel=args.kernel) as dataset:
+            result = dataset.read()
+        save_raw(args.output, result.data)
+        print(f"decompressed to {args.output} shape={result.data.shape}")
+        return 0
     blob = args.input.read_bytes()
     retriever = ProgressiveRetriever(blob, kernel=args.kernel)
     result = retriever.retrieve(error_bound=retriever.header.error_bound)
@@ -115,6 +185,25 @@ def _cmd_decompress(args) -> int:
 
 
 def _cmd_retrieve(args) -> int:
+    if is_container(args.input):
+        if args.bitrate is not None:
+            raise ConfigurationError(
+                "container retrieval targets an error bound, not a bitrate"
+            )
+        with ChunkedDataset(args.input, kernel=args.kernel) as dataset:
+            result = dataset.read(error_bound=args.error_bound, roi=args.roi)
+            save_raw(args.output, result.data)
+            print(
+                f"retrieved {result.bytes_loaded} B of {dataset.file_bytes} B "
+                f"({len(result.shards)}/{dataset.n_shards} shards, "
+                f"{result.bitrate():.3f} bits/value), "
+                f"guaranteed error <= {result.error_bound:.3e}"
+            )
+        return 0
+    if args.roi is not None:
+        raise ConfigurationError(
+            "--roi requires a chunked container (compress with --blocks)"
+        )
     blob = args.input.read_bytes()
     retriever = ProgressiveRetriever(blob, kernel=args.kernel)
     result = retriever.retrieve(error_bound=args.error_bound, bitrate=args.bitrate)
@@ -127,6 +216,10 @@ def _cmd_retrieve(args) -> int:
 
 
 def _cmd_info(args) -> int:
+    if is_container(args.input):
+        with ChunkedDataset(args.input) as dataset:
+            print(json.dumps(dataset.manifest, indent=2))
+        return 0
     header, _ = IPCompStream.parse_header(args.input.read_bytes())
     print(json.dumps(header.to_json(), indent=2))
     return 0

@@ -237,7 +237,20 @@ class VectorizedKernel(Kernel):
 
     def quantize(self, values: np.ndarray, bin_width: float) -> np.ndarray:
         values = np.asarray(values, dtype=np.float64)
-        return np.rint(values / bin_width).astype(np.int64)
+        codes = np.rint(values / bin_width).astype(np.int64)
+        # Rounding in the divide can land on the wrong side of a half-bin
+        # boundary when |value| / bin_width approaches 2^52, so the decoder's
+        # reconstruction (codes · bin_width, computed in float64) could
+        # overshoot the half-bin error bound by a few ulps.  Nudge offending
+        # codes until the bound holds in the decoder's own arithmetic.
+        half = 0.5 * bin_width
+        for _ in range(2):
+            err = values - codes.astype(np.float64) * bin_width
+            mask = np.abs(err) > half
+            if not mask.any():
+                break
+            codes = codes + np.where(mask, np.sign(err).astype(np.int64), 0)
+        return codes
 
     def dequantize(self, codes: np.ndarray, bin_width: float) -> np.ndarray:
         return np.asarray(codes, dtype=np.float64) * bin_width
@@ -368,7 +381,22 @@ class ReferenceKernel(Kernel):
     def quantize(self, values: np.ndarray, bin_width: float) -> np.ndarray:
         values = np.asarray(values, dtype=np.float64)
         # Python's round() is round-half-to-even on floats, same as np.rint.
-        quantized = [round(v / bin_width) for v in values.ravel().tolist()]
+        half = 0.5 * bin_width
+        quantized = []
+        for v in values.ravel().tolist():
+            q = round(v / bin_width)
+            # Same half-bin correction as the vectorized kernel (the two
+            # must stay byte-identical): enforce |v − q·w| ≤ w/2 in the
+            # decoder's float64 arithmetic.
+            for _ in range(2):
+                err = v - q * bin_width
+                if err > half:
+                    q += 1
+                elif err < -half:
+                    q -= 1
+                else:
+                    break
+            quantized.append(q)
         return np.array(quantized, dtype=np.int64).reshape(values.shape)
 
     def dequantize(self, codes: np.ndarray, bin_width: float) -> np.ndarray:

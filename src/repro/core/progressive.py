@@ -61,12 +61,19 @@ class RetrievalResult:
 class ProgressiveRetriever:
     """Stateful multi-fidelity reader of one IPComp stream.
 
+    ``blob`` is either the in-memory stream bytes or a *byte-range source*
+    (``size`` + ``read_range(offset, length)``, see
+    :class:`repro.core.stream.BytesSource`).  With a file-backed source —
+    e.g. one shard block of a :class:`repro.io.ChunkedDataset` container —
+    every retrieval, including Algorithm-2 refinement, touches exactly the
+    byte ranges of the blocks it needs and nothing else.
+
     ``kernel`` selects the bit-level kernel (:mod:`repro.core.kernels`) used
     for plane decoding; it is a runtime choice, not a stream property — every
     kernel reads every stream.
     """
 
-    def __init__(self, blob: bytes, kernel: Optional[str] = None) -> None:
+    def __init__(self, blob, kernel: Optional[str] = None) -> None:
         self.store = CompressedStore(blob)
         header = self.store.header
         self.header = header

@@ -8,6 +8,12 @@ error analysis of §4.2.2 relies on, level by level.
 A reproduction note on bin width: SZ-family compressors quantize with bins of
 width ``2·eb`` so that rounding to the bin centre keeps the error within
 ``eb``; the same convention is used here.
+
+A floating-point note: the kernels verify the chosen code against the
+decoder's own ``float64`` arithmetic and nudge it when the rounded division
+landed a bin off (possible when ``|y| / (2·eb)`` approaches ``2^52``), so the
+bound holds up to the unavoidable half-ulp of representing the bin centre
+``q · 2·eb`` as a ``float64``.
 """
 
 from __future__ import annotations

@@ -34,6 +34,28 @@ MAGIC = b"IPC1"
 VERSION = 1
 
 
+class BytesSource:
+    """In-memory :class:`CompressedStore` source: byte-range reads of a blob.
+
+    Any object with the same two members — ``size`` and
+    ``read_range(offset, length)`` — can back a store, which is how the
+    on-disk container (:mod:`repro.io`) serves IPComp streams without ever
+    materialising them: the retriever asks for exactly the block ranges its
+    plan selected and the source translates them into file reads.
+    """
+
+    def __init__(self, blob: bytes) -> None:
+        self._blob = blob
+        self.size = len(blob)
+
+    def read_range(self, offset: int, length: int) -> bytes:
+        if offset < 0 or offset + length > self.size:
+            raise StreamFormatError(
+                f"read of [{offset}, {offset + length}) past stream end {self.size}"
+            )
+        return self._blob[offset : offset + length]
+
+
 @dataclass
 class StreamHeader:
     """Decoded header of an IPComp stream."""
@@ -152,17 +174,31 @@ class IPCompStream:
     @staticmethod
     def parse_header(blob: bytes) -> Tuple[StreamHeader, int]:
         """Return ``(header, payload_offset)`` without touching payload bytes."""
-        if blob[:4] != MAGIC:
+        return IPCompStream.parse_header_source(BytesSource(blob))
+
+    @staticmethod
+    def parse_header_source(source) -> Tuple[StreamHeader, int]:
+        """Parse the header via byte-range reads of any ``BytesSource``-like.
+
+        Reads only the prefix of the stream (magic + length word + header
+        JSON), so a file- or network-backed source pays for exactly the
+        header bytes — the payload blocks stay untouched until a retrieval
+        plan asks for them.
+        """
+        if source.size < 10:
+            raise StreamFormatError("truncated IPComp header")
+        prefix = source.read_range(0, 10)
+        if prefix[:4] != MAGIC:
             raise StreamFormatError("not an IPComp stream (bad magic)")
-        version, header_len = struct.unpack_from("<HI", blob, 4)
+        version, header_len = struct.unpack_from("<HI", prefix, 4)
         if version != VERSION:
             raise StreamFormatError(f"unsupported stream version {version}")
         start = 10
         end = start + header_len
-        if end > len(blob):
+        if end > source.size:
             raise StreamFormatError("truncated IPComp header")
         try:
-            header_json = zlib.decompress(blob[start:end])
+            header_json = zlib.decompress(source.read_range(start, header_len))
         except zlib.error as exc:
             raise StreamFormatError(f"corrupted IPComp header: {exc}") from None
         header = StreamHeader.from_json(json.loads(header_json.decode("utf-8")))
@@ -172,15 +208,20 @@ class IPCompStream:
 class CompressedStore:
     """Random access to the blocks of a serialized IPComp stream.
 
+    ``blob`` is either the in-memory byte string or any *byte-range source*
+    (``size`` attribute + ``read_range(offset, length)`` method, see
+    :class:`BytesSource`); a file-backed source lets the progressive
+    retriever pull individual plane blocks straight off disk.
+
     The store tracks how many payload bytes have actually been read
     (``bytes_read``), which is the quantity the paper's retrieval-volume
     figures report, plus the unavoidable header/anchor overhead
     (``overhead_bytes``).
     """
 
-    def __init__(self, blob: bytes) -> None:
-        self._blob = blob
-        self.header, payload_start = IPCompStream.parse_header(blob)
+    def __init__(self, blob) -> None:
+        self._source = BytesSource(blob) if isinstance(blob, (bytes, bytearray)) else blob
+        self.header, payload_start = IPCompStream.parse_header_source(self._source)
         self.header_bytes = payload_start
         self._anchor_offset = payload_start
         self._offsets: Dict[Tuple[int, int], Tuple[int, int]] = {}
@@ -189,7 +230,7 @@ class CompressedStore:
             for plane_index, size in enumerate(header_plane_sizes(enc)):
                 self._offsets[(enc.level, plane_index)] = (cursor, size)
                 cursor += size
-        if cursor > len(blob):
+        if cursor > self._source.size:
             raise StreamFormatError("stream shorter than its block directory")
         self._payload_end = cursor
         self.bytes_read = 0
@@ -199,7 +240,7 @@ class CompressedStore:
     @property
     def total_bytes(self) -> int:
         """Size of the whole compressed object."""
-        return len(self._blob)
+        return self._source.size
 
     @property
     def overhead_bytes(self) -> int:
@@ -213,8 +254,7 @@ class CompressedStore:
 
     def read_anchor(self) -> bytes:
         self.bytes_read += self.header.anchor_size
-        start = self._anchor_offset
-        return self._blob[start : start + self.header.anchor_size]
+        return self._source.read_range(self._anchor_offset, self.header.anchor_size)
 
     def read_block(self, level: int, plane: int) -> bytes:
         try:
@@ -222,7 +262,7 @@ class CompressedStore:
         except KeyError:
             raise StreamFormatError(f"no block for level {level}, plane {plane}") from None
         self.bytes_read += size
-        return self._blob[offset : offset + size]
+        return self._source.read_range(offset, size)
 
     def read_planes(self, level: int, count: int) -> List[bytes]:
         """Read the ``count`` most significant planes of ``level``."""

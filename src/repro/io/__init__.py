@@ -1,7 +1,21 @@
-"""On-disk containers with partial (block-range) reads."""
+"""On-disk containers with partial (block-range) reads and chunked datasets."""
 
 from __future__ import annotations
 
-from repro.io.container import BlockContainerReader, BlockContainerWriter
+from repro.io.container import (
+    BlockContainerReader,
+    BlockContainerWriter,
+    BlockSource,
+    is_container,
+)
+from repro.io.dataset import ChunkedDataset, DatasetReadResult, DatasetShard
 
-__all__ = ["BlockContainerWriter", "BlockContainerReader"]
+__all__ = [
+    "BlockContainerWriter",
+    "BlockContainerReader",
+    "BlockSource",
+    "is_container",
+    "ChunkedDataset",
+    "DatasetReadResult",
+    "DatasetShard",
+]

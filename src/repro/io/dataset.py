@@ -1,0 +1,344 @@
+"""File-backed chunked dataset with ROI-progressive retrieval.
+
+:class:`ChunkedDataset` is the storage-layer integration the paper's Figures
+6/7 presuppose: a large field is compressed **directly into a block-container
+file** — one independent IPComp stream per slab (a *shard*) plus a JSON
+manifest — and every retrieval afterwards reads only the byte ranges it
+needs:
+
+* ``read(error_bound=...)`` reconstructs the full field, loading from each
+  shard only the bitplane blocks the optimized loader's plan selects;
+* ``read(roi=..., error_bound=...)`` opens **only the shards intersecting
+  the region of interest** — untouched shards cost zero bytes;
+* ``refine(...)`` is the stateful path: it keeps one
+  :class:`~repro.core.progressive.ProgressiveRetriever` per shard alive, so
+  a tighter follow-up request runs Algorithm 2 per shard and loads only the
+  *new* plane blocks, never re-reading a byte range it already has.
+
+Every request returns a :class:`DatasetReadResult` carrying the exact bytes
+touched (container-level accounting, header and anchor included) and the
+``(shard, offset, length)`` ranges read — the quantities the ROI benchmark
+asserts on.
+
+File layout (a :mod:`repro.io.container` block container)::
+
+    shard-0000 | shard-0001 | ... | manifest | footer
+
+The manifest records shape, dtype, slab slices, the global absolute error
+bound, and the stream parameters (method / prefix bits / backend).  The
+bit-level *kernel* is deliberately **not** a manifest field: kernels are a
+runtime choice that never changes the bytes, so datasets written with
+different kernels are byte-identical (enforced by ``tests/test_kernels.py``).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.core.compressor import IPCompConfig
+from repro.core.progressive import ProgressiveRetriever
+from repro.errors import ConfigurationError, StreamFormatError
+from repro.io.container import (
+    BlockContainerReader,
+    BlockContainerWriter,
+    BlockSource,
+    is_container,
+)
+from repro.parallel.executor import BlockParallelCompressor, shard_name
+from repro.parallel.partition import (
+    SliceTuple,
+    normalize_roi,
+    ranges_to_slices,
+    slices_intersect,
+    slices_to_ranges,
+)
+
+MANIFEST_BLOCK = "manifest"
+FORMAT_NAME = "repro-chunked-dataset"
+FORMAT_VERSION = 1
+
+
+@dataclass
+class DatasetShard:
+    """One slab of the domain inside the container."""
+
+    name: str
+    slices: SliceTuple
+
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return tuple(s.stop - s.start for s in self.slices)
+
+
+@dataclass
+class DatasetReadResult:
+    """One ROI-progressive request: data plus its exact I/O cost."""
+
+    data: np.ndarray
+    roi: SliceTuple
+    error_bound: float
+    bytes_loaded: int
+    cumulative_bytes: int
+    shards: List[str]
+    ranges: List[Tuple[str, int, int]]
+
+    def bitrate(self) -> float:
+        """Bits loaded by this request per value it returned."""
+        return 8.0 * self.bytes_loaded / self.data.size
+
+
+class ChunkedDataset:
+    """Sharded, file-backed IPComp store with ROI-progressive reads.
+
+    Open an existing file with ``ChunkedDataset(path)`` (context-manager
+    friendly) or create one with :meth:`ChunkedDataset.write`.  ``kernel``
+    selects the runtime decode kernel; it does not need to match the kernel
+    used at write time.
+    """
+
+    def __init__(self, path: Union[str, Path], kernel: Optional[str] = None) -> None:
+        self.path = Path(path)
+        self.kernel = kernel
+        self._reader = BlockContainerReader(self.path)
+        if MANIFEST_BLOCK not in self._reader.directory:
+            self._reader.close()
+            raise StreamFormatError(f"{self.path} is not a chunked dataset (no manifest)")
+        try:
+            manifest = json.loads(self._reader.read_block(MANIFEST_BLOCK).decode("utf-8"))
+            if not isinstance(manifest, dict) or manifest.get("format") != FORMAT_NAME:
+                raise StreamFormatError(f"{self.path} is not a chunked dataset")
+            if int(manifest.get("version", 0)) != FORMAT_VERSION:
+                raise StreamFormatError(
+                    f"unsupported dataset version {manifest.get('version')}"
+                )
+            self.manifest = manifest
+            self.shape: Tuple[int, ...] = tuple(int(s) for s in manifest["shape"])
+            self.dtype = np.dtype(manifest["dtype"])
+            self.absolute_bound = float(manifest["error_bound"])
+            self.shards: List[DatasetShard] = [
+                DatasetShard(item["name"], ranges_to_slices(item["slices"]))
+                for item in manifest["shards"]
+            ]
+        except StreamFormatError:
+            # Container-level corruption and format mismatches keep their
+            # own diagnostics (StreamFormatError subclasses ValueError, so
+            # this clause must come first).
+            self._reader.close()
+            raise
+        except (KeyError, TypeError, ValueError, UnicodeDecodeError) as exc:
+            self._reader.close()
+            raise StreamFormatError(f"malformed dataset manifest: {exc!r}") from None
+        # Stateful per-shard retrievers + traced sources (refine() path).
+        self._retrievers: Dict[str, ProgressiveRetriever] = {}
+        self._sources: Dict[str, BlockSource] = {}
+        self._cumulative_bytes = 0
+
+    # ------------------------------------------------------------------ write
+
+    @classmethod
+    def write(
+        cls,
+        path: Union[str, Path],
+        data: np.ndarray,
+        *,
+        error_bound: float = 1e-6,
+        relative: bool = True,
+        n_blocks: int = 4,
+        workers: Optional[int] = None,
+        **ipcomp_kwargs,
+    ) -> dict:
+        """Compress ``data`` into a new dataset file; returns the manifest.
+
+        One IPComp stream per slab is produced (process-parallel via
+        :class:`~repro.parallel.executor.BlockParallelCompressor`) and the
+        slab's absolute bound is derived from the *global* value range, so
+        the reassembled field honours the bound globally.
+        """
+        data = np.asarray(data)
+        # Resolve the range-relative bound once (one min/max scan of the
+        # field) and hand the compressor the already-absolute config.
+        resolved = BlockParallelCompressor(
+            error_bound=error_bound, relative=relative, **ipcomp_kwargs
+        ).resolved_config(data)
+        compressor = BlockParallelCompressor(
+            n_blocks=n_blocks, workers=workers, **resolved
+        )
+        config = IPCompConfig(**resolved)
+        with BlockContainerWriter(path) as writer:
+            blocks = compressor.compress_into(writer, data)
+            manifest = {
+                "format": FORMAT_NAME,
+                "version": FORMAT_VERSION,
+                "shape": [int(s) for s in data.shape],
+                "dtype": str(data.dtype),
+                "error_bound": float(config.error_bound),
+                "method": config.method,
+                "prefix_bits": config.prefix_bits,
+                "backend": config.backend,
+                "shards": [
+                    {
+                        "name": shard_name(index),
+                        "slices": slices_to_ranges(block.slices, data.shape),
+                    }
+                    for index, block in enumerate(blocks)
+                ],
+            }
+            writer.add_block(
+                MANIFEST_BLOCK,
+                json.dumps(manifest, separators=(",", ":"), sort_keys=True).encode(),
+            )
+        return manifest
+
+    @staticmethod
+    def is_dataset(path: Union[str, Path]) -> bool:
+        """Cheap check: is ``path`` a block container (and so possibly a dataset)?"""
+        return is_container(path)
+
+    # ------------------------------------------------------------------- reads
+
+    def read(
+        self,
+        error_bound: Optional[float] = None,
+        roi=None,
+    ) -> DatasetReadResult:
+        """One-shot retrieval of the full field or a region of interest.
+
+        ``error_bound`` is the *absolute* L∞ target (``None`` retrieves at
+        the dataset's stored bound, i.e. full precision).  Only the shards
+        whose slabs intersect ``roi`` are opened; each contributes exactly
+        the plane blocks its loader plan selects.  Stateless: a later
+        ``read`` starts from scratch — use :meth:`refine` for incremental
+        refinement.
+        """
+        roi_slices, selected = self._select(roi)
+        fresh: Dict[str, ProgressiveRetriever] = {}
+        return self._request(roi_slices, selected, error_bound, fresh, {})
+
+    def refine(
+        self,
+        error_bound: Optional[float] = None,
+        roi=None,
+    ) -> DatasetReadResult:
+        """Stateful ROI-progressive retrieval (Algorithm 2 per shard).
+
+        Per-shard retrievers persist across calls: a shard touched before
+        only loads the plane blocks the tighter target adds (never
+        re-reading a byte range), and a shard entering the ROI for the first
+        time is retrieved from scratch.  Fidelity never decreases.
+        """
+        roi_slices, selected = self._select(roi)
+        return self._request(
+            roi_slices, selected, error_bound, self._retrievers, self._sources
+        )
+
+    # ------------------------------------------------------------------ guts
+
+    def _select(self, roi) -> Tuple[SliceTuple, List[DatasetShard]]:
+        if roi is None:
+            roi_slices = tuple(slice(0, s) for s in self.shape)
+            return roi_slices, list(self.shards)
+        roi_slices = normalize_roi(roi, self.shape)
+        selected = [s for s in self.shards if slices_intersect(s.slices, roi_slices)]
+        return roi_slices, selected
+
+    def _request(
+        self,
+        roi_slices: SliceTuple,
+        selected: List[DatasetShard],
+        error_bound: Optional[float],
+        retrievers: Dict[str, ProgressiveRetriever],
+        sources: Dict[str, BlockSource],
+    ) -> DatasetReadResult:
+        target = self.absolute_bound if error_bound is None else float(error_bound)
+        if target <= 0 or not np.isfinite(target):
+            raise ConfigurationError("error_bound must be a positive finite number")
+        start_bytes = self._reader.bytes_read
+        trace_start = {name: len(src.trace) for name, src in sources.items()}
+        pieces: List[Tuple[SliceTuple, np.ndarray]] = []
+        achieved = 0.0
+        ranges: List[Tuple[str, int, int]] = []
+        for shard in selected:
+            retriever = retrievers.get(shard.name)
+            if retriever is None:
+                source = BlockSource(self._reader, shard.name)
+                sources[shard.name] = source
+                retriever = ProgressiveRetriever(source, kernel=self.kernel)
+                retrievers[shard.name] = retriever
+            result = retriever.retrieve(error_bound=target)
+            achieved = max(achieved, result.error_bound)
+            pieces.append((shard.slices, result.data))
+        for shard in selected:
+            source = sources[shard.name]
+            for offset, length in source.trace[trace_start.get(shard.name, 0):]:
+                ranges.append((shard.name, offset, length))
+        bytes_loaded = self._reader.bytes_read - start_bytes
+        self._cumulative_bytes += bytes_loaded
+        return DatasetReadResult(
+            data=self._assemble(pieces, roi_slices),
+            roi=roi_slices,
+            error_bound=achieved,
+            bytes_loaded=bytes_loaded,
+            cumulative_bytes=self._cumulative_bytes,
+            shards=[s.name for s in selected],
+            ranges=ranges,
+        )
+
+    def _assemble(
+        self, pieces: Sequence[Tuple[SliceTuple, np.ndarray]], roi_slices: SliceTuple
+    ) -> np.ndarray:
+        out_shape = tuple(s.stop - s.start for s in roi_slices)
+        out = np.empty(out_shape, dtype=self.dtype)
+        filled = 0
+        for slab, data in pieces:
+            sel_out, sel_in = [], []
+            for slab_axis, roi_axis in zip(slab, roi_slices):
+                start = max(slab_axis.start, roi_axis.start)
+                stop = min(slab_axis.stop, roi_axis.stop)
+                sel_out.append(slice(start - roi_axis.start, stop - roi_axis.start))
+                sel_in.append(slice(start - slab_axis.start, stop - slab_axis.start))
+            piece = data[tuple(sel_in)]
+            out[tuple(sel_out)] = piece
+            filled += piece.size
+        if filled != out.size:
+            raise StreamFormatError(
+                f"shards cover {filled} of the region's {out.size} points"
+            )
+        return out
+
+    # ------------------------------------------------------------- properties
+
+    @property
+    def n_shards(self) -> int:
+        return len(self.shards)
+
+    @property
+    def bytes_read(self) -> int:
+        """Total container bytes touched since the dataset was opened."""
+        return self._reader.bytes_read
+
+    @property
+    def file_bytes(self) -> int:
+        return self.path.stat().st_size
+
+    def current_keep(self) -> Dict[str, Dict[int, int]]:
+        """Resident planes per stateful shard retriever (diagnostics)."""
+        return {
+            name: retriever.current_keep
+            for name, retriever in self._retrievers.items()
+        }
+
+    def close(self) -> None:
+        self._retrievers.clear()
+        self._sources.clear()
+        self._reader.close()
+
+    def __enter__(self) -> "ChunkedDataset":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -10,13 +10,26 @@ interface mirrors what an mpi4py-based driver would scatter/gather).
 
 from __future__ import annotations
 
-from repro.parallel.executor import BlockParallelCompressor, CompressedBlock
-from repro.parallel.partition import block_slices, partition_shape, reassemble
+from repro.parallel.executor import BlockParallelCompressor, CompressedBlock, shard_name
+from repro.parallel.partition import (
+    block_slices,
+    normalize_roi,
+    partition_shape,
+    ranges_to_slices,
+    reassemble,
+    slices_intersect,
+    slices_to_ranges,
+)
 
 __all__ = [
     "BlockParallelCompressor",
     "CompressedBlock",
+    "shard_name",
     "partition_shape",
     "block_slices",
     "reassemble",
+    "normalize_roi",
+    "slices_intersect",
+    "slices_to_ranges",
+    "ranges_to_slices",
 ]

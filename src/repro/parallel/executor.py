@@ -10,12 +10,22 @@ Workers receive ``(config kwargs, slab array)`` and return bytes; the
 top-level :func:`_compress_block` / :func:`_decompress_block` functions exist
 so the payloads are picklable by the standard :mod:`concurrent.futures`
 machinery.  ``workers=0`` (or an environment without ``fork``/spawn support)
-falls back to serial execution with identical results.
+falls back to serial execution with identical results.  A pool that cannot
+start — or that loses its worker processes — triggers the serial fallback;
+an exception *raised by the worker function itself* is a real error and
+propagates to the caller.
+
+The compressor also speaks the on-disk container dialect of
+:mod:`repro.io`: :meth:`~BlockParallelCompressor.compress_into` writes one
+``shard-NNNN`` entry per slab to any block-container writer, and
+:meth:`~BlockParallelCompressor.blocks_from_entries` reads them back — the
+substrate :class:`repro.io.ChunkedDataset` builds on.
 """
 
 from __future__ import annotations
 
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -23,8 +33,22 @@ import numpy as np
 
 from repro.core.compressor import IPComp
 from repro.core.progressive import ProgressiveRetriever
-from repro.errors import ConfigurationError
-from repro.parallel.partition import SliceTuple, block_slices, reassemble
+from repro.errors import ConfigurationError, StreamFormatError
+from repro.parallel.partition import (
+    SliceTuple,
+    block_slices,
+    ranges_to_slices,
+    reassemble,
+    slices_to_ranges,
+)
+
+#: Container entries produced by :meth:`BlockParallelCompressor.compress_into`.
+SHARD_PREFIX = "shard-"
+
+
+def shard_name(index: int) -> str:
+    """Canonical container-entry name of slab ``index``."""
+    return f"{SHARD_PREFIX}{index:04d}"
 
 
 def _compress_block(payload: Tuple[dict, np.ndarray]) -> bytes:
@@ -80,35 +104,103 @@ class BlockParallelCompressor:
         workers = self.workers
         if workers is None:
             workers = min(self.n_blocks, 4)
-        if workers and workers > 1 and len(payloads) > 1:
+        if not workers or workers <= 1 or len(payloads) <= 1:
+            return [function(p) for p in payloads]
+        try:
+            pool = ProcessPoolExecutor(max_workers=workers)
+        except (OSError, ValueError, RuntimeError, NotImplementedError):
+            # The pool itself could not start (no /dev/shm, no spawn method):
+            # fall back to serial execution, results are bit-identical.
+            return [function(p) for p in payloads]
+        with pool:
             try:
-                with ProcessPoolExecutor(max_workers=workers) as pool:
-                    return list(pool.map(function, payloads))
-            except (OSError, ValueError, RuntimeError):
-                # Restricted environments (no /dev/shm, no spawn) fall back to
-                # serial execution; results are bit-identical either way.
-                pass
-        return [function(p) for p in payloads]
+                # Worker processes are spawned lazily at submit time, so
+                # fork/spawn denial (sandboxes) surfaces here — still an
+                # environment problem, still the serial fallback.
+                futures = [pool.submit(function, p) for p in payloads]
+            except (OSError, ValueError, RuntimeError, NotImplementedError):
+                return [function(p) for p in payloads]
+            try:
+                return [future.result() for future in futures]
+            except BrokenProcessPool:
+                # Worker *processes* died while running (sandboxed fork,
+                # OOM-killed child) — an environment problem, so retry
+                # serially.  Exceptions raised by ``function`` itself arrive
+                # as their original type and fall through to the caller: a
+                # worker error is a real error, not a cue to silently
+                # recompute.
+                return [function(p) for p in payloads]
 
     # ------------------------------------------------------------- public API
 
-    def compress(self, data: np.ndarray) -> List[CompressedBlock]:
-        """Compress ``data`` into ``n_blocks`` independent IPComp streams.
+    def resolved_config(self, data: np.ndarray) -> dict:
+        """The per-block IPComp configuration for ``data``, bound resolved.
 
         The per-block absolute bound is derived from the *global* field when
         the configuration is range-relative, so every block honours the same
         absolute bound and the reassembled field satisfies it globally.
         """
-        data = np.asarray(data)
         config = dict(self.config)
         if config.get("relative", True):
             comp = IPComp(**config)
-            config["error_bound"] = comp.absolute_bound(data)
+            config["error_bound"] = comp.absolute_bound(np.asarray(data))
             config["relative"] = False
+        return config
+
+    def compress(self, data: np.ndarray) -> List[CompressedBlock]:
+        """Compress ``data`` into ``n_blocks`` independent IPComp streams."""
+        data = np.asarray(data)
+        config = self.resolved_config(data)
         slabs = block_slices(data.shape, self.n_blocks)
         payloads = [(config, np.ascontiguousarray(data[slc])) for slc in slabs]
         blobs = self._map(_compress_block, payloads)
         return [CompressedBlock(slc, blob) for slc, blob in zip(slabs, blobs)]
+
+    # ----------------------------------------------------- container entries
+
+    def compress_into(self, writer, data: np.ndarray) -> List[CompressedBlock]:
+        """Compress ``data`` and write one ``shard-NNNN`` entry per slab.
+
+        ``writer`` is any object with the
+        :meth:`repro.io.BlockContainerWriter.add_block` interface (duck-typed
+        so this module needs no dependency on :mod:`repro.io`).  Each entry's
+        metadata records the slab's global slice extents; the blocks are also
+        returned for callers that want to keep them in memory.
+        """
+        data = np.asarray(data)
+        blocks = self.compress(data)
+        for index, block in enumerate(blocks):
+            writer.add_block(
+                shard_name(index),
+                block.blob,
+                {"slices": slices_to_ranges(block.slices, data.shape)},
+            )
+        return blocks
+
+    @staticmethod
+    def blocks_from_entries(reader, names: Optional[Sequence[str]] = None) -> List[CompressedBlock]:
+        """Rehydrate :class:`CompressedBlock` objects from container entries.
+
+        ``reader`` is any object with the
+        :meth:`repro.io.BlockContainerReader.read_block` / ``metadata`` /
+        ``block_names`` interface.  ``names`` defaults to every
+        ``shard-NNNN`` entry in directory order.
+        """
+        if names is None:
+            names = [n for n in reader.block_names() if n.startswith(SHARD_PREFIX)]
+        blocks = []
+        for name in names:
+            meta = reader.metadata(name)
+            try:
+                slices = ranges_to_slices(meta["slices"])
+            except (KeyError, TypeError, ValueError):
+                raise StreamFormatError(
+                    f"container entry {name!r} has no slab extents"
+                ) from None
+            blocks.append(CompressedBlock(slices, reader.read_block(name)))
+        return blocks
+
+    # ------------------------------------------------------------- retrieval
 
     def decompress(
         self, blocks: Sequence[CompressedBlock], shape: Sequence[int], dtype=np.float64

@@ -104,6 +104,64 @@ def test_kernel_flag_produces_identical_streams(tmp_path, raw_field):
     assert restored_path.exists()
 
 
+def test_compress_blocks_writes_container_and_roi_retrieve(tmp_path, raw_field, capsys):
+    field, raw_path = raw_field
+    container = tmp_path / "density.rprc"
+    assert main(
+        ["compress", str(raw_path), "-o", str(container), "--shape", "16x18x20",
+         "--eb", "1e-5", "--blocks", "4", "--workers", "0"]
+    ) == 0
+    assert "shards" in capsys.readouterr().out
+
+    # info prints the dataset manifest for containers.
+    assert main(["info", str(container)]) == 0
+    manifest = json.loads(capsys.readouterr().out)
+    assert manifest["format"] == "repro-chunked-dataset"
+    assert manifest["shape"] == [16, 18, 20]
+    eb = manifest["error_bound"]
+
+    # ROI retrieval touches a strict subset of the shards.
+    roi_path = tmp_path / "roi.d64"
+    assert main(
+        ["retrieve", str(container), "-o", str(roi_path),
+         "--roi", "0:4,:,:", "--error-bound", str(eb * 16)]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "1/4 shards" in out
+    roi_data = load_raw(roi_path, (4, 18, 20))
+    assert np.abs(field[:4] - roi_data).max() <= eb * 16 * (1 + 1e-9)
+
+    # Full decompression of a container reassembles within the bound.
+    restored_path = tmp_path / "restored.d64"
+    assert main(["decompress", str(container), "-o", str(restored_path)]) == 0
+    restored = load_raw(restored_path, (16, 18, 20))
+    assert np.abs(field - restored).max() <= eb * (1 + 1e-9)
+
+
+def test_roi_on_plain_stream_rejected(tmp_path, raw_field, capsys):
+    _, raw_path = raw_field
+    compressed = tmp_path / "density.ipc"
+    main(["compress", str(raw_path), "-o", str(compressed), "--shape", "16x18x20"])
+    code = main(
+        ["retrieve", str(compressed), "-o", str(tmp_path / "x.d64"),
+         "--roi", "0:4,:,:", "--error-bound", "1e-3"]
+    )
+    assert code == 2
+    assert "--roi requires" in capsys.readouterr().err
+
+
+def test_bitrate_on_container_rejected(tmp_path, raw_field, capsys):
+    _, raw_path = raw_field
+    container = tmp_path / "density.rprc"
+    main(["compress", str(raw_path), "-o", str(container), "--shape", "16x18x20",
+          "--blocks", "2", "--workers", "0"])
+    code = main(
+        ["retrieve", str(container), "-o", str(tmp_path / "x.d64"), "--bitrate", "2.0"]
+    )
+    assert code == 2
+    assert "error bound" in capsys.readouterr().err
+
+
 def test_error_path_returns_nonzero(tmp_path, capsys):
     missing = tmp_path / "missing.d64"
     out_path = tmp_path / "out.ipc"

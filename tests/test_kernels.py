@@ -233,6 +233,39 @@ def test_streams_byte_identical_across_kernels(shape, dtype, prefix_bits):
     assert np.array_equal(restored["reference"], restored["vectorized"])
 
 
+def test_chunked_dataset_files_byte_identical_across_kernels(tmp_path):
+    """The container path preserves the kernel-independence invariant.
+
+    Kernels are a runtime choice, never a stream property: a sharded
+    ``ChunkedDataset`` file written with the reference kernel must be
+    byte-identical to one written with the vectorized kernel (which is why
+    the manifest records no kernel field), and either kernel must decode
+    either file to identical output.
+    """
+    from repro.io import ChunkedDataset
+
+    field = load_dataset("pressure", shape=(16, 12, 10)).astype(np.float64)
+    paths = {}
+    for kernel in ("reference", "vectorized"):
+        paths[kernel] = tmp_path / f"field.{kernel}.rprc"
+        ChunkedDataset.write(
+            paths[kernel], field, error_bound=1e-4, relative=True,
+            n_blocks=3, workers=0, kernel=kernel,
+        )
+    assert paths["reference"].read_bytes() == paths["vectorized"].read_bytes()
+
+    outputs = {}
+    for kernel in ("reference", "vectorized"):
+        with ChunkedDataset(paths["vectorized"], kernel=kernel) as dataset:
+            eb = dataset.absolute_bound
+            outputs[kernel] = [
+                dataset.refine(error_bound=eb * 64).data.copy(),
+                dataset.refine(error_bound=eb).data.copy(),
+            ]
+    for ref_step, vec_step in zip(outputs["reference"], outputs["vectorized"]):
+        assert np.array_equal(ref_step, vec_step)
+
+
 def test_progressive_refinement_identical_across_kernels():
     field = load_dataset("wave", shape=(12, 14, 16))
     blob = IPComp(error_bound=1e-6, relative=True).compress(field)

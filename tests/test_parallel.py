@@ -2,17 +2,48 @@
 
 from __future__ import annotations
 
+import os
+from concurrent.futures import ProcessPoolExecutor
+
 import numpy as np
 import pytest
 
 from repro.analysis import max_error
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, StreamFormatError
+from repro.io import BlockContainerReader, BlockContainerWriter
 from repro.parallel import (
     BlockParallelCompressor,
     block_slices,
+    normalize_roi,
     partition_shape,
+    ranges_to_slices,
     reassemble,
+    slices_intersect,
+    slices_to_ranges,
 )
+
+
+def _pool_usable() -> bool:
+    try:
+        with ProcessPoolExecutor(max_workers=1) as pool:
+            return pool.submit(int, 1).result(timeout=60) == 1
+    except Exception:
+        return False
+
+
+# Worker helpers must be module-level to be picklable.
+def _fail_in_child(payload):
+    parent_pid, value = payload
+    if os.getpid() != parent_pid:
+        raise RuntimeError("worker raised on purpose")
+    return value
+
+
+def _die_in_child(payload):
+    parent_pid, value = payload
+    if os.getpid() != parent_pid:
+        os._exit(13)  # kill the worker process: breaks the pool, no exception
+    return value
 
 
 def test_partition_shape_covers_domain():
@@ -111,3 +142,137 @@ def test_compressed_bytes_accounting(smooth_3d):
 def test_invalid_configuration():
     with pytest.raises(ConfigurationError):
         BlockParallelCompressor(n_blocks=0)
+
+
+# ----------------------------------------------------------- _map error paths
+
+
+@pytest.mark.skipif(not _pool_usable(), reason="process pools unavailable here")
+def test_worker_exception_propagates():
+    """A worker-raised exception is a real error, not a cue to fall back."""
+    comp = BlockParallelCompressor(n_blocks=2, workers=2)
+    parent = os.getpid()
+    with pytest.raises(RuntimeError, match="worker raised on purpose"):
+        comp._map(_fail_in_child, [(parent, 1), (parent, 2)])
+
+
+@pytest.mark.skipif(not _pool_usable(), reason="process pools unavailable here")
+def test_broken_pool_falls_back_to_serial():
+    """Worker *processes* dying (not raising) triggers the serial fallback."""
+    comp = BlockParallelCompressor(n_blocks=2, workers=2)
+    parent = os.getpid()
+    assert comp._map(_die_in_child, [(parent, 1), (parent, 2)]) == [1, 2]
+
+
+def test_submit_time_spawn_failure_falls_back_to_serial(monkeypatch):
+    """Workers spawn lazily: fork denial at submit() is still environmental."""
+    from repro.parallel import executor as executor_module
+
+    class NoForkPool:
+        def __init__(self, *args, **kwargs):
+            pass
+
+        def submit(self, *args, **kwargs):
+            raise OSError("fork denied by sandbox")
+
+        def __enter__(self):
+            return self
+
+        def __exit__(self, *exc):
+            return False
+
+    monkeypatch.setattr(executor_module, "ProcessPoolExecutor", NoForkPool)
+    comp = BlockParallelCompressor(n_blocks=2, workers=2)
+    assert comp._map(str, [1, 2, 3]) == ["1", "2", "3"]
+
+
+def test_pool_start_failure_falls_back_to_serial(monkeypatch):
+    from repro.parallel import executor as executor_module
+
+    def broken_pool(*args, **kwargs):
+        raise OSError("no fork for you")
+
+    monkeypatch.setattr(executor_module, "ProcessPoolExecutor", broken_pool)
+    comp = BlockParallelCompressor(n_blocks=2, workers=2)
+    assert comp._map(str, [1, 2, 3]) == ["1", "2", "3"]
+
+
+def test_serial_path_never_touches_the_pool(monkeypatch):
+    from repro.parallel import executor as executor_module
+
+    def exploding_pool(*args, **kwargs):  # pragma: no cover - must not run
+        raise AssertionError("pool must not be constructed for workers=0")
+
+    monkeypatch.setattr(executor_module, "ProcessPoolExecutor", exploding_pool)
+    comp = BlockParallelCompressor(n_blocks=3, workers=0)
+    assert comp._map(str, [1, 2]) == ["1", "2"]
+
+
+# ----------------------------------------------------- container entry round-trip
+
+
+def test_compress_into_and_blocks_from_entries(tmp_path, smooth_3d):
+    comp = BlockParallelCompressor(error_bound=1e-5, relative=True, n_blocks=3, workers=0)
+    path = tmp_path / "slabs.rprc"
+    with BlockContainerWriter(path) as writer:
+        written = comp.compress_into(writer, smooth_3d)
+    with BlockContainerReader(path) as reader:
+        names = sorted(n for n in reader.block_names() if n.startswith("shard-"))
+        assert names == ["shard-0000", "shard-0001", "shard-0002"]
+        blocks = BlockParallelCompressor.blocks_from_entries(reader)
+    assert [b.blob for b in blocks] == [b.blob for b in written]
+    # Rehydrated slices are concrete; compare via their normalized extents.
+    assert [slices_to_ranges(b.slices, smooth_3d.shape) for b in blocks] == [
+        slices_to_ranges(b.slices, smooth_3d.shape) for b in written
+    ]
+    restored = comp.decompress(blocks, smooth_3d.shape)
+    eb = 1e-5 * (smooth_3d.max() - smooth_3d.min())
+    assert max_error(smooth_3d, restored) <= eb * (1 + 1e-9)
+
+
+def test_blocks_from_entries_requires_slab_metadata(tmp_path):
+    path = tmp_path / "bare.rprc"
+    with BlockContainerWriter(path) as writer:
+        writer.add_block("shard-0000", b"opaque", {})
+    with BlockContainerReader(path) as reader:
+        with pytest.raises(StreamFormatError):
+            BlockParallelCompressor.blocks_from_entries(reader)
+
+
+# ------------------------------------------------------------ slice utilities
+
+
+def test_slices_ranges_roundtrip():
+    slabs = block_slices((20, 6, 6), 4)
+    for slc in slabs:
+        ranges = slices_to_ranges(slc, (20, 6, 6))
+        back = ranges_to_slices(ranges)
+        assert all(
+            (a.indices(s)[:2]) == (b.start, b.stop)
+            for a, b, s in zip(slc, back, (20, 6, 6))
+        )
+    with pytest.raises(ConfigurationError):
+        slices_to_ranges((slice(0, 4, 2), slice(None)), (8, 8))
+    with pytest.raises(ConfigurationError):
+        slices_to_ranges((slice(0, 4),), (8, 8))
+
+
+def test_normalize_roi_and_intersection():
+    assert normalize_roi((slice(2, 5),), (10, 6)) == (slice(2, 5), slice(0, 6))
+    assert normalize_roi(slice(1, 3), (10,)) == (slice(1, 3),)
+    assert normalize_roi(((1, 4), (0, 2)), (10, 6)) == (slice(1, 4), slice(0, 2))
+    assert normalize_roi((slice(-4, None),), (10,)) == (slice(6, 10),)
+    assert normalize_roi((3, slice(1, 4)), (10, 6)) == (slice(3, 4), slice(1, 4))
+    assert normalize_roi((-1,), (10,)) == (slice(9, 10),)
+    with pytest.raises(ConfigurationError):
+        normalize_roi((10,), (10,))  # index out of range
+    with pytest.raises(ConfigurationError):
+        normalize_roi((object(),), (10,))  # unintelligible axis spec
+    with pytest.raises(ConfigurationError):
+        normalize_roi((slice(3, 3),), (10,))
+    with pytest.raises(ConfigurationError):
+        normalize_roi((slice(0, 2),) * 3, (10, 6))
+    with pytest.raises(ConfigurationError):
+        normalize_roi((slice(0, 4, 2),), (10,))
+    assert slices_intersect((slice(0, 4), slice(0, 6)), (slice(3, 5), slice(2, 4)))
+    assert not slices_intersect((slice(0, 4), slice(0, 6)), (slice(4, 8), slice(0, 6)))
