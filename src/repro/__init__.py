@@ -31,13 +31,15 @@ from __future__ import annotations
 
 from repro.core.compressor import IPComp, IPCompConfig
 from repro.core.kernels import available_kernels, get_kernel, register_kernel
+from repro.core.profile import CodecProfile
 from repro.core.progressive import ProgressiveRetriever, RetrievalResult
 from repro.core.optimizer import LoadingPlan, OptimizedLoader
 from repro.io.dataset import ChunkedDataset, DatasetReadResult
 
-__version__ = "1.1.0"
+__version__ = "2.0.0"
 
 __all__ = [
+    "CodecProfile",
     "IPComp",
     "IPCompConfig",
     "ProgressiveRetriever",

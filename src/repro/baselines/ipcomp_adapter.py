@@ -3,6 +3,10 @@
 The benchmark harness iterates over :class:`repro.baselines.base.LossyCompressor`
 instances; this adapter lets IPComp participate in the exact same loops (and
 is also a compact usage example of the public :class:`repro.IPComp` API).
+Configuration is one :class:`~repro.core.profile.CodecProfile`; the keyword
+parameters are profile-field overrides — left unspecified they defer to the
+profile (or the profile defaults), so a tuned profile's bound is never
+silently clobbered.
 """
 
 from __future__ import annotations
@@ -13,6 +17,7 @@ import numpy as np
 
 from repro.baselines.base import ProgressiveCompressor, RetrievalOutcome
 from repro.core.compressor import IPComp
+from repro.core.profile import CodecProfile
 
 
 class IPCompAdapter(ProgressiveCompressor):
@@ -22,20 +27,23 @@ class IPCompAdapter(ProgressiveCompressor):
 
     def __init__(
         self,
-        error_bound: float = 1e-6,
-        relative: bool = True,
-        method: str = "cubic",
-        prefix_bits: int = 2,
-        backend: str = "zlib",
+        error_bound: Optional[float] = None,
+        relative: Optional[bool] = None,
+        profile: Optional[CodecProfile] = None,
+        **profile_overrides,
     ) -> None:
-        super().__init__(error_bound, relative)
         self._ipcomp = IPComp(
             error_bound=error_bound,
             relative=relative,
-            method=method,
-            prefix_bits=prefix_bits,
-            backend=backend,
+            profile=profile,
+            **profile_overrides,
         )
+        p = self._ipcomp.profile
+        super().__init__(p.error_bound, p.relative)
+
+    @property
+    def profile(self) -> CodecProfile:
+        return self._ipcomp.profile
 
     def compress(self, data: np.ndarray) -> bytes:
         return self._ipcomp.compress(data)

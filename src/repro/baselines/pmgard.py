@@ -26,9 +26,9 @@ from typing import Dict, Optional
 import numpy as np
 
 from repro.baselines.base import ProgressiveCompressor, RetrievalOutcome, validate_field
-from repro.coders.backend import get_backend
 from repro.core.interpolation import InterpolationPredictor
 from repro.core.predictive_coder import PredictiveCoder
+from repro.core.profile import CodecProfile
 from repro.core.progressive import ProgressiveRetriever
 from repro.core.quantizer import LinearQuantizer
 from repro.core.stream import IPCompStream, StreamHeader
@@ -66,7 +66,10 @@ class PMGARDCompressor(ProgressiveCompressor):
         refinement = _quantizer_refinement(data.shape, predictor.num_levels)
         eb_q = eb_user / refinement
         quantizer = LinearQuantizer(eb_q)
-        coder = PredictiveCoder(quantizer, get_backend(self.backend), self.prefix_bits)
+        coder = PredictiveCoder(
+            quantizer,
+            CodecProfile.fixed(self.backend, prefix_bits=self.prefix_bits),
+        )
 
         anchor_values, unit_coeffs = predictor.transform(data, granularity="sweep")
         anchor_codes = quantizer.quantize(anchor_values)
@@ -81,7 +84,7 @@ class PMGARDCompressor(ProgressiveCompressor):
             error_bound=eb_q,
             method="linear",
             prefix_bits=self.prefix_bits,
-            backend=self.backend,
+            anchor_coder=self.backend,
             anchor_count=int(anchor_codes.size),
             anchor_size=len(anchor_block),
             levels=encodings,

@@ -3,11 +3,13 @@
 Subcommands::
 
     ipcomp compress   INPUT.raw -o OUT.ipc --shape 64x96x96 --eb 1e-6 [--abs]
+    ipcomp compress   INPUT.raw -o OUT.ipc --shape 64x96x96 --profile prof.json
     ipcomp compress   INPUT.raw -o OUT.rprc --shape 64x96x96 --blocks 4
     ipcomp decompress OUT.ipc  -o RESTORED.raw
     ipcomp retrieve   OUT.ipc  -o PARTIAL.raw (--error-bound 1e-3 | --bitrate 2.0)
     ipcomp retrieve   OUT.rprc -o ROI.raw --roi 0:16,:,: --error-bound 1e-3
-    ipcomp info       OUT.ipc
+    ipcomp info       OUT.ipc             # header: version, levels, per-plane codec
+    ipcomp info       OUT.rprc            # manifest + per-shard header summary
     ipcomp datasets                       # print the Table 3 inventory
     ipcomp demo       --dataset density   # synthetic end-to-end demo + metrics
 
@@ -16,6 +18,11 @@ shape is passed as ``AxBxC``.  ``compress --blocks N`` writes a sharded
 :class:`~repro.io.ChunkedDataset` container instead of a single stream;
 ``retrieve`` detects the format from the file and, for containers, serves
 ``--roi START:STOP,...`` regions by opening only the intersecting shards.
+
+Configuration is one :class:`~repro.core.profile.CodecProfile`:
+``--profile FILE.json`` loads a profile, and the individual flags (``--eb``,
+``--abs``, ``--method``, ``--kernel``, ``--coders``, ``--negotiation``)
+override single fields of it — flags always win over the file.
 """
 
 from __future__ import annotations
@@ -25,11 +32,10 @@ import json
 import sys
 from pathlib import Path
 
-import numpy as np
-
-from repro import ChunkedDataset, IPComp, ProgressiveRetriever
+from repro import ChunkedDataset, CodecProfile, IPComp, ProgressiveRetriever
 from repro.analysis import summarize
 from repro.core.kernels import DEFAULT_KERNEL, available_kernels
+from repro.core.profile import NEGOTIATION_POLICIES
 from repro.core.stream import IPCompStream
 from repro.datasets import dataset_table, load_dataset, load_raw, save_raw
 from repro.errors import ConfigurationError, ReproError
@@ -61,13 +67,94 @@ def _parse_roi(text: str) -> tuple:
     return tuple(axes)
 
 
-def _add_kernel_argument(subparser: argparse.ArgumentParser) -> None:
+def _parse_coders(text: str) -> tuple:
+    return tuple(part.strip() for part in text.split(",") if part.strip())
+
+
+def _add_profile_arguments(subparser: argparse.ArgumentParser, full: bool = True) -> None:
+    """Codec-profile options: a JSON file plus per-field override flags.
+
+    ``full=False`` adds only the decode-relevant subset (the kernel): prefix
+    bits, coders, and the bound are stream properties on the read side.
+    """
+    subparser.add_argument(
+        "--profile",
+        type=Path,
+        default=None,
+        metavar="FILE.json",
+        help="codec profile JSON file; individual flags override its fields",
+    )
     subparser.add_argument(
         "--kernel",
         choices=available_kernels(),
-        default=DEFAULT_KERNEL,
-        help="bit-level kernel implementation (default: %(default)s)",
+        default=None,
+        help=f"bit-level kernel implementation (default: {DEFAULT_KERNEL})",
     )
+    if not full:
+        return
+    subparser.add_argument("--eb", type=float, default=None, help="error bound")
+    subparser.add_argument(
+        "--abs", action=argparse.BooleanOptionalAction, default=None,
+        help="treat the error bound as absolute instead of range-relative "
+        "(--no-abs restores range-relative over a profile file)",
+    )
+    subparser.add_argument("--method", choices=("cubic", "linear"), default=None)
+    subparser.add_argument(
+        "--coders",
+        type=_parse_coders,
+        default=None,
+        metavar="A,B,...",
+        help="plane-coder candidate set, e.g. zlib,huffman,rle,raw",
+    )
+    subparser.add_argument(
+        "--negotiation",
+        choices=NEGOTIATION_POLICIES,
+        default=None,
+        help="how the plane coder is chosen from the candidates "
+        "(smallest: per-plane trial encode; fixed: always the first)",
+    )
+
+
+def _profile_from_args(args) -> CodecProfile:
+    """Resolve the effective profile: file (or defaults) + flag overrides."""
+    base = CodecProfile.from_file(args.profile) if getattr(args, "profile", None) else None
+    overrides = {}
+    if getattr(args, "kernel", None) is not None:
+        overrides["kernel"] = args.kernel
+    if getattr(args, "eb", None) is not None:
+        overrides["error_bound"] = args.eb
+    if getattr(args, "abs", None) is not None:
+        overrides["relative"] = not args.abs
+    if getattr(args, "method", None) is not None:
+        overrides["method"] = args.method
+    if getattr(args, "coders", None) is not None:
+        overrides["plane_coders"] = args.coders
+    if getattr(args, "negotiation", None) is not None:
+        overrides["negotiation"] = args.negotiation
+    return CodecProfile.from_options(base, **overrides)
+
+
+def _decode_profile_from_args(args) -> CodecProfile:
+    """The decode-side profile: only the kernel field is consumed.
+
+    Streams are self-describing, so a profile file written on a machine with
+    extra coders registered must not fail validation here — only its kernel
+    (flag wins over file) is read.
+    """
+    kernel = args.kernel
+    if kernel is None and args.profile is not None:
+        try:
+            obj = json.loads(Path(args.profile).read_text(encoding="utf-8"))
+        except (OSError, ValueError) as exc:
+            raise ConfigurationError(
+                f"cannot read codec profile {args.profile}: {exc}"
+            ) from None
+        if not isinstance(obj, dict):
+            raise ConfigurationError("codec profile JSON must be an object")
+        kernel = obj.get("kernel")
+    if kernel is None:
+        return CodecProfile()
+    return CodecProfile(kernel=kernel)
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -81,11 +168,6 @@ def _build_parser() -> argparse.ArgumentParser:
     compress.add_argument("-o", "--output", type=Path, required=True)
     compress.add_argument("--shape", type=_parse_shape, required=True)
     compress.add_argument("--dtype", default="float64")
-    compress.add_argument("--eb", type=float, default=1e-6, help="error bound")
-    compress.add_argument(
-        "--abs", action="store_true", help="treat --eb as absolute instead of range-relative"
-    )
-    compress.add_argument("--method", choices=("cubic", "linear"), default="cubic")
     compress.add_argument(
         "--blocks",
         type=int,
@@ -100,12 +182,12 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="process-pool size for --blocks compression (0 = serial)",
     )
-    _add_kernel_argument(compress)
+    _add_profile_arguments(compress)
 
     decompress = sub.add_parser("decompress", help="full-precision decompression")
     decompress.add_argument("input", type=Path)
     decompress.add_argument("-o", "--output", type=Path, required=True)
-    _add_kernel_argument(decompress)
+    _add_profile_arguments(decompress, full=False)
 
     retrieve = sub.add_parser("retrieve", help="partial retrieval at a fidelity target")
     retrieve.add_argument("input", type=Path)
@@ -121,9 +203,11 @@ def _build_parser() -> argparse.ArgumentParser:
         help="region of interest (container inputs only): per-axis "
         "start:stop, ':' keeps an axis whole",
     )
-    _add_kernel_argument(retrieve)
+    _add_profile_arguments(retrieve, full=False)
 
-    info = sub.add_parser("info", help="print the stream header")
+    info = sub.add_parser(
+        "info", help="print the parsed stream header / dataset manifest"
+    )
     info.add_argument("input", type=Path)
 
     sub.add_parser("datasets", help="list the Table 3 dataset inventory")
@@ -131,23 +215,20 @@ def _build_parser() -> argparse.ArgumentParser:
     demo = sub.add_parser("demo", help="synthetic end-to-end demo")
     demo.add_argument("--dataset", default="density")
     demo.add_argument("--shape", type=_parse_shape, default=None)
-    demo.add_argument("--eb", type=float, default=1e-6)
-    _add_kernel_argument(demo)
+    _add_profile_arguments(demo)
     return parser
 
 
 def _cmd_compress(args) -> int:
     data = load_raw(args.input, args.shape, args.dtype)
+    profile = _profile_from_args(args)
     if args.blocks is not None:
         manifest = ChunkedDataset.write(
             args.output,
             data,
-            error_bound=args.eb,
-            relative=not args.abs,
+            profile=profile,
             n_blocks=args.blocks,
             workers=args.workers,
-            method=args.method,
-            kernel=args.kernel,
         )
         size = args.output.stat().st_size
         print(
@@ -156,10 +237,7 @@ def _cmd_compress(args) -> int:
             f"eb {manifest['error_bound']:.3e})"
         )
         return 0
-    comp = IPComp(
-        error_bound=args.eb, relative=not args.abs, method=args.method,
-        kernel=args.kernel,
-    )
+    comp = IPComp(profile=profile)
     blob = comp.compress(data)
     args.output.write_bytes(blob)
     print(
@@ -170,14 +248,15 @@ def _cmd_compress(args) -> int:
 
 
 def _cmd_decompress(args) -> int:
+    profile = _decode_profile_from_args(args)
     if is_container(args.input):
-        with ChunkedDataset(args.input, kernel=args.kernel) as dataset:
+        with ChunkedDataset(args.input, profile=profile) as dataset:
             result = dataset.read()
         save_raw(args.output, result.data)
         print(f"decompressed to {args.output} shape={result.data.shape}")
         return 0
     blob = args.input.read_bytes()
-    retriever = ProgressiveRetriever(blob, kernel=args.kernel)
+    retriever = ProgressiveRetriever(blob, profile=profile)
     result = retriever.retrieve(error_bound=retriever.header.error_bound)
     save_raw(args.output, result.data)
     print(f"decompressed to {args.output} shape={result.data.shape}")
@@ -185,12 +264,13 @@ def _cmd_decompress(args) -> int:
 
 
 def _cmd_retrieve(args) -> int:
+    profile = _decode_profile_from_args(args)
     if is_container(args.input):
         if args.bitrate is not None:
             raise ConfigurationError(
                 "container retrieval targets an error bound, not a bitrate"
             )
-        with ChunkedDataset(args.input, kernel=args.kernel) as dataset:
+        with ChunkedDataset(args.input, profile=profile) as dataset:
             result = dataset.read(error_bound=args.error_bound, roi=args.roi)
             save_raw(args.output, result.data)
             print(
@@ -205,7 +285,7 @@ def _cmd_retrieve(args) -> int:
             "--roi requires a chunked container (compress with --blocks)"
         )
     blob = args.input.read_bytes()
-    retriever = ProgressiveRetriever(blob, kernel=args.kernel)
+    retriever = ProgressiveRetriever(blob, profile=profile)
     result = retriever.retrieve(error_bound=args.error_bound, bitrate=args.bitrate)
     save_raw(args.output, result.data)
     print(
@@ -215,13 +295,37 @@ def _cmd_retrieve(args) -> int:
     return 0
 
 
+def _header_summary(header) -> dict:
+    """The inspection view of a parsed stream header (``info`` subcommand)."""
+    summary = header.to_json()
+    summary["version"] = header.version
+    summary["payload_bytes"] = header.payload_bytes()
+    # to_json emits codec indices (the compact wire form); resolve them back
+    # to names so the inspection output is directly readable.
+    codecs = summary["codecs"]
+    summary["anchor_coder"] = codecs[summary["anchor_coder"]]
+    for level in summary["levels"]:
+        level["plane_codecs"] = [codecs[i] for i in level["plane_codecs"]]
+        del level["delta_table"]  # planning detail, noise for inspection
+    return summary
+
+
 def _cmd_info(args) -> int:
     if is_container(args.input):
         with ChunkedDataset(args.input) as dataset:
-            print(json.dumps(dataset.manifest, indent=2))
+            report = dict(dataset.manifest)
+            report["file_bytes"] = dataset.file_bytes
+            shard_headers = {}
+            for shard in sorted(dataset.shards, key=lambda s: s.name):
+                header, _ = IPCompStream.parse_header_source(
+                    dataset.shard_source(shard.name)
+                )
+                shard_headers[shard.name] = _header_summary(header)
+            report["shard_headers"] = shard_headers
+        print(json.dumps(report, indent=2))
         return 0
     header, _ = IPCompStream.parse_header(args.input.read_bytes())
-    print(json.dumps(header.to_json(), indent=2))
+    print(json.dumps(_header_summary(header), indent=2))
     return 0
 
 
@@ -232,11 +336,14 @@ def _cmd_datasets(_args) -> int:
 
 def _cmd_demo(args) -> int:
     field = load_dataset(args.dataset, shape=args.shape)
-    comp = IPComp(error_bound=args.eb, relative=True, kernel=args.kernel)
+    comp = IPComp(profile=_profile_from_args(args))
     blob = comp.compress(field)
     restored = comp.decompress(blob)
     report = summarize(field, restored, blob)
-    print(f"dataset={args.dataset} shape={field.shape} eb(rel)={args.eb}")
+    print(
+        f"dataset={args.dataset} shape={field.shape} "
+        f"eb({'abs' if not comp.profile.relative else 'rel'})={comp.profile.error_bound}"
+    )
     for key, value in report.items():
         print(f"  {key:18s} {value:.6g}")
     return 0

@@ -32,14 +32,23 @@ class Backend(Protocol):
 _REGISTRY: Dict[str, Callable[[], Backend]] = {}
 
 
-def register_backend(name: str, factory: Callable[[], Backend]) -> None:
+def register_backend(
+    name: str, factory: Callable[[], Backend], *, replace: bool = False
+) -> None:
     """Register a lossless backend factory under ``name``.
 
-    Registering the same name twice replaces the previous factory, which is
-    handy in tests that want to inject instrumented backends.
+    Re-registering an existing name is rejected unless ``replace=True`` —
+    a silent replacement would let two subsystems fight over a name and
+    corrupt streams that negotiated the original coder.  Tests that inject
+    instrumented backends pass ``replace=True`` explicitly.
     """
     if not name:
         raise ConfigurationError("backend name must be a non-empty string")
+    if name in _REGISTRY and not replace:
+        raise ConfigurationError(
+            f"lossless backend {name!r} is already registered; "
+            "pass replace=True to override it"
+        )
     _REGISTRY[name] = factory
 
 

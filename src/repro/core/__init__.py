@@ -18,11 +18,13 @@ from repro.core.compressor import IPComp, IPCompConfig
 from repro.core.interpolation import InterpolationPredictor
 from repro.core.kernels import Kernel, available_kernels, get_kernel, register_kernel
 from repro.core.optimizer import LoadingPlan, OptimizedLoader
+from repro.core.profile import CodecProfile
 from repro.core.progressive import ProgressiveRetriever
 from repro.core.quantizer import LinearQuantizer
 from repro.core.stream import CompressedStore, IPCompStream
 
 __all__ = [
+    "CodecProfile",
     "IPComp",
     "IPCompConfig",
     "InterpolationPredictor",

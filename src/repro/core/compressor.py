@@ -6,9 +6,13 @@
 ``IPCompStream`` for compression, and ``ProgressiveRetriever`` (+ the
 ``OptimizedLoader``) for single-pass decompression at any fidelity.
 
+Configuration is one :class:`~repro.core.profile.CodecProfile`; keyword
+arguments are conveniences that override profile fields and are validated
+against them — an unknown option raises instead of being silently ignored.
+
 Typical use::
 
-    from repro import IPComp
+    from repro import CodecProfile, IPComp
 
     comp = IPComp(error_bound=1e-6, relative=True)
     blob = comp.compress(field)
@@ -21,84 +25,59 @@ Typical use::
     coarse = retriever.retrieve(error_bound=1e-2)
     finer  = retriever.retrieve(error_bound=1e-4)      # loads only the delta
     exact  = retriever.retrieve(bitrate=4.0)           # or budget the I/O
+
+    # or hand the whole configuration over as one object
+    profile = CodecProfile(error_bound=1e-5, plane_coders=("zlib", "huffman"))
+    comp = IPComp(profile=profile)
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Optional
 
 import numpy as np
 
-from repro.coders.backend import get_backend
-from repro.core.bitplane import DEFAULT_PREFIX_BITS
 from repro.core.interpolation import InterpolationPredictor
-from repro.core.kernels import DEFAULT_KERNEL, get_kernel
 from repro.core.predictive_coder import PredictiveCoder
+from repro.core.profile import CodecProfile
 from repro.core.progressive import ProgressiveRetriever, RetrievalResult
-from repro.core.quantizer import LinearQuantizer, relative_to_absolute
+from repro.core.quantizer import LinearQuantizer
 from repro.core.stream import IPCompStream, StreamHeader
 from repro.errors import ConfigurationError
 
-
-@dataclass(frozen=True)
-class IPCompConfig:
-    """Compression configuration.
-
-    Parameters
-    ----------
-    error_bound:
-        The point-wise L∞ bound ``eb``.  Interpreted as absolute unless
-        ``relative`` is true, in which case it is multiplied by the value
-        range of each field at compression time (the SDRBench convention the
-        paper uses).
-    relative:
-        Whether ``error_bound`` is value-range relative.
-    method:
-        Interpolation formula: ``"cubic"`` (default) or ``"linear"``.
-    prefix_bits:
-        Number of prefix bits of the predictive bitplane coder (0–3; 2 is the
-        paper's choice, Table 2).
-    backend:
-        Registered lossless backend name used for every block (default
-        ``"zlib"``, the zstd stand-in).
-    kernel:
-        Registered bit-level kernel name (:mod:`repro.core.kernels`) used for
-        quantization, negabinary conversion, and bitplane coding.  Default
-        ``"vectorized"``; ``"reference"`` selects the loop-based oracle.
-        Both kernels produce byte-identical streams.
-    """
-
-    error_bound: float = 1e-6
-    relative: bool = True
-    method: str = "cubic"
-    prefix_bits: int = DEFAULT_PREFIX_BITS
-    backend: str = "zlib"
-    kernel: str = DEFAULT_KERNEL
-
-    def __post_init__(self) -> None:
-        if self.error_bound <= 0 or not np.isfinite(self.error_bound):
-            raise ConfigurationError("error_bound must be a positive finite number")
-        if self.method not in ("cubic", "linear"):
-            raise ConfigurationError("method must be 'cubic' or 'linear'")
-        if not 0 <= self.prefix_bits <= 3:
-            raise ConfigurationError("prefix_bits must be in [0, 3]")
-        get_kernel(self.kernel)  # fail fast on unknown kernel names
+#: The v1-era per-compressor configuration class is the unified codec
+#: profile now; the old name still resolves, but the field set is the
+#: profile's (``backend=`` survives only as a keyword shim in
+#: :meth:`CodecProfile.from_options` / ``IPComp(**...)``, and ``kernel=``
+#: moved from retriever/dataset signatures into the profile) — a breaking
+#: release, reflected in the package version.
+IPCompConfig = CodecProfile
 
 
 class IPComp:
     """Interpolation-based progressive lossy compressor (the paper's IPComp)."""
 
-    def __init__(self, error_bound: float = 1e-6, relative: bool = True, **kwargs) -> None:
-        self.config = IPCompConfig(error_bound=error_bound, relative=relative, **kwargs)
+    def __init__(
+        self,
+        error_bound: Optional[float] = None,
+        relative: Optional[bool] = None,
+        profile: Optional[CodecProfile] = None,
+        **options,
+    ) -> None:
+        self.profile = CodecProfile.from_options(
+            profile, error_bound=error_bound, relative=relative, **options
+        )
+
+    @property
+    def config(self) -> CodecProfile:
+        """Alias kept for the v1-era attribute name."""
+        return self.profile
 
     # ------------------------------------------------------------- compression
 
     def absolute_bound(self, data: np.ndarray) -> float:
         """The absolute ``eb`` used for a given field."""
-        if self.config.relative:
-            return relative_to_absolute(self.config.error_bound, data)
-        return self.config.error_bound
+        return self.profile.absolute_bound(data)
 
     def compress(self, data: np.ndarray) -> bytes:
         """Compress a field into a progressive, block-addressable stream."""
@@ -110,14 +89,9 @@ class IPComp:
         if not np.isfinite(data).all():
             raise ConfigurationError("IPComp requires finite input values")
         eb = self.absolute_bound(data)
-        predictor = InterpolationPredictor(data.shape, self.config.method)
-        quantizer = LinearQuantizer(eb, kernel=self.config.kernel)
-        coder = PredictiveCoder(
-            quantizer,
-            get_backend(self.config.backend),
-            self.config.prefix_bits,
-            kernel=self.config.kernel,
-        )
+        predictor = InterpolationPredictor(data.shape, self.profile.method)
+        quantizer = LinearQuantizer(eb, kernel=self.profile.kernel)
+        coder = PredictiveCoder(quantizer, self.profile)
 
         # Progressive blocks are grouped per interpolation *sweep* (one unit
         # per (level, dimension) pass): at that granularity the Theorem-1
@@ -134,9 +108,9 @@ class IPComp:
             shape=tuple(data.shape),
             dtype=str(data.dtype),
             error_bound=eb,
-            method=self.config.method,
-            prefix_bits=self.config.prefix_bits,
-            backend=self.config.backend,
+            method=self.profile.method,
+            prefix_bits=self.profile.prefix_bits,
+            anchor_coder=self.profile.anchor_coder,
             anchor_count=int(anchor_codes.size),
             anchor_size=len(anchor_block),
             levels=encodings,
@@ -153,7 +127,7 @@ class IPComp:
 
     def retriever(self, blob: bytes) -> ProgressiveRetriever:
         """Create a stateful progressive retriever over a compressed stream."""
-        return ProgressiveRetriever(blob, kernel=self.config.kernel)
+        return ProgressiveRetriever(blob, profile=self.profile)
 
     def retrieve(
         self,

@@ -6,12 +6,19 @@ sequence of *independently decodable blocks*, one per bitplane:
 1. signed integers → negabinary codes (:mod:`repro.core.negabinary`);
 2. codes → bitplanes, most significant first (:mod:`repro.core.bitplane`);
 3. planes → XOR-predicted planes using the two previously loaded planes;
-4. every predicted plane → packed bits → lossless backend (zstd stand-in).
+4. every predicted plane → packed bits → a lossless coder chosen by the
+   profile's **backend negotiation**: each candidate coder trial-encodes the
+   packed plane and the smallest output wins (ties break toward the earlier
+   candidate, so the choice — and therefore the stream — is deterministic).
+   The winning coder's name is recorded per plane in
+   :attr:`LevelEncoding.plane_coders` and travels in the stream-v2 header,
+   so decoding dispatches per ``(level, plane)`` without any out-of-band
+   configuration.
 
 Steps 1–4 run on a pluggable bit-level kernel (:mod:`repro.core.kernels`):
 the default ``"vectorized"`` kernel performs them as NumPy bulk passes, the
 ``"reference"`` kernel as auditable Python loops; both yield byte-identical
-blocks.
+blocks (coder negotiation only sees the packed bytes, which are identical).
 
 Alongside the blocks the encoder records the *exact* information-loss table
 ``δy_l(b)`` — the largest value-domain error introduced at this level when the
@@ -24,16 +31,16 @@ noticeably on smooth fields where low planes are mostly zero.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.coders.backend import Backend
-from repro.core.bitplane import DEFAULT_PREFIX_BITS
-from repro.core.kernels import Kernel, get_kernel
+from repro.coders.backend import Backend, get_backend
+from repro.core.kernels import DEFAULT_KERNEL, get_kernel
 from repro.core.negabinary import required_bits_from_codes, truncate_low_planes
+from repro.core.profile import CodecProfile
 from repro.core.quantizer import LinearQuantizer
-from repro.errors import StreamFormatError
+from repro.errors import ConfigurationError, StreamFormatError
 
 
 @dataclass
@@ -50,6 +57,9 @@ class LevelEncoding:
         Number of bitplanes (width of the widest negabinary code).
     plane_blocks:
         Losslessly compressed blocks, most significant plane first.
+    plane_coders:
+        Name of the lossless coder each plane block was encoded with,
+        parallel to ``plane_blocks`` (and to the header's plane sizes).
     delta_table:
         ``delta_table[b]`` is the exact maximum value-domain error introduced
         at this level when the ``b`` lowest planes are dropped
@@ -60,6 +70,7 @@ class LevelEncoding:
     count: int
     nbits: int
     plane_blocks: List[bytes] = field(default_factory=list)
+    plane_coders: List[str] = field(default_factory=list)
     delta_table: np.ndarray = field(default_factory=lambda: np.zeros(1))
 
     @property
@@ -71,21 +82,106 @@ class LevelEncoding:
     def total_bytes(self) -> int:
         return sum(self.plane_sizes)
 
+    def coder_for_plane(self, plane: int) -> str:
+        try:
+            return self.plane_coders[plane]
+        except IndexError:
+            raise StreamFormatError(
+                f"level {self.level} has no coder recorded for plane {plane}"
+            ) from None
+
+
+def negotiate_encode(
+    data: bytes, candidates: Sequence[str], coders: Optional[Dict[str, Backend]] = None
+) -> Tuple[str, bytes]:
+    """Encode ``data`` with the best candidate coder; return ``(name, blob)``.
+
+    Every candidate trial-encodes the payload and the smallest output wins;
+    ties break toward the earlier candidate.  With a single candidate this
+    degenerates to a plain encode (the ``"fixed"`` negotiation policy).
+    """
+    best_name: Optional[str] = None
+    best_blob: Optional[bytes] = None
+    for name in candidates:
+        coder = coders[name] if coders is not None else get_backend(name)
+        blob = coder.encode(data)
+        if best_blob is None or len(blob) < len(best_blob):
+            best_name, best_blob = name, blob
+    if best_name is None or best_blob is None:
+        raise StreamFormatError("no candidate coders to negotiate between")
+    return best_name, best_blob
+
 
 class PredictiveCoder:
-    """Stateless encoder/decoder shared by compression and retrieval."""
+    """Stateless encoder/decoder shared by compression and retrieval.
 
-    def __init__(
-        self,
-        quantizer: LinearQuantizer,
-        backend: Backend,
-        prefix_bits: int = DEFAULT_PREFIX_BITS,
-        kernel: "str | Kernel | None" = None,
-    ) -> None:
+    The encode path is configured by a :class:`~repro.core.profile.CodecProfile`
+    (candidate coders + negotiation policy + prefix bits + kernel); the decode
+    path needs no profile — per-plane coder names arrive with the stream
+    metadata — so retrieval constructs the coder via :meth:`for_header`.
+    """
+
+    def __init__(self, quantizer: LinearQuantizer, profile: Optional[CodecProfile] = None) -> None:
+        if profile is None:
+            profile = CodecProfile()
         self.quantizer = quantizer
-        self.backend = backend
-        self.prefix_bits = prefix_bits
-        self.kernel = get_kernel(kernel)
+        self.profile = profile
+        self.prefix_bits = profile.prefix_bits
+        self.anchor_coder = profile.anchor_coder
+        self.candidates = profile.candidates
+        self.kernel = get_kernel(profile.kernel)
+        # One shared instance cache for every stage; the encode candidates
+        # (and anchor coder) are resolved once, not per plane.
+        self._coders: Dict[str, Backend] = {
+            name: get_backend(name) for name in {self.anchor_coder, *self.candidates}
+        }
+
+    @classmethod
+    def for_header(cls, header, quantizer: LinearQuantizer, kernel: Optional[str] = None) -> "PredictiveCoder":
+        """A decode-side coder for a parsed stream header.
+
+        ``kernel`` is the runtime kernel choice; everything that shapes the
+        bytes (prefix bits, anchor coder, per-plane coders) comes from the
+        header itself — streams are self-describing.  The synthesized profile
+        pins the header's anchor coder as the only (fixed) candidate, so the
+        coder is fully initialised: re-encoding through it stays coherent
+        and ``coder.profile`` is always a real profile.
+        """
+        get_kernel(kernel)  # a bad kernel is the *caller's* mistake: config error
+        try:
+            profile = CodecProfile(
+                error_bound=header.error_bound,
+                relative=False,
+                method=header.method,
+                prefix_bits=header.prefix_bits,
+                kernel=kernel if kernel is not None else DEFAULT_KERNEL,
+                anchor_coder=header.anchor_coder,
+                plane_coders=(header.anchor_coder,),
+                negotiation="fixed",
+            )
+        except ConfigurationError as exc:
+            # Out-of-range header fields are stream corruption, not a caller
+            # configuration mistake — keep the errors.py taxonomy honest.
+            raise StreamFormatError(f"stream header invalid: {exc}") from None
+        return cls(quantizer, profile)
+
+    def _coder(self, name: str) -> Backend:
+        try:
+            return self._coders[name]
+        except KeyError:
+            pass
+        # The encode-side coders are prefetched from the validated profile in
+        # __init__, so a lazy miss can only come from a *stream's* per-plane
+        # coder table — an unknown name there is stream corruption (or a
+        # foreign coder), not a caller configuration mistake.
+        try:
+            backend = get_backend(name)
+        except ConfigurationError:
+            raise StreamFormatError(
+                f"stream names unknown lossless coder {name!r}"
+            ) from None
+        self._coders[name] = backend
+        return backend
 
     # ------------------------------------------------------------------ encode
 
@@ -96,9 +192,14 @@ class PredictiveCoder:
         nbits = required_bits_from_codes(negabinary)
         planes = self.kernel.extract_bitplanes(negabinary, nbits)
         predicted = self.kernel.predictive_encode(planes, self.prefix_bits)
-        blocks = [
-            self.backend.encode(self.kernel.pack_bits(plane)) for plane in predicted
-        ]
+        blocks: List[bytes] = []
+        chosen: List[str] = []
+        for plane in predicted:
+            name, block = negotiate_encode(
+                self.kernel.pack_bits(plane), self.candidates, self._coders
+            )
+            blocks.append(block)
+            chosen.append(name)
 
         delta = np.zeros(nbits + 1, dtype=np.float64)
         for dropped in range(1, nbits + 1):
@@ -112,25 +213,31 @@ class PredictiveCoder:
             count=codes.size,
             nbits=nbits,
             plane_blocks=blocks,
+            plane_coders=chosen,
             delta_table=delta,
         )
 
     def encode_anchor(self, codes: np.ndarray) -> bytes:
         """Encode the (small, always fully loaded) anchor integers."""
         codes = np.asarray(codes, dtype=np.int64).ravel()
-        return self.backend.encode(codes.tobytes())
+        return self._coder(self.anchor_coder).encode(codes.tobytes())
 
     # ------------------------------------------------------------------ decode
 
     def decode_anchor(self, block: bytes, count: int) -> np.ndarray:
         """Recover dequantized anchor values from their block."""
-        raw = self.backend.decode(block)
+        raw = self._coder(self.anchor_coder).decode(block)
         codes = np.frombuffer(raw, dtype=np.int64)
         if codes.size != count:
             raise StreamFormatError(
                 f"anchor block holds {codes.size} integers, expected {count}"
             )
         return self.quantizer.dequantize(codes)
+
+    def decode_plane_bits(self, encoding_meta: "LevelEncoding", plane: int, block: bytes) -> np.ndarray:
+        """Decode one plane block to its (still XOR-predicted) bit row."""
+        backend = self._coder(encoding_meta.coder_for_plane(plane))
+        return self.kernel.unpack_bits(backend.decode(block), encoding_meta.count)
 
     def decode_level(
         self,
@@ -144,18 +251,14 @@ class PredictiveCoder:
         interpolation reconstruction.
         """
         count = encoding_meta.count
-        nbits = encoding_meta.nbits
         keep = len(loaded_blocks)
-        if keep > nbits:
+        if keep > encoding_meta.nbits:
             raise StreamFormatError("more plane blocks supplied than the level width")
         if count == 0 or keep == 0:
             return np.zeros(count, dtype=np.float64)
-        encoded = np.empty((keep, count), dtype=np.uint8)
-        for row, block in enumerate(loaded_blocks):
-            encoded[row] = self.kernel.unpack_bits(self.backend.decode(block), count)
-        planes = self.kernel.predictive_decode(encoded, self.prefix_bits)
-        codes = self.kernel.from_negabinary(self.kernel.assemble_bitplanes(planes, nbits))
-        return self.quantizer.dequantize(codes)
+        return self.quantizer.dequantize(
+            self.decode_level_codes(encoding_meta, loaded_blocks)
+        )
 
     def decode_level_codes(
         self,
@@ -175,6 +278,6 @@ class PredictiveCoder:
             return np.zeros(count, dtype=np.int64)
         encoded = np.empty((keep, count), dtype=np.uint8)
         for row, block in enumerate(loaded_blocks):
-            encoded[row] = self.kernel.unpack_bits(self.backend.decode(block), count)
+            encoded[row] = self.decode_plane_bits(encoding_meta, row, block)
         planes = self.kernel.predictive_decode(encoded, self.prefix_bits)
         return self.kernel.from_negabinary(self.kernel.assemble_bitplanes(planes, nbits))

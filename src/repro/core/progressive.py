@@ -27,14 +27,13 @@ from typing import Dict, Optional
 
 import numpy as np
 
-from repro.coders.backend import get_backend
-from repro.core.bitplane import DEFAULT_PREFIX_BITS
 from repro.core.interpolation import InterpolationPredictor
 from repro.core.optimizer import LoadingPlan, OptimizedLoader
 from repro.core.predictive_coder import PredictiveCoder
+from repro.core.profile import CodecProfile
 from repro.core.quantizer import LinearQuantizer
 from repro.core.stream import CompressedStore
-from repro.errors import ConfigurationError, RetrievalError
+from repro.errors import ConfigurationError, RetrievalError, StreamFormatError
 
 
 @dataclass
@@ -68,23 +67,29 @@ class ProgressiveRetriever:
     every retrieval, including Algorithm-2 refinement, touches exactly the
     byte ranges of the blocks it needs and nothing else.
 
-    ``kernel`` selects the bit-level kernel (:mod:`repro.core.kernels`) used
-    for plane decoding; it is a runtime choice, not a stream property — every
-    kernel reads every stream.
+    ``profile`` supplies the only decode-time knob — the bit-level kernel
+    (:mod:`repro.core.kernels`) used for plane decoding.  Everything that
+    shaped the bytes (prefix bits, per-plane lossless coders) comes from the
+    stream's own header: streams are self-describing, so any profile reads
+    any stream.
     """
 
-    def __init__(self, blob, kernel: Optional[str] = None) -> None:
+    def __init__(self, blob, profile: Optional[CodecProfile] = None) -> None:
+        kernel = profile.kernel if profile is not None else None
         self.store = CompressedStore(blob)
         header = self.store.header
         self.header = header
-        self.predictor = InterpolationPredictor(header.shape, header.method)
-        self.quantizer = LinearQuantizer(header.error_bound, kernel=kernel)
-        self.coder = PredictiveCoder(
-            self.quantizer,
-            get_backend(header.backend),
-            prefix_bits=header.prefix_bits,
-            kernel=kernel,
-        )
+        try:
+            # These constructors validate their inputs, but here every input
+            # comes from the stream's own header — an out-of-range value is
+            # stream corruption, not a caller configuration mistake (the
+            # kernel is the one caller-supplied piece, pre-validated by the
+            # profile).
+            self.predictor = InterpolationPredictor(header.shape, header.method)
+            self.quantizer = LinearQuantizer(header.error_bound, kernel=kernel)
+            self.coder = PredictiveCoder.for_header(header, self.quantizer, kernel=kernel)
+        except ConfigurationError as exc:
+            raise StreamFormatError(f"stream header invalid: {exc}") from None
         self.loader = OptimizedLoader(header, overhead_bytes=self.store.overhead_bytes)
         # Retrieval state (Algorithm 2 needs all three).
         self._current_keep: Dict[int, int] = {enc.level: 0 for enc in header.levels}
@@ -234,10 +239,11 @@ class ProgressiveRetriever:
             decoded[:old_keep] = kernel.extract_bitplanes(old_negabinary, enc.nbits)[
                 :old_keep
             ]
-        # Decode the newly loaded planes using the already-known prefix planes.
+        # Decode the newly loaded planes using the already-known prefix planes
+        # (each plane block dispatches to the coder its header entry names).
         for offset, block in enumerate(new_blocks):
             k = old_keep + offset
-            plane = kernel.unpack_bits(self.coder.backend.decode(block), count).copy()
+            plane = self.coder.decode_plane_bits(enc, k, block).copy()
             for j in range(1, self.coder.prefix_bits + 1):
                 if k - j >= 0:
                     plane ^= decoded[k - j]

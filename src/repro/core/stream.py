@@ -12,6 +12,22 @@ tables ``δy_l(b)``.  Only after planning are the selected blocks actually read,
 which is what lets :class:`CompressedStore` report the exact retrieval volume
 plotted in Figures 6 and 7.
 
+Two header versions exist (the binary ``version`` word distinguishes them):
+
+* **v1** — one implicit lossless backend for the whole stream, named by the
+  header's ``"backend"`` field.
+* **v2** (current) — per-``(level, plane)`` codec dispatch: the header holds
+  a ``"codecs"`` name table (the coders actually used), the anchor block's
+  coder, and per level a ``"plane_codecs"`` index array parallel to the
+  plane sizes.  This is what backend negotiation records, and it makes every
+  stream self-describing — no compression-time configuration is needed to
+  decode one.
+
+Readers accept both: a v1 header is normalised at parse time into the same
+in-memory :class:`StreamHeader` (every plane coded by the single backend), so
+all downstream code — store, optimizer, retriever — sees one representation.
+Writers always produce v2.
+
 The JSON header costs a few kilobytes; for the multi-megabyte scientific
 fields the format targets this is negligible and it keeps the format easy to
 inspect and to evolve.
@@ -23,7 +39,7 @@ import json
 import struct
 import zlib
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 import numpy as np
 
@@ -31,7 +47,8 @@ from repro.core.predictive_coder import LevelEncoding
 from repro.errors import StreamFormatError
 
 MAGIC = b"IPC1"
-VERSION = 1
+VERSION = 2
+SUPPORTED_VERSIONS = (1, 2)
 
 
 class BytesSource:
@@ -58,17 +75,18 @@ class BytesSource:
 
 @dataclass
 class StreamHeader:
-    """Decoded header of an IPComp stream."""
+    """Decoded header of an IPComp stream (v1 and v2 normalise to this)."""
 
     shape: Tuple[int, ...]
     dtype: str
     error_bound: float
     method: str
     prefix_bits: int
-    backend: str
+    anchor_coder: str
     anchor_count: int
     anchor_size: int
     levels: List[LevelEncoding] = field(default_factory=list)
+    version: int = VERSION
 
     @property
     def num_levels(self) -> int:
@@ -86,16 +104,28 @@ class StreamHeader:
 
     def payload_bytes(self) -> int:
         """Total size of anchor + all plane blocks (excluding the header)."""
-        return self.anchor_size + sum(enc.total_bytes for enc in self.levels)
+        return self.anchor_size + sum(
+            sum(header_plane_sizes(enc)) for enc in self.levels
+        )
+
+    def codec_names(self) -> Tuple[str, ...]:
+        """Every lossless coder this stream uses (anchor + planes), sorted."""
+        used = {self.anchor_coder}
+        for enc in self.levels:
+            used.update(enc.plane_coders)
+        return tuple(sorted(used))
 
     def to_json(self) -> dict:
+        codecs = list(self.codec_names())
+        index = {name: i for i, name in enumerate(codecs)}
         return {
             "shape": list(self.shape),
             "dtype": self.dtype,
             "error_bound": self.error_bound,
             "method": self.method,
             "prefix_bits": self.prefix_bits,
-            "backend": self.backend,
+            "codecs": codecs,
+            "anchor_coder": index[self.anchor_coder],
             "anchor_count": self.anchor_count,
             "anchor_size": self.anchor_size,
             "levels": [
@@ -103,7 +133,8 @@ class StreamHeader:
                     "level": enc.level,
                     "count": enc.count,
                     "nbits": enc.nbits,
-                    "plane_sizes": enc.plane_sizes,
+                    "plane_sizes": header_plane_sizes(enc),
+                    "plane_codecs": [index[name] for name in enc.plane_coders],
                     # Stored rounded *up* to 5 significant digits: keeps the
                     # header small without ever under-stating the information
                     # loss (the optimizer's guarantee stays valid).
@@ -118,17 +149,65 @@ class StreamHeader:
 
     @classmethod
     def from_json(cls, obj: dict) -> "StreamHeader":
+        """Decode a header object — either the v2 or the legacy v1 shape.
+
+        Every malformed shape — missing keys, wrong types, codec indices
+        outside the name table — surfaces as :class:`StreamFormatError`.
+        """
+        try:
+            return cls._from_json(obj)
+        except (IndexError, KeyError, TypeError, ValueError) as exc:
+            if isinstance(exc, StreamFormatError):
+                raise
+            raise StreamFormatError(f"malformed stream header: {exc!r}") from None
+
+    @classmethod
+    def _from_json(cls, obj: dict) -> "StreamHeader":
+        if "codecs" in obj:
+            codecs = [str(name) for name in obj["codecs"]]
+            version = 2
+
+            def resolve(index) -> str:
+                index = int(index)
+                if not 0 <= index < len(codecs):
+                    raise StreamFormatError(
+                        f"codec index {index} outside the name table "
+                        f"of {len(codecs)} entries"
+                    )
+                return codecs[index]
+
+            anchor_coder = resolve(obj["anchor_coder"])
+
+            def plane_coders(item: dict) -> List[str]:
+                return [resolve(i) for i in item["plane_codecs"]]
+
+        else:  # v1: one implicit backend for anchor and every plane
+            backend = str(obj["backend"])
+            anchor_coder = backend
+            version = 1
+
+            def plane_coders(item: dict) -> List[str]:
+                return [backend] * len(item["plane_sizes"])
+
         levels = []
         for item in obj["levels"]:
+            sizes = [int(s) for s in item["plane_sizes"]]
+            coders = plane_coders(item)
+            if len(coders) != len(sizes):
+                raise StreamFormatError(
+                    f"level {item['level']}: {len(coders)} plane codecs "
+                    f"for {len(sizes)} plane sizes"
+                )
             enc = LevelEncoding(
                 level=int(item["level"]),
                 count=int(item["count"]),
                 nbits=int(item["nbits"]),
                 plane_blocks=[],
+                plane_coders=coders,
                 delta_table=np.asarray(item["delta_table"], dtype=np.float64),
             )
-            # Plane blocks are not stored in the header; only their sizes are.
-            enc._header_plane_sizes = [int(s) for s in item["plane_sizes"]]  # type: ignore[attr-defined]
+            # Plane blocks are not stored in the header; only their sizes.
+            enc._header_plane_sizes = sizes  # type: ignore[attr-defined]
             levels.append(enc)
         return cls(
             shape=tuple(int(s) for s in obj["shape"]),
@@ -136,10 +215,11 @@ class StreamHeader:
             error_bound=float(obj["error_bound"]),
             method=str(obj["method"]),
             prefix_bits=int(obj["prefix_bits"]),
-            backend=str(obj["backend"]),
+            anchor_coder=anchor_coder,
             anchor_count=int(obj["anchor_count"]),
             anchor_size=int(obj["anchor_size"]),
             levels=levels,
+            version=version,
         )
 
 
@@ -191,8 +271,11 @@ class IPCompStream:
         if prefix[:4] != MAGIC:
             raise StreamFormatError("not an IPComp stream (bad magic)")
         version, header_len = struct.unpack_from("<HI", prefix, 4)
-        if version != VERSION:
-            raise StreamFormatError(f"unsupported stream version {version}")
+        if version not in SUPPORTED_VERSIONS:
+            raise StreamFormatError(
+                f"unsupported stream version {version} "
+                f"(supported: {SUPPORTED_VERSIONS})"
+            )
         start = 10
         end = start + header_len
         if end > source.size:
@@ -201,7 +284,16 @@ class IPCompStream:
             header_json = zlib.decompress(source.read_range(start, header_len))
         except zlib.error as exc:
             raise StreamFormatError(f"corrupted IPComp header: {exc}") from None
-        header = StreamHeader.from_json(json.loads(header_json.decode("utf-8")))
+        try:
+            obj = json.loads(header_json.decode("utf-8"))
+        except ValueError as exc:  # bad UTF-8 or bad JSON
+            raise StreamFormatError(f"malformed stream header: {exc!r}") from None
+        header = StreamHeader.from_json(obj)  # normalises its own errors
+        if header.version != version:
+            raise StreamFormatError(
+                f"stream version word says {version} but the header body "
+                f"is version {header.version}"
+            )
         return header, end
 
 

@@ -24,11 +24,13 @@ File layout (a :mod:`repro.io.container` block container)::
 
     shard-0000 | shard-0001 | ... | manifest | footer
 
-The manifest records shape, dtype, slab slices, the global absolute error
-bound, and the stream parameters (method / prefix bits / backend).  The
-bit-level *kernel* is deliberately **not** a manifest field: kernels are a
-runtime choice that never changes the bytes, so datasets written with
-different kernels are byte-identical (enforced by ``tests/test_kernels.py``).
+The manifest (version 2) records shape, dtype, slab slices, the global
+absolute error bound, and the full resolved
+:class:`~repro.core.profile.CodecProfile` the shards were written with;
+version-1 manifests (method / prefix bits / backend as loose fields) are
+still read.  The profile's bit-level *kernel* is resolved at write time but
+never changes the bytes, so datasets written with different kernels are
+byte-identical (enforced by ``tests/test_kernels.py``).
 """
 
 from __future__ import annotations
@@ -40,7 +42,7 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from repro.core.compressor import IPCompConfig
+from repro.core.profile import CodecProfile
 from repro.core.progressive import ProgressiveRetriever
 from repro.errors import ConfigurationError, StreamFormatError
 from repro.io.container import (
@@ -60,7 +62,8 @@ from repro.parallel.partition import (
 
 MANIFEST_BLOCK = "manifest"
 FORMAT_NAME = "repro-chunked-dataset"
-FORMAT_VERSION = 1
+FORMAT_VERSION = 2
+SUPPORTED_MANIFEST_VERSIONS = (1, 2)
 
 
 @dataclass
@@ -96,14 +99,14 @@ class ChunkedDataset:
     """Sharded, file-backed IPComp store with ROI-progressive reads.
 
     Open an existing file with ``ChunkedDataset(path)`` (context-manager
-    friendly) or create one with :meth:`ChunkedDataset.write`.  ``kernel``
-    selects the runtime decode kernel; it does not need to match the kernel
-    used at write time.
+    friendly) or create one with :meth:`ChunkedDataset.write`.  ``profile``
+    supplies the runtime decode kernel; it does not need to match the
+    profile used at write time (shards are self-describing v2 streams).
     """
 
-    def __init__(self, path: Union[str, Path], kernel: Optional[str] = None) -> None:
+    def __init__(self, path: Union[str, Path], profile: Optional[CodecProfile] = None) -> None:
         self.path = Path(path)
-        self.kernel = kernel
+        self.profile = profile
         self._reader = BlockContainerReader(self.path)
         if MANIFEST_BLOCK not in self._reader.directory:
             self._reader.close()
@@ -112,14 +115,19 @@ class ChunkedDataset:
             manifest = json.loads(self._reader.read_block(MANIFEST_BLOCK).decode("utf-8"))
             if not isinstance(manifest, dict) or manifest.get("format") != FORMAT_NAME:
                 raise StreamFormatError(f"{self.path} is not a chunked dataset")
-            if int(manifest.get("version", 0)) != FORMAT_VERSION:
+            version = int(manifest.get("version", 0))
+            if version not in SUPPORTED_MANIFEST_VERSIONS:
                 raise StreamFormatError(
-                    f"unsupported dataset version {manifest.get('version')}"
+                    f"unsupported dataset version {manifest.get('version')} "
+                    f"(supported: {SUPPORTED_MANIFEST_VERSIONS})"
                 )
             self.manifest = manifest
+            self.version = version
             self.shape: Tuple[int, ...] = tuple(int(s) for s in manifest["shape"])
             self.dtype = np.dtype(manifest["dtype"])
             self.absolute_bound = float(manifest["error_bound"])
+            if version >= 2 and "profile" not in manifest:
+                raise StreamFormatError("dataset manifest v2 has no profile")
             self.shards: List[DatasetShard] = [
                 DatasetShard(item["name"], ranges_to_slices(item["slices"]))
                 for item in manifest["shards"]
@@ -137,6 +145,35 @@ class ChunkedDataset:
         self._retrievers: Dict[str, ProgressiveRetriever] = {}
         self._sources: Dict[str, BlockSource] = {}
         self._cumulative_bytes = 0
+        self._write_profile: Optional[CodecProfile] = None
+
+    @property
+    def write_profile(self) -> CodecProfile:
+        """The codec profile the shards were written with (informational).
+
+        Built lazily so that *opening and reading* a dataset never validates
+        it: the profile names the writer's **candidate** coders, which a
+        reader need not have registered to decode the shards (streams are
+        self-describing and only record coders that actually won a plane).
+        Accessing this property does validate against the local registry and
+        raises :class:`~repro.errors.ConfigurationError` when the writer
+        used candidates this process lacks.
+        """
+        if self._write_profile is None:
+            if self.version >= 2:
+                self._write_profile = CodecProfile.from_json(self.manifest["profile"])
+            else:
+                # v1 manifests spell out the stream parameters as loose
+                # fields with one implicit backend for every stage.
+                self._write_profile = CodecProfile.from_options(
+                    None,
+                    error_bound=self.absolute_bound,
+                    relative=False,
+                    method=str(self.manifest["method"]),
+                    prefix_bits=int(self.manifest["prefix_bits"]),
+                    backend=str(self.manifest["backend"]),
+                )
+        return self._write_profile
 
     # ------------------------------------------------------------------ write
 
@@ -146,29 +183,29 @@ class ChunkedDataset:
         path: Union[str, Path],
         data: np.ndarray,
         *,
-        error_bound: float = 1e-6,
-        relative: bool = True,
+        profile: Optional[CodecProfile] = None,
         n_blocks: int = 4,
         workers: Optional[int] = None,
-        **ipcomp_kwargs,
+        **profile_overrides,
     ) -> dict:
         """Compress ``data`` into a new dataset file; returns the manifest.
 
-        One IPComp stream per slab is produced (process-parallel via
+        Configuration is one :class:`~repro.core.profile.CodecProfile`
+        (``profile`` plus field overrides such as ``error_bound=`` /
+        ``relative=`` / ``kernel=``).  One IPComp stream per slab is produced
+        (process-parallel via
         :class:`~repro.parallel.executor.BlockParallelCompressor`) and the
         slab's absolute bound is derived from the *global* value range, so
-        the reassembled field honours the bound globally.
+        the reassembled field honours the bound globally.  The resolved
+        profile is embedded in the manifest.
         """
         data = np.asarray(data)
         # Resolve the range-relative bound once (one min/max scan of the
-        # field) and hand the compressor the already-absolute config.
-        resolved = BlockParallelCompressor(
-            error_bound=error_bound, relative=relative, **ipcomp_kwargs
-        ).resolved_config(data)
+        # field) and hand the compressor the already-absolute profile.
+        resolved = CodecProfile.from_options(profile, **profile_overrides).resolve(data)
         compressor = BlockParallelCompressor(
-            n_blocks=n_blocks, workers=workers, **resolved
+            n_blocks=n_blocks, workers=workers, profile=resolved
         )
-        config = IPCompConfig(**resolved)
         with BlockContainerWriter(path) as writer:
             blocks = compressor.compress_into(writer, data)
             manifest = {
@@ -176,10 +213,10 @@ class ChunkedDataset:
                 "version": FORMAT_VERSION,
                 "shape": [int(s) for s in data.shape],
                 "dtype": str(data.dtype),
-                "error_bound": float(config.error_bound),
-                "method": config.method,
-                "prefix_bits": config.prefix_bits,
-                "backend": config.backend,
+                "error_bound": float(resolved.error_bound),
+                # runtime=False: the kernel never changes bytes, and the
+                # manifest must stay byte-identical across write kernels.
+                "profile": resolved.to_json(runtime=False),
                 "shards": [
                     {
                         "name": shard_name(index),
@@ -267,7 +304,7 @@ class ChunkedDataset:
             if retriever is None:
                 source = BlockSource(self._reader, shard.name)
                 sources[shard.name] = source
-                retriever = ProgressiveRetriever(source, kernel=self.kernel)
+                retriever = ProgressiveRetriever(source, profile=self.profile)
                 retrievers[shard.name] = retriever
             result = retriever.retrieve(error_bound=target)
             achieved = max(achieved, result.error_bound)
@@ -315,6 +352,15 @@ class ChunkedDataset:
     @property
     def n_shards(self) -> int:
         return len(self.shards)
+
+    def shard_source(self, name: str) -> BlockSource:
+        """A byte-range source over one shard's embedded IPComp stream.
+
+        Reuses the dataset's open container reader, so inspection tools
+        (e.g. the CLI's ``info``) can parse per-shard stream headers without
+        opening the file a second time.
+        """
+        return BlockSource(self._reader, name)
 
     @property
     def bytes_read(self) -> int:

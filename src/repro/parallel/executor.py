@@ -6,10 +6,11 @@ NumPy work genuinely runs in parallel), and reassembles on decompression.
 Because each block carries its own error-bounded stream the global L∞ bound
 is preserved, and progressive retrieval can be served block by block.
 
-Workers receive ``(config kwargs, slab array)`` and return bytes; the
-top-level :func:`_compress_block` / :func:`_decompress_block` functions exist
-so the payloads are picklable by the standard :mod:`concurrent.futures`
-machinery.  ``workers=0`` (or an environment without ``fork``/spawn support)
+Workers receive ``(CodecProfile, slab array)`` and return bytes; the profile
+is a frozen dataclass of primitives, so it pickles across the process
+boundary unchanged, and the top-level :func:`_compress_block` /
+:func:`_decompress_block` functions exist so the payloads are picklable by
+the standard :mod:`concurrent.futures` machinery.  ``workers=0`` (or an environment without ``fork``/spawn support)
 falls back to serial execution with identical results.  A pool that cannot
 start — or that loses its worker processes — triggers the serial fallback;
 an exception *raised by the worker function itself* is a real error and
@@ -32,6 +33,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.core.compressor import IPComp
+from repro.core.profile import CodecProfile
 from repro.core.progressive import ProgressiveRetriever
 from repro.errors import ConfigurationError, StreamFormatError
 from repro.parallel.partition import (
@@ -51,10 +53,10 @@ def shard_name(index: int) -> str:
     return f"{SHARD_PREFIX}{index:04d}"
 
 
-def _compress_block(payload: Tuple[dict, np.ndarray]) -> bytes:
+def _compress_block(payload: Tuple[CodecProfile, np.ndarray]) -> bytes:
     """Worker: compress one slab with a fresh IPComp instance."""
-    config, block = payload
-    return IPComp(**config).compress(block)
+    profile, block = payload
+    return IPComp(profile=profile).compress(block)
 
 
 def _decompress_block(blob: bytes) -> np.ndarray:
@@ -86,15 +88,18 @@ class BlockParallelCompressor:
 
     def __init__(
         self,
-        error_bound: float = 1e-6,
-        relative: bool = True,
+        error_bound: Optional[float] = None,
+        relative: Optional[bool] = None,
         n_blocks: int = 4,
         workers: Optional[int] = None,
-        **ipcomp_kwargs,
+        profile: Optional[CodecProfile] = None,
+        **profile_overrides,
     ) -> None:
         if n_blocks < 1:
             raise ConfigurationError("n_blocks must be positive")
-        self.config = dict(error_bound=error_bound, relative=relative, **ipcomp_kwargs)
+        self.profile = CodecProfile.from_options(
+            profile, error_bound=error_bound, relative=relative, **profile_overrides
+        )
         self.n_blocks = n_blocks
         self.workers = workers
 
@@ -133,26 +138,21 @@ class BlockParallelCompressor:
 
     # ------------------------------------------------------------- public API
 
-    def resolved_config(self, data: np.ndarray) -> dict:
-        """The per-block IPComp configuration for ``data``, bound resolved.
+    def resolved_profile(self, data: np.ndarray) -> CodecProfile:
+        """The per-block codec profile for ``data``, bound resolved.
 
         The per-block absolute bound is derived from the *global* field when
-        the configuration is range-relative, so every block honours the same
+        the profile is range-relative, so every block honours the same
         absolute bound and the reassembled field satisfies it globally.
         """
-        config = dict(self.config)
-        if config.get("relative", True):
-            comp = IPComp(**config)
-            config["error_bound"] = comp.absolute_bound(np.asarray(data))
-            config["relative"] = False
-        return config
+        return self.profile.resolve(np.asarray(data))
 
     def compress(self, data: np.ndarray) -> List[CompressedBlock]:
         """Compress ``data`` into ``n_blocks`` independent IPComp streams."""
         data = np.asarray(data)
-        config = self.resolved_config(data)
+        profile = self.resolved_profile(data)
         slabs = block_slices(data.shape, self.n_blocks)
-        payloads = [(config, np.ascontiguousarray(data[slc])) for slc in slabs]
+        payloads = [(profile, np.ascontiguousarray(data[slc])) for slc in slabs]
         blobs = self._map(_compress_block, payloads)
         return [CompressedBlock(slc, blob) for slc, blob in zip(slabs, blobs)]
 

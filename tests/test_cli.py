@@ -70,6 +70,81 @@ def test_info_prints_header_json(tmp_path, raw_field, capsys):
     header = json.loads(capsys.readouterr().out)
     assert header["shape"] == [16, 18, 20]
     assert header["levels"]
+    # v2 inspection output: version, codec names, per-plane codec + sizes.
+    assert header["version"] == 2
+    assert header["codecs"]
+    assert header["anchor_coder"] in header["codecs"]
+    for level in header["levels"]:
+        assert len(level["plane_codecs"]) == len(level["plane_sizes"])
+        assert set(level["plane_codecs"]) <= set(header["codecs"])
+
+
+def test_info_on_container_includes_shard_headers(tmp_path, raw_field, capsys):
+    _, raw_path = raw_field
+    container = tmp_path / "density.rprc"
+    main(["compress", str(raw_path), "-o", str(container), "--shape", "16x18x20",
+          "--blocks", "2", "--workers", "0"])
+    capsys.readouterr()
+    assert main(["info", str(container)]) == 0
+    report = json.loads(capsys.readouterr().out)
+    assert report["format"] == "repro-chunked-dataset"
+    assert report["version"] == 2
+    assert "profile" in report
+    assert set(report["shard_headers"]) == {"shard-0000", "shard-0001"}
+    for summary in report["shard_headers"].values():
+        assert summary["version"] == 2
+        assert summary["levels"]
+
+
+def test_profile_file_configures_compression(tmp_path, raw_field, capsys):
+    field, raw_path = raw_field
+    profile_path = tmp_path / "profile.json"
+    profile_path.write_text(json.dumps({
+        "error_bound": 1e-4,
+        "relative": True,
+        "plane_coders": ["zlib", "raw"],
+        "negotiation": "smallest",
+    }))
+    compressed = tmp_path / "density.ipc"
+    assert main(["compress", str(raw_path), "-o", str(compressed),
+                 "--shape", "16x18x20", "--profile", str(profile_path)]) == 0
+    capsys.readouterr()
+    assert main(["info", str(compressed)]) == 0
+    header = json.loads(capsys.readouterr().out)
+    assert set(header["codecs"]) <= {"zlib", "raw"}
+    eb = 1e-4 * (field.max() - field.min())
+    assert header["error_bound"] == pytest.approx(eb, rel=1e-6)
+
+    # Flags override profile-file fields.
+    tighter = tmp_path / "tighter.ipc"
+    assert main(["compress", str(raw_path), "-o", str(tighter), "--shape", "16x18x20",
+                 "--profile", str(profile_path), "--eb", "1e-6"]) == 0
+    capsys.readouterr()
+    assert main(["info", str(tighter)]) == 0
+    header = json.loads(capsys.readouterr().out)
+    assert header["error_bound"] == pytest.approx(1e-6 * (field.max() - field.min()), rel=1e-6)
+
+
+def test_negotiation_flags(tmp_path, raw_field, capsys):
+    _, raw_path = raw_field
+    negotiated = tmp_path / "neg.ipc"
+    fixed = tmp_path / "fix.ipc"
+    assert main(["compress", str(raw_path), "-o", str(negotiated), "--shape", "16x18x20",
+                 "--eb", "1e-5", "--coders", "huffman,zlib,rle,raw"]) == 0
+    assert main(["compress", str(raw_path), "-o", str(fixed), "--shape", "16x18x20",
+                 "--eb", "1e-5", "--coders", "huffman", "--negotiation", "fixed"]) == 0
+    capsys.readouterr()
+    assert negotiated.stat().st_size <= fixed.stat().st_size
+
+
+def test_bad_profile_file_errors(tmp_path, raw_field, capsys):
+    _, raw_path = raw_field
+    bad = tmp_path / "bad.json"
+    bad.write_text("{not json")
+    code = main(["compress", str(raw_path), "-o", str(tmp_path / "x.ipc"),
+                 "--shape", "16x18x20", "--profile", str(bad)])
+    assert code == 2
+    assert "error:" in capsys.readouterr().err
 
 
 def test_datasets_listing(capsys):

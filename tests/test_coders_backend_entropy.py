@@ -39,9 +39,27 @@ def test_register_custom_backend():
         def decode(self, data: bytes) -> bytes:
             return data[::-1]
 
-    register_backend("reverse", Reverser)
+    register_backend("reverse", Reverser, replace=True)
     backend = get_backend("reverse")
     assert backend.decode(backend.encode(b"abc")) == b"abc"
+
+
+def test_duplicate_register_rejected():
+    """Silently replacing a registered coder could corrupt negotiated streams."""
+    with pytest.raises(ConfigurationError, match="already registered"):
+        register_backend("zlib", ZlibCoder)
+    # The original registration survives the failed attempt.
+    assert get_backend("zlib").decode(get_backend("zlib").encode(b"abc")) == b"abc"
+
+
+def test_register_replace_opt_in():
+    register_backend("zlib", ZlibCoder, replace=True)
+    assert "zlib" in available_backends()
+
+
+def test_register_empty_name_rejected():
+    with pytest.raises(ConfigurationError):
+        register_backend("", ZlibCoder)
 
 
 def test_zlib_level_validation():

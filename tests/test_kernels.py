@@ -12,7 +12,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro import IPComp
+from repro import CodecProfile, IPComp
 from repro.coders.huffman import decode_symbols, encode_symbols
 from repro.core.kernels import (
     DEFAULT_KERNEL,
@@ -225,7 +225,7 @@ def test_streams_byte_identical_across_kernels(shape, dtype, prefix_bits):
 
     # Cross-decode: each kernel decodes the shared stream to identical output.
     restored = {
-        kernel: ProgressiveRetriever(blobs["vectorized"], kernel=kernel)
+        kernel: ProgressiveRetriever(blobs["vectorized"], profile=CodecProfile(kernel=kernel))
         .retrieve(error_bound=1e-3)
         .data
         for kernel in ("reference", "vectorized")
@@ -256,7 +256,7 @@ def test_chunked_dataset_files_byte_identical_across_kernels(tmp_path):
 
     outputs = {}
     for kernel in ("reference", "vectorized"):
-        with ChunkedDataset(paths["vectorized"], kernel=kernel) as dataset:
+        with ChunkedDataset(paths["vectorized"], profile=CodecProfile(kernel=kernel)) as dataset:
             eb = dataset.absolute_bound
             outputs[kernel] = [
                 dataset.refine(error_bound=eb * 64).data.copy(),
@@ -272,7 +272,7 @@ def test_progressive_refinement_identical_across_kernels():
     eb = ProgressiveRetriever(blob).header.error_bound
     outputs = {}
     for kernel in ("reference", "vectorized"):
-        retriever = ProgressiveRetriever(blob, kernel=kernel)
+        retriever = ProgressiveRetriever(blob, profile=CodecProfile(kernel=kernel))
         steps = [retriever.retrieve(error_bound=bound).data
                  for bound in (512 * eb, 16 * eb, eb)]
         outputs[kernel] = steps

@@ -1,0 +1,122 @@
+"""Backend negotiation: per-plane trial encoding and its size guarantee.
+
+The acceptance property of the negotiated path: over the synthetic dataset
+sweep, a profile whose candidate set *contains* ``huffman`` never produces a
+larger total stream than the huffman-only profile — per plane the negotiator
+picks the minimum of the candidates, and huffman is one of them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import CodecProfile, IPComp
+from repro.coders.backend import get_backend
+from repro.core.predictive_coder import negotiate_encode
+from repro.core.stream import IPCompStream, header_plane_sizes
+from repro.datasets import load_dataset
+from repro.errors import StreamFormatError
+
+# Local generator — never consume the session-scoped conftest ``rng``.
+_rng = np.random.default_rng(60901)
+
+CANDIDATES = ("huffman", "zlib", "rle", "raw")
+
+
+# ------------------------------------------------------------- negotiate_encode
+
+
+def test_negotiate_picks_smallest_candidate():
+    payload = b"\x00" * 512  # rle/zlib crush this, raw does not
+    name, blob = negotiate_encode(payload, CANDIDATES)
+    sizes = {c: len(get_backend(c).encode(payload)) for c in CANDIDATES}
+    assert len(blob) == min(sizes.values())
+    assert sizes[name] == min(sizes.values())
+
+
+def test_negotiate_tie_breaks_toward_earlier_candidate():
+    payload = b"x"
+    # raw and a copy of raw tie; the first listed must win.
+    name, _ = negotiate_encode(payload, ("raw", "raw"))
+    assert name == "raw"
+
+
+def test_negotiate_single_candidate_is_fixed_encode():
+    payload = bytes(_rng.integers(0, 256, size=300, dtype=np.uint8))
+    name, blob = negotiate_encode(payload, ("zlib",))
+    assert name == "zlib"
+    assert get_backend("zlib").decode(blob) == payload
+
+
+def test_negotiate_empty_candidates_rejected():
+    with pytest.raises(StreamFormatError):
+        negotiate_encode(b"data", ())
+
+
+def test_negotiated_plane_blocks_are_minimal_per_plane():
+    """Every recorded plane block is the min over the candidate encodings."""
+    field = load_dataset("density", shape=(10, 12, 14))
+    profile = CodecProfile(error_bound=1e-5, plane_coders=CANDIDATES)
+    blob = IPComp(profile=profile).compress(field)
+    header, _ = IPCompStream.parse_header(blob)
+    # Re-encode with each fixed single coder; the negotiated size per plane
+    # must equal the minimum of the fixed sizes.
+    fixed_headers = {}
+    for coder in CANDIDATES:
+        fixed_blob = IPComp(
+            profile=CodecProfile.fixed(coder, error_bound=1e-5)
+        ).compress(field)
+        fixed_headers[coder], _ = IPCompStream.parse_header(fixed_blob)
+    for enc in sorted(header.levels, key=lambda e: e.level):
+        sizes = header_plane_sizes(enc)
+        for plane, size in enumerate(sizes):
+            best = min(
+                header_plane_sizes(fixed_headers[c].level(enc.level))[plane]
+                for c in CANDIDATES
+            )
+            assert size == best
+
+
+# ----------------------------------------------------------- sweep guarantee
+
+
+@pytest.mark.parametrize("dataset", ["density", "pressure", "wave", "ch4"])
+@pytest.mark.parametrize("rel_bound", [1e-3, 1e-6])
+def test_negotiated_never_larger_than_huffman_only(dataset, rel_bound):
+    # Strictly, only the per-plane payload is min-dominated (the anchor block
+    # and header differ between the two profiles); on this deterministic
+    # sweep the plane savings dwarf those few-byte deltas, which is the
+    # operational guarantee the CI smoke step also relies on.
+    field = load_dataset(dataset, shape=(12, 14, 16))
+    negotiated = IPComp(
+        profile=CodecProfile(error_bound=rel_bound, plane_coders=CANDIDATES)
+    ).compress(field)
+    huffman_only = IPComp(
+        profile=CodecProfile.fixed("huffman", error_bound=rel_bound)
+    ).compress(field)
+    assert len(negotiated) <= len(huffman_only)
+
+    # Both decode within the bound.
+    for blob in (negotiated, huffman_only):
+        restored = IPComp(error_bound=rel_bound).decompress(blob)
+        header, _ = IPCompStream.parse_header(blob)
+        assert np.abs(field - restored).max() <= header.error_bound * (1 + 1e-12)
+
+
+def test_negotiated_never_larger_than_any_fixed_backend():
+    """Stronger form on one field: negotiation beats every fixed candidate."""
+    field = load_dataset("velocityx", shape=(12, 12, 12))
+    negotiated_blob = IPComp(
+        profile=CodecProfile(error_bound=1e-5, plane_coders=CANDIDATES)
+    ).compress(field)
+    header_neg, _ = IPCompStream.parse_header(negotiated_blob)
+    for coder in CANDIDATES:
+        fixed_blob = IPComp(
+            profile=CodecProfile.fixed(coder, error_bound=1e-5)
+        ).compress(field)
+        header_fixed, _ = IPCompStream.parse_header(fixed_blob)
+        # Fixed profiles share the anchor coder with their plane coder, so
+        # allow the anchor-block size difference when comparing totals.
+        anchor_slack = max(0, header_neg.anchor_size - header_fixed.anchor_size)
+        assert len(negotiated_blob) <= len(fixed_blob) + anchor_slack

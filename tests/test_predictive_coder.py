@@ -5,15 +5,15 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.coders.backend import get_backend
 from repro.core.predictive_coder import PredictiveCoder
+from repro.core.profile import CodecProfile
 from repro.core.quantizer import LinearQuantizer
 from repro.errors import StreamFormatError
 
 
 @pytest.fixture
 def coder():
-    return PredictiveCoder(LinearQuantizer(0.01), get_backend("zlib"), prefix_bits=2)
+    return PredictiveCoder(LinearQuantizer(0.01), CodecProfile.fixed("zlib", prefix_bits=2))
 
 
 @pytest.fixture
@@ -99,7 +99,9 @@ def test_too_many_blocks_rejected(coder, codes):
 
 @pytest.mark.parametrize("prefix_bits", [0, 1, 2, 3])
 def test_all_prefix_settings_roundtrip(rng, prefix_bits):
-    coder = PredictiveCoder(LinearQuantizer(0.5), get_backend("zlib"), prefix_bits)
+    coder = PredictiveCoder(
+        LinearQuantizer(0.5), CodecProfile.fixed("zlib", prefix_bits=prefix_bits)
+    )
     codes = rng.integers(-100, 100, size=777)
     encoding = coder.encode_level(4, codes)
     assert np.array_equal(

@@ -1,0 +1,224 @@
+"""Unit tests of the unified CodecProfile configuration layer."""
+
+from __future__ import annotations
+
+import json
+import pickle
+
+import numpy as np
+import pytest
+
+from repro import CodecProfile, IPComp, IPCompConfig
+from repro.baselines.ipcomp_adapter import IPCompAdapter
+from repro.core.profile import DEFAULT_PLANE_CODERS
+from repro.errors import ConfigurationError
+from repro.parallel import BlockParallelCompressor
+
+# Local generator: the session-scoped conftest ``rng`` is one shared stream
+# and consuming it here would shift every later module's draws.
+_rng = np.random.default_rng(8842)
+
+
+def _field(shape=(12, 10, 8)):
+    base = np.cumsum(_rng.normal(size=shape), axis=0)
+    return (base + np.cumsum(_rng.normal(size=shape), axis=1)).astype(np.float64)
+
+
+# ------------------------------------------------------------------ validation
+
+
+def test_defaults_are_valid():
+    profile = CodecProfile()
+    assert profile.plane_coders == DEFAULT_PLANE_CODERS
+    assert profile.negotiation == "smallest"
+    assert profile.candidates == DEFAULT_PLANE_CODERS
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"error_bound": 0.0},
+        {"error_bound": float("nan")},
+        {"method": "quartic"},
+        {"prefix_bits": 7},
+        {"kernel": "no-such-kernel"},
+        {"anchor_coder": "no-such-coder"},
+        {"plane_coders": ("zlib", "no-such-coder")},
+        {"plane_coders": ()},
+        {"negotiation": "biggest"},
+    ],
+)
+def test_invalid_fields_rejected(kwargs):
+    with pytest.raises(ConfigurationError):
+        CodecProfile(**kwargs)
+
+
+def test_plane_coders_coerced_to_tuple():
+    assert CodecProfile(plane_coders=["zlib", "raw"]).plane_coders == ("zlib", "raw")
+    assert CodecProfile(plane_coders="rle").plane_coders == ("rle",)
+
+
+def test_fixed_policy_uses_only_first_candidate():
+    profile = CodecProfile(plane_coders=("rle", "zlib"), negotiation="fixed")
+    assert profile.candidates == ("rle",)
+
+
+def test_fixed_constructor():
+    profile = CodecProfile.fixed("huffman", prefix_bits=1)
+    assert profile.plane_coders == ("huffman",)
+    assert profile.anchor_coder == "huffman"
+    assert profile.negotiation == "fixed"
+    assert profile.prefix_bits == 1
+
+
+def test_resolve_makes_bound_absolute():
+    field = _field()
+    profile = CodecProfile(error_bound=1e-4, relative=True)
+    resolved = profile.resolve(field)
+    assert not resolved.relative
+    assert resolved.error_bound == pytest.approx(
+        1e-4 * (field.max() - field.min())
+    )
+    # Absolute profiles resolve to themselves.
+    assert resolved.resolve(field) is resolved
+
+
+# ---------------------------------------------------------------- from_options
+
+
+def test_unknown_option_raises_value_error_listing_fields():
+    with pytest.raises(ValueError, match="kernal"):
+        CodecProfile.from_options(None, kernal="vectorized")
+    with pytest.raises(ConfigurationError, match="valid fields"):
+        CodecProfile.from_options(None, error_bond=1e-3)
+
+
+def test_ipcomp_rejects_typo_kwargs():
+    """The satellite regression: IPComp must not swallow unknown options."""
+    with pytest.raises(ValueError, match="kernal"):
+        IPComp(error_bound=1e-5, kernal="vectorized")
+
+
+def test_legacy_backend_kwarg_maps_to_fixed_profile():
+    profile = CodecProfile.from_options(None, backend="rle")
+    assert profile.anchor_coder == "rle"
+    assert profile.plane_coders == ("rle",)
+    assert profile.negotiation == "fixed"
+
+
+def test_from_options_overrides_base_profile():
+    base = CodecProfile(error_bound=1e-3, method="linear")
+    derived = CodecProfile.from_options(base, error_bound=1e-5)
+    assert derived.error_bound == 1e-5
+    assert derived.method == "linear"
+    assert CodecProfile.from_options(base) is base
+
+
+def test_from_options_rejects_non_profile_base():
+    with pytest.raises(ConfigurationError):
+        CodecProfile.from_options({"error_bound": 1e-3})
+
+
+def test_ipcompconfig_is_codecprofile():
+    assert IPCompConfig is CodecProfile
+
+
+# --------------------------------------------------------------- serialization
+
+
+def test_json_roundtrip():
+    profile = CodecProfile(
+        error_bound=2.5e-5,
+        relative=False,
+        method="linear",
+        prefix_bits=1,
+        kernel="reference",
+        anchor_coder="rle",
+        plane_coders=("zlib", "raw"),
+        negotiation="fixed",
+    )
+    assert CodecProfile.from_json(profile.to_json()) == profile
+
+
+def test_json_runtime_false_drops_kernel():
+    obj = CodecProfile(kernel="reference").to_json(runtime=False)
+    assert "kernel" not in obj
+    # ...and loading it falls back to the default kernel.
+    assert CodecProfile.from_json(obj).kernel == CodecProfile().kernel
+
+
+def test_from_file_and_dump(tmp_path):
+    path = tmp_path / "profile.json"
+    profile = CodecProfile(error_bound=1e-3, plane_coders=("zlib", "huffman"))
+    profile.dump(path)
+    assert CodecProfile.from_file(path) == profile
+
+
+def test_from_file_errors(tmp_path):
+    with pytest.raises(ConfigurationError):
+        CodecProfile.from_file(tmp_path / "missing.json")
+    bad = tmp_path / "bad.json"
+    bad.write_text("not json")
+    with pytest.raises(ConfigurationError):
+        CodecProfile.from_file(bad)
+    array = tmp_path / "array.json"
+    array.write_text(json.dumps([1, 2, 3]))
+    with pytest.raises(ConfigurationError):
+        CodecProfile.from_file(array)
+
+
+def test_profile_pickles_unchanged():
+    """Profiles cross process boundaries in repro.parallel — must pickle."""
+    profile = CodecProfile(error_bound=1e-4, plane_coders=("rle", "raw"))
+    assert pickle.loads(pickle.dumps(profile)) == profile
+
+
+# ------------------------------------------------------------------- threading
+
+
+def test_ipcomp_threads_profile_end_to_end():
+    field = _field()
+    profile = CodecProfile(error_bound=1e-4, relative=True, plane_coders=("zlib", "raw"))
+    comp = IPComp(profile=profile)
+    assert comp.profile is profile
+    assert comp.config is profile  # legacy attribute alias
+    blob = comp.compress(field)
+    restored = comp.decompress(blob)
+    assert np.abs(field - restored).max() <= comp.absolute_bound(field) * (1 + 1e-12)
+
+
+def test_ipcomp_explicit_args_override_profile():
+    profile = CodecProfile(error_bound=1e-3)
+    comp = IPComp(error_bound=1e-6, profile=profile)
+    assert comp.profile.error_bound == 1e-6
+
+
+def test_block_parallel_compressor_carries_profile():
+    field = _field((16, 6, 6))
+    profile = CodecProfile(error_bound=1e-4, negotiation="fixed", plane_coders=("zlib",))
+    comp = BlockParallelCompressor(profile=profile, n_blocks=2, workers=0)
+    assert comp.profile is profile
+    resolved = comp.resolved_profile(field)
+    assert not resolved.relative
+    blocks = comp.compress(field)
+    restored = comp.decompress(blocks, field.shape)
+    assert np.abs(field - restored).max() <= resolved.error_bound * (1 + 1e-9)
+
+
+def test_adapter_preserves_profile_bound_when_unspecified():
+    profile = CodecProfile(error_bound=1e-3, relative=False)
+    adapter = IPCompAdapter(profile=profile)
+    assert adapter.profile is profile
+    assert adapter.profile.error_bound == 1e-3
+    assert not adapter.profile.relative
+
+
+def test_adapter_accepts_profile():
+    field = _field((10, 8, 6))
+    adapter = IPCompAdapter(
+        error_bound=1e-4, profile=CodecProfile(plane_coders=("zlib", "raw"))
+    )
+    assert adapter.profile.plane_coders == ("zlib", "raw")
+    assert adapter.profile.error_bound == 1e-4
+    restored = adapter.decompress(adapter.compress(field))
+    assert np.abs(field - restored).max() <= adapter.absolute_bound(field) * (1 + 1e-12)

@@ -15,12 +15,10 @@ randomly generated inputs rather than hand-picked fixtures:
 from __future__ import annotations
 
 import numpy as np
-import pytest
 from hypothesis import HealthCheck, example, given, settings, strategies as st
 from hypothesis.extra import numpy as hnp
 
-from repro import IPComp, ProgressiveRetriever
-from repro.coders.backend import get_backend
+from repro import CodecProfile, IPComp, ProgressiveRetriever
 from repro.coders.huffman import decode_symbols, encode_symbols
 from repro.core.bitplane import (
     assemble_bitplanes,
@@ -117,7 +115,7 @@ def test_quantizer_never_exceeds_bound(data, error_bound):
 @settings(**_SETTINGS)
 def test_delta_tables_upper_bound_partial_decoding_error(values, keep_fraction):
     quantizer = LinearQuantizer(0.01)
-    coder = PredictiveCoder(quantizer, get_backend("zlib"))
+    coder = PredictiveCoder(quantizer, CodecProfile.fixed("zlib"))
     encoding = coder.encode_level(1, values)
     keep = int(round(keep_fraction * encoding.nbits))
     decoded = coder.decode_level_codes(encoding, encoding.plane_blocks[:keep])

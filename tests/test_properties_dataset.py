@@ -20,6 +20,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro import CodecProfile
 from repro.errors import ConfigurationError, StreamFormatError
 from repro.io import BlockContainerWriter, ChunkedDataset
 
@@ -79,7 +80,7 @@ def test_roundtrip_bound_and_roi_slab(
     else:
         assert eb == error_bound
 
-    with ChunkedDataset(path, kernel=kernel) as dataset:
+    with ChunkedDataset(path, profile=CodecProfile(kernel=kernel)) as dataset:
         assert dataset.shape == shape
         assert dataset.dtype == np.dtype(dtype)
         assert dataset.n_shards == len(manifest["shards"])
@@ -111,7 +112,7 @@ def test_refine_is_monotone_additive_and_never_rereads(tmp_path, kernel):
         path, field, error_bound=1e-6, relative=True, n_blocks=4, workers=0
     )
     eb = manifest["error_bound"]
-    with ChunkedDataset(path, kernel=kernel) as dataset:
+    with ChunkedDataset(path, profile=CodecProfile(kernel=kernel)) as dataset:
         seen = set()
         previous_error = np.inf
         total = 0

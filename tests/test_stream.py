@@ -5,8 +5,8 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.coders.backend import get_backend
 from repro.core.predictive_coder import PredictiveCoder
+from repro.core.profile import CodecProfile
 from repro.core.quantizer import LinearQuantizer
 from repro.core.stream import CompressedStore, IPCompStream, StreamHeader, header_plane_sizes
 from repro.errors import StreamFormatError
@@ -15,7 +15,7 @@ from repro.errors import StreamFormatError
 @pytest.fixture
 def sample_stream(rng):
     quantizer = LinearQuantizer(0.05)
-    coder = PredictiveCoder(quantizer, get_backend("zlib"))
+    coder = PredictiveCoder(quantizer, CodecProfile.fixed("zlib"))
     anchor_codes = rng.integers(-40, 40, size=8)
     anchor_block = coder.encode_anchor(anchor_codes)
     encodings = [
@@ -28,7 +28,7 @@ def sample_stream(rng):
         error_bound=0.05,
         method="cubic",
         prefix_bits=2,
-        backend="zlib",
+        anchor_coder="zlib",
         anchor_count=8,
         anchor_size=len(anchor_block),
         levels=encodings,
@@ -42,7 +42,8 @@ def test_header_roundtrip(sample_stream):
     parsed, offset = IPCompStream.parse_header(blob)
     assert parsed.shape == header.shape
     assert parsed.error_bound == header.error_bound
-    assert parsed.backend == "zlib"
+    assert parsed.anchor_coder == "zlib"
+    assert parsed.version == 2
     assert parsed.num_levels == 2
     assert offset > 10
     for original, decoded in zip(

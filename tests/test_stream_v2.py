@@ -1,0 +1,317 @@
+"""Stream format v2: per-plane codec dispatch + v1 backward compatibility.
+
+The v1 fixture under ``tests/data/`` was serialized by the pre-v2 codebase
+(single implicit backend, binary version word 1) and is pinned as bytes: the
+v2 reader must keep decoding it byte-identically forever.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+import zlib
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro import CodecProfile, IPComp, ProgressiveRetriever
+from repro.core.stream import (
+    VERSION,
+    CompressedStore,
+    IPCompStream,
+    StreamHeader,
+    header_plane_sizes,
+)
+from repro.errors import StreamFormatError
+from repro.io import ChunkedDataset
+
+DATA = Path(__file__).parent / "data"
+
+# Local generator (the session-scoped conftest ``rng`` must not be consumed
+# by new modules — it would shift downstream fixtures' draws).
+_rng = np.random.default_rng(41005)
+
+
+@pytest.fixture(scope="module")
+def v1_blob() -> bytes:
+    return (DATA / "v1_stream.ipc").read_bytes()
+
+
+# ------------------------------------------------------------------ v1 compat
+
+
+def test_v1_fixture_really_is_version_1(v1_blob):
+    assert v1_blob[:4] == b"IPC1"
+    version, _ = struct.unpack_from("<HI", v1_blob, 4)
+    assert version == 1
+
+
+def test_v1_header_parses_and_normalises(v1_blob):
+    header, _ = IPCompStream.parse_header(v1_blob)
+    assert header.version == 1
+    assert header.anchor_coder == "zlib"
+    # Every plane of a v1 stream is implicitly coded by the single backend.
+    for enc in header.levels:
+        assert enc.plane_coders == ["zlib"] * len(header_plane_sizes(enc))
+    assert header.codec_names() == ("zlib",)
+
+
+def test_v1_stream_decodes_byte_identically(v1_blob):
+    expected = np.load(DATA / "v1_expected.npy")
+    retriever = ProgressiveRetriever(v1_blob)
+    result = retriever.retrieve(error_bound=retriever.header.error_bound)
+    assert result.data.dtype == expected.dtype
+    assert result.data.shape == expected.shape
+    assert result.data.tobytes() == expected.tobytes()
+
+
+def test_v1_stream_progressive_refinement_still_works(v1_blob):
+    original = np.load(DATA / "v1_input.npy")
+    retriever = ProgressiveRetriever(v1_blob)
+    eb = retriever.header.error_bound
+    coarse = retriever.retrieve(error_bound=eb * 64)
+    fine = retriever.retrieve(error_bound=eb)
+    assert fine.bytes_loaded > 0
+    assert np.abs(original - fine.data).max() <= eb * (1 + 1e-12)
+    assert np.abs(original - coarse.data).max() <= eb * 64 * (1 + 1e-12)
+
+
+def test_recompressing_v1_content_yields_v2(v1_blob):
+    """New writers always emit v2, even for data that round-trips a v1 blob."""
+    original = np.load(DATA / "v1_input.npy")
+    blob = IPComp(error_bound=1e-5, relative=True).compress(original)
+    header, _ = IPCompStream.parse_header(blob)
+    assert header.version == VERSION == 2
+
+
+# ------------------------------------------------------------------ v2 format
+
+
+def _compress(profile: CodecProfile, shape=(14, 12, 10)) -> tuple:
+    base = np.cumsum(_rng.normal(size=shape), axis=0)
+    field = (base + np.cumsum(_rng.normal(size=shape), axis=1)).astype(np.float64)
+    return field, IPComp(profile=profile).compress(field)
+
+
+def test_v2_header_records_codec_per_plane():
+    profile = CodecProfile(error_bound=1e-5)
+    field, blob = _compress(profile)
+    header, _ = IPCompStream.parse_header(blob)
+    assert header.version == 2
+    used = set()
+    for enc in header.levels:
+        sizes = header_plane_sizes(enc)
+        assert len(enc.plane_coders) == len(sizes)
+        assert set(enc.plane_coders) <= set(profile.plane_coders)
+        used.update(enc.plane_coders)
+    assert used, "stream must have at least one coded plane"
+    # The name table only lists coders actually used (plus the anchor's).
+    assert set(header.codec_names()) == used | {header.anchor_coder}
+
+
+def test_v2_header_json_roundtrip_preserves_plane_coders():
+    _, blob = _compress(CodecProfile(error_bound=1e-4))
+    header, _ = IPCompStream.parse_header(blob)
+    again = StreamHeader.from_json(json.loads(json.dumps(header.to_json())))
+    assert again.anchor_coder == header.anchor_coder
+    for a, b in zip(
+        sorted(again.levels, key=lambda e: e.level),
+        sorted(header.levels, key=lambda e: e.level),
+    ):
+        assert a.plane_coders == b.plane_coders
+        assert header_plane_sizes(a) == header_plane_sizes(b)
+
+
+def test_mixed_codec_stream_decodes_with_store_dispatch():
+    """A stream whose planes use different coders decodes correctly."""
+    profile = CodecProfile(error_bound=1e-6, plane_coders=("zlib", "rle", "raw"))
+    field, blob = _compress(profile)
+    header, _ = IPCompStream.parse_header(blob)
+    all_coders = {name for enc in header.levels for name in enc.plane_coders}
+    assert len(all_coders) >= 2, "sweep should exercise real per-plane dispatch"
+    restored = IPComp(profile=profile).decompress(blob)
+    eb = header.error_bound
+    assert np.abs(field - restored).max() <= eb * (1 + 1e-12)
+
+
+def test_unknown_version_rejected(v1_blob):
+    bad = v1_blob[:4] + struct.pack("<H", 9) + v1_blob[6:]
+    with pytest.raises(StreamFormatError, match="version"):
+        IPCompStream.parse_header(bad)
+
+
+def test_version_word_and_header_body_must_agree(v1_blob):
+    # Relabel the v1 stream's binary word as v2 while the JSON stays v1.
+    bad = v1_blob[:4] + struct.pack("<H", 2) + v1_blob[6:]
+    with pytest.raises(StreamFormatError, match="version"):
+        IPCompStream.parse_header(bad)
+
+
+def test_malformed_v2_codec_table_rejected():
+    _, blob = _compress(CodecProfile(error_bound=1e-4))
+    header, offset = IPCompStream.parse_header(blob)
+    obj = header.to_json()
+    obj["levels"][0]["plane_codecs"] = obj["levels"][0]["plane_codecs"][:-1]
+    with pytest.raises(StreamFormatError, match="plane codecs"):
+        StreamHeader.from_json(obj)
+    obj = header.to_json()
+    obj["levels"][0]["plane_codecs"] = [99] * len(obj["levels"][0]["plane_codecs"])
+    with pytest.raises(StreamFormatError):
+        StreamHeader.from_json(obj)
+    # Out-of-range (and negative — Python lists index from the end!) anchor
+    # indices must be rejected, never resolved to the wrong coder.
+    for bad_index in (99, -1):
+        obj = header.to_json()
+        obj["anchor_coder"] = bad_index
+        with pytest.raises(StreamFormatError, match="codec index"):
+            StreamHeader.from_json(obj)
+
+
+def test_store_block_dispatch_counts_bytes_for_mixed_codecs():
+    _, blob = _compress(CodecProfile(error_bound=1e-5))
+    store = CompressedStore(blob)
+    store.read_anchor()
+    enc = store.header.levels[0]
+    sizes = header_plane_sizes(enc)
+    store.read_block(enc.level, 0)
+    assert store.bytes_read == store.header.anchor_size + sizes[0]
+
+
+# ------------------------------------------------------- container manifests
+
+
+def test_dataset_manifest_v2_embeds_profile(tmp_path):
+    field = np.cumsum(_rng.normal(size=(12, 8, 6)), axis=0)
+    path = tmp_path / "field.rprc"
+    manifest = ChunkedDataset.write(path, field, error_bound=1e-4, n_blocks=2, workers=0)
+    assert manifest["version"] == 2
+    assert "kernel" not in manifest["profile"]  # runtime knob, not a byte-shaper
+    with ChunkedDataset(path) as dataset:
+        assert dataset.version == 2
+        assert dataset.write_profile.error_bound == pytest.approx(manifest["error_bound"])
+        assert not dataset.write_profile.relative
+        result = dataset.read()
+        assert np.abs(result.data - field).max() <= manifest["error_bound"] * (1 + 1e-9)
+
+
+def test_dataset_manifest_v1_still_opens(tmp_path):
+    """A v1-era manifest (loose method/prefix_bits/backend fields) still reads."""
+    from repro.io import BlockContainerReader, BlockContainerWriter
+
+    field = np.cumsum(_rng.normal(size=(10, 6, 4)), axis=0)
+    path = tmp_path / "field.rprc"
+    ChunkedDataset.write(path, field, error_bound=1e-4, n_blocks=2, workers=0)
+
+    # Rewrite the manifest block into its v1 shape, keeping the shards.
+    rewritten = tmp_path / "field.v1.rprc"
+    with BlockContainerReader(path) as reader:
+        manifest = json.loads(reader.read_block("manifest").decode("utf-8"))
+        profile = manifest.pop("profile")
+        manifest["version"] = 1
+        manifest["method"] = profile["method"]
+        manifest["prefix_bits"] = profile["prefix_bits"]
+        manifest["backend"] = profile["anchor_coder"]
+        with BlockContainerWriter(rewritten) as writer:
+            for name in reader.block_names():
+                if name == "manifest":
+                    writer.add_block(
+                        name, json.dumps(manifest, sort_keys=True).encode()
+                    )
+                else:
+                    writer.add_block(
+                        name, reader.read_block(name), reader.metadata(name)
+                    )
+
+    with ChunkedDataset(rewritten) as dataset:
+        assert dataset.version == 1
+        assert dataset.write_profile.negotiation == "fixed"
+        result = dataset.read()
+        assert np.abs(result.data - field).max() <= dataset.absolute_bound * (1 + 1e-9)
+
+
+@pytest.mark.parametrize(
+    "corruption",
+    [{"prefix_bits": 7}, {"error_bound": 0.0}, {"method": "quintic"}],
+    ids=["prefix_bits", "error_bound", "method"],
+)
+def test_out_of_range_header_fields_are_stream_errors(corruption):
+    """Corrupt header fields must surface as StreamFormatError, not config."""
+    _, blob = _compress(CodecProfile(error_bound=1e-4))
+    header, offset = IPCompStream.parse_header(blob)
+    obj = header.to_json()
+    obj.update(corruption)
+    bad_json = zlib.compress(json.dumps(obj).encode(), 9)
+    bad = blob[:6] + struct.pack("<I", len(bad_json)) + bad_json + blob[offset:]
+    with pytest.raises(StreamFormatError, match="header invalid"):
+        ProgressiveRetriever(bad)
+
+
+def test_unknown_plane_coder_in_stream_is_a_stream_error():
+    """A header codecs table naming an unregistered coder surfaces as
+    StreamFormatError at retrieval, not as a caller configuration error."""
+    _, blob = _compress(CodecProfile(error_bound=1e-4))
+    header, offset = IPCompStream.parse_header(blob)
+    obj = header.to_json()
+    # Rename a non-anchor codec to something unregistered; sizes unchanged.
+    anchor_index = obj["anchor_coder"]
+    victim = next(i for i in range(len(obj["codecs"])) if i != anchor_index)
+    obj["codecs"][victim] = "zstd-from-the-future"
+    bad_json = zlib.compress(json.dumps(obj).encode(), 9)
+    bad = blob[:6] + struct.pack("<I", len(bad_json)) + bad_json + blob[offset:]
+    retriever = ProgressiveRetriever(bad)
+    with pytest.raises(StreamFormatError, match="unknown lossless coder"):
+        retriever.retrieve(error_bound=retriever.header.error_bound)
+
+
+def test_dataset_opens_when_manifest_names_unregistered_coder(tmp_path):
+    """The write profile is informational: a reader that lacks one of the
+    writer's *candidate* coders must still open and decode the dataset
+    (streams only record coders that actually won a plane)."""
+    from repro.errors import ConfigurationError
+    from repro.io import BlockContainerReader, BlockContainerWriter
+
+    field = np.cumsum(_rng.normal(size=(10, 6, 4)), axis=0)
+    path = tmp_path / "field.rprc"
+    ChunkedDataset.write(path, field, error_bound=1e-4, n_blocks=2, workers=0)
+    rewritten = tmp_path / "field.alien.rprc"
+    with BlockContainerReader(path) as reader:
+        manifest = json.loads(reader.read_block("manifest").decode("utf-8"))
+        manifest["profile"]["plane_coders"].append("zstd-from-the-future")
+        with BlockContainerWriter(rewritten) as writer:
+            for name in reader.block_names():
+                data = (
+                    json.dumps(manifest).encode()
+                    if name == "manifest"
+                    else reader.read_block(name)
+                )
+                writer.add_block(name, data, reader.metadata(name))
+
+    with ChunkedDataset(rewritten) as dataset:
+        result = dataset.read()
+        assert np.abs(result.data - field).max() <= dataset.absolute_bound * (1 + 1e-9)
+        # Only the explicit informational accessor complains.
+        with pytest.raises(ConfigurationError):
+            dataset.write_profile
+
+
+def test_unsupported_manifest_version_rejected(tmp_path):
+    from repro.io import BlockContainerReader, BlockContainerWriter
+
+    field = np.cumsum(_rng.normal(size=(8, 4)), axis=0)
+    path = tmp_path / "field.rprc"
+    ChunkedDataset.write(path, field, error_bound=1e-3, n_blocks=1, workers=0)
+    rewritten = tmp_path / "field.v9.rprc"
+    with BlockContainerReader(path) as reader:
+        manifest = json.loads(reader.read_block("manifest").decode("utf-8"))
+        manifest["version"] = 9
+        with BlockContainerWriter(rewritten) as writer:
+            for name in reader.block_names():
+                data = (
+                    json.dumps(manifest).encode()
+                    if name == "manifest"
+                    else reader.read_block(name)
+                )
+                writer.add_block(name, data, reader.metadata(name))
+    with pytest.raises(StreamFormatError, match="version"):
+        ChunkedDataset(rewritten)
