@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import pytest
 
-from benchmarks.conftest import print_table, write_csv
+from benchmarks.conftest import print_table, skip_scale_tuned_asserts, write_csv
 from repro.analysis import psnr
 from repro.baselines import make_compressor
 
@@ -51,9 +51,18 @@ def test_fig10_psnr_vs_bitrate(benchmark, bench_datasets, results_dir):
     write_csv(results_dir / "fig10_psnr.csv", header, rows)
 
     # Shape check: IPComp's PSNR grows with the budget on every dataset.
+    # "n/a" marks budgets below the compressor's minimum loadable unit —
+    # on tiny fields the header+anchor overhead alone can exceed the small
+    # budgets, which is a property of the scale, not of the codec.
     idx = header.index("ipcomp PSNR")
-    per_dataset = {}
+    per_dataset = {name: [] for name in FIELDS}  # keep all-"n/a" datasets visible
     for row in rows:
-        per_dataset.setdefault(row[0], []).append(float(row[idx]))
+        if row[idx] != "n/a":
+            per_dataset[row[0]].append(float(row[idx]))
+    if any(len(series) < 2 for series in per_dataset.values()):
+        skip_scale_tuned_asserts(
+            "tiny fields leave < 2 satisfiable bitrate budgets per dataset"
+        )
+    assert all(len(s) >= 2 for s in per_dataset.values())
     for series in per_dataset.values():
         assert series[-1] > series[0]

@@ -26,7 +26,7 @@ import time
 import numpy as np
 import pytest
 
-from benchmarks.conftest import print_table, write_csv
+from benchmarks.conftest import print_table, skip_scale_tuned_asserts, write_csv
 from repro.baselines import make_compressor
 from repro.core.bitplane import DEFAULT_PREFIX_BITS
 from repro.core.compressor import IPComp
@@ -83,7 +83,12 @@ def test_fig8_compression_decompression_speed(benchmark, bench_datasets, results
     write_csv(results_dir / "fig8_speed.csv", header, rows)
 
     # Shape check: IPComp decompression is faster than the residual ladders
-    # (which decompress every rung) on every field measured.
+    # (which decompress every rung) on every field measured.  The ordering
+    # needs fields big enough that per-rung fixed costs — not the payload
+    # work this figure is about — stop deciding the ranking.
+    skip_scale_tuned_asserts(
+        "decompression-speed ordering vs residual ladders needs ≥ default fields"
+    )
     by_key = {(r[0], r[1]): r for r in rows}
     for name in SPEED_FIELDS:
         ip = float(by_key[(name, "ipcomp")][3])

@@ -15,7 +15,7 @@ import time
 
 import pytest
 
-from benchmarks.conftest import print_table, write_csv
+from benchmarks.conftest import print_table, skip_scale_tuned_asserts, write_csv
 from repro.baselines import make_compressor
 
 RUNG_COUNTS = (2, 3, 4, 5, 6, 7, 8)
@@ -70,7 +70,12 @@ def test_fig9_residual_count_scaling(benchmark, bench_datasets, results_dir):
     # the few-rung case (every extra rung is another mandatory decompression
     # pass); compression throughput may only degrade within noise for SZ3-R
     # because its first (tightest) rung dominates the cost, so it gets a
-    # tolerance instead of a strict inequality.
+    # tolerance instead of a strict inequality.  On tiny fields per-rung
+    # work shrinks below timer noise and per-call fixed costs, so the
+    # ordering is measurement noise, not a property of the ladders.
+    skip_scale_tuned_asserts(
+        "per-rung timing ordering needs ≥ default fields to rise above noise"
+    )
     for ladder_name in ("sz3-r", "zfp-r"):
         ladder_rows = [r for r in rows if r[0] == ladder_name]
         few_decompress = float(ladder_rows[0][3])

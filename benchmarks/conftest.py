@@ -29,6 +29,13 @@ from repro.datasets import DATASETS, load_dataset
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
+#: Repository root — the e2e pipeline harness emits ``BENCH_pipeline.json``
+#: here so the cross-PR benchmark trajectory has one canonical location.
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: The active shape-scale preset (see ``_SCALES``).
+BENCH_SCALE = os.environ.get("REPRO_BENCH_SCALE", "default")
+
 #: Shape scale presets, as a per-axis factor on the registry's default shapes.
 _SCALES = {
     "tiny": 0.25,
@@ -38,8 +45,22 @@ _SCALES = {
 }
 
 
+def skip_scale_tuned_asserts(reason: str) -> None:
+    """Skip (with a visible reason) assertions tuned for ≥ default scale.
+
+    Several figure harnesses assert paper-shaped *relationships* (relative
+    orderings, ladder staircases) that only emerge once the fields are big
+    enough for fixed overheads — headers, anchor blocks, coarsest rungs —
+    to stop dominating.  At ``REPRO_BENCH_SCALE=tiny`` those relationships
+    are genuinely absent, not broken, so the harness records its CSV as
+    usual and skips only the assertion phase, loudly.
+    """
+    if BENCH_SCALE == "tiny":
+        pytest.skip(f"scale-tuned assertion needs ≥ default scale: {reason}")
+
+
 def _scaled_shape(name: str) -> tuple:
-    scale = os.environ.get("REPRO_BENCH_SCALE", "default")
+    scale = BENCH_SCALE
     spec = DATASETS[name]
     if scale == "paper":
         return spec.paper_shape

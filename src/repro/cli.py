@@ -35,7 +35,7 @@ from pathlib import Path
 from repro import ChunkedDataset, CodecProfile, IPComp, ProgressiveRetriever
 from repro.analysis import summarize
 from repro.core.kernels import DEFAULT_KERNEL, available_kernels
-from repro.core.profile import NEGOTIATION_POLICIES
+from repro.core.profile import NEGOTIATION_ALIASES, NEGOTIATION_POLICIES
 from repro.core.stream import IPCompStream
 from repro.datasets import dataset_table, load_dataset, load_raw, save_raw
 from repro.errors import ConfigurationError, ReproError
@@ -108,10 +108,19 @@ def _add_profile_arguments(subparser: argparse.ArgumentParser, full: bool = True
     )
     subparser.add_argument(
         "--negotiation",
-        choices=NEGOTIATION_POLICIES,
+        choices=NEGOTIATION_POLICIES + tuple(NEGOTIATION_ALIASES),
         default=None,
         help="how the plane coder is chosen from the candidates "
-        "(smallest: per-plane trial encode; fixed: always the first)",
+        "(smallest/full: per-plane trial encode; sampled: trial encode a "
+        "plane prefix only; fixed: always the first)",
+    )
+    subparser.add_argument(
+        "--negotiation-sample",
+        type=int,
+        default=None,
+        metavar="BYTES",
+        help="plane-prefix bytes trial-encoded per candidate under "
+        "--negotiation sampled",
     )
 
 
@@ -131,6 +140,8 @@ def _profile_from_args(args) -> CodecProfile:
         overrides["plane_coders"] = args.coders
     if getattr(args, "negotiation", None) is not None:
         overrides["negotiation"] = args.negotiation
+    if getattr(args, "negotiation_sample", None) is not None:
+        overrides["negotiation_sample"] = args.negotiation_sample
     return CodecProfile.from_options(base, **overrides)
 
 

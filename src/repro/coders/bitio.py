@@ -4,10 +4,13 @@
 is its exact inverse.  The single-bit paths keep the hot loops simple
 (append to an integer accumulator, flush whole bytes) and are the substrate
 of the ``"reference"`` kernel's auditable bit-by-bit plane packing
-(:mod:`repro.core.kernels`).  :meth:`BitWriter.write_bit_array` /
-:meth:`BitReader.read_bit_array` are the bulk counterparts — one
-``np.packbits`` / ``np.unpackbits`` pass when the stream is byte-aligned —
-for coders that interleave bulk bit runs with single bits; the vectorized
+(:mod:`repro.core.kernels`).  Every multi-bit operation —
+:meth:`BitWriter.write_bit_array` / :meth:`BitReader.read_bit_array`, wide
+:meth:`BitWriter.write_bits` / :meth:`BitReader.read_bits` fields, and long
+unary runs — routes through one ``np.packbits`` / ``np.unpackbits`` pass on
+*any* alignment (a misaligned writer folds its pending accumulator bits
+into the same pass); only fields of at most 16 bits keep the integer loop,
+which is faster than an array round trip at that size.  The vectorized
 kernel's per-plane packing uses ``np.packbits`` directly (a fresh plane is
 always byte-aligned, so the writer object would only add copies).  All
 routes emit identical bytes for the same bit sequence.
@@ -47,33 +50,61 @@ class BitWriter:
         """Append the ``count`` least-significant bits of ``value``, LSB first."""
         if count < 0:
             raise ValueError("count must be non-negative")
-        for i in range(count):
-            self.write_bit((value >> i) & 1)
+        if count <= 16:
+            # For the short fields (flags, small varint limbs) that dominate
+            # header writes, the integer loop beats any array round trip.
+            for i in range(count):
+                self.write_bit((value >> i) & 1)
+            return
+        value = int(value) & ((1 << count) - 1)
+        packed = value.to_bytes((count + 7) // 8, "little")
+        self.write_bit_array(
+            np.unpackbits(
+                np.frombuffer(packed, dtype=np.uint8), count=count, bitorder="little"
+            )
+        )
 
     def write_unary(self, value: int) -> None:
         """Append ``value`` zero bits followed by a terminating one bit."""
-        for _ in range(value):
-            self.write_bit(0)
-        self.write_bit(1)
+        if value <= 16:
+            for _ in range(value):
+                self.write_bit(0)
+            self.write_bit(1)
+            return
+        bits = np.zeros(value + 1, dtype=np.uint8)
+        bits[value] = 1
+        self.write_bit_array(bits)
 
     def write_bit_array(self, bits: np.ndarray) -> None:
         """Append an array of bits (any nonzero value counts as 1) in one pass.
 
-        When the writer is byte-aligned the whole array is packed with a
-        single ``np.packbits`` call and only the trailing partial byte goes
-        through the accumulator; a misaligned writer falls back to the
-        bit-by-bit path (same output either way).
+        The whole array is packed with a single ``np.packbits`` call; a
+        misaligned writer first folds its pending accumulator bits into the
+        array so no per-bit Python loop runs on any alignment (same output
+        bytes as the bit-by-bit path on every route).
         """
         bits = (np.asarray(bits).ravel() != 0).astype(np.uint8)
-        if self._nbits != 0 or bits.size < 8:
-            for bit in bits.tolist():
-                self.write_bit(bit)
+        if bits.size == 0:
             return
+        if self._nbits:
+            pending = np.unpackbits(
+                np.frombuffer(bytes([self._accumulator]), dtype=np.uint8),
+                count=self._nbits,
+                bitorder="little",
+            )
+            self._total_bits -= self._nbits
+            self._accumulator = 0
+            self._nbits = 0
+            bits = np.concatenate([pending, bits])
         full = bits.size & ~7
-        self._buffer += np.packbits(bits[:full], bitorder="little").tobytes()
-        self._total_bits += full
-        for bit in bits[full:].tolist():
-            self.write_bit(bit)
+        if full:
+            self._buffer += np.packbits(bits[:full], bitorder="little").tobytes()
+            self._total_bits += full
+        tail = bits[full:]
+        if tail.size:
+            self._accumulator = int(np.packbits(tail, bitorder="little")[0])
+            self._nbits = int(tail.size)
+            self._total_bits += int(tail.size)
 
     def getvalue(self) -> bytes:
         """Return the packed bytes (the final partial byte is zero-padded)."""
@@ -105,17 +136,47 @@ class BitReader:
 
     def read_bits(self, count: int) -> int:
         """Read ``count`` bits and assemble them LSB-first into an integer."""
-        value = 0
-        for i in range(count):
-            value |= self.read_bit() << i
-        return value
+        if count <= 16:
+            value = 0
+            for i in range(count):
+                value |= self.read_bit() << i
+            return value
+        bits = self.read_bit_array(count)
+        return int.from_bytes(
+            np.packbits(bits, bitorder="little").tobytes(), "little"
+        )
+
+    #: Bits scanned per chunk by :meth:`read_unary`'s bulk terminator search.
+    _UNARY_CHUNK_BITS = 4096
 
     def read_unary(self) -> int:
-        """Read a unary-coded value (count of zero bits before the first one)."""
-        count = 0
-        while self.read_bit() == 0:
-            count += 1
-        return count
+        """Read a unary-coded value (count of zero bits before the first one).
+
+        Scans whole chunks with one ``np.unpackbits`` + ``np.flatnonzero``
+        pass per :data:`_UNARY_CHUNK_BITS` bits instead of one Python-level
+        ``read_bit`` call per zero; an exhausted stream raises the same
+        :class:`StreamFormatError` as the bit-by-bit path.
+        """
+        zeros = 0
+        while True:
+            remaining = self.bits_remaining
+            if remaining == 0:
+                raise StreamFormatError("bit stream exhausted")
+            chunk = min(remaining, self._UNARY_CHUNK_BITS)
+            start_byte, start_bit = divmod(self._pos, 8)
+            end_byte = (self._pos + chunk + 7) // 8
+            window = np.frombuffer(
+                self._data, dtype=np.uint8, count=end_byte - start_byte,
+                offset=start_byte,
+            )
+            bits = np.unpackbits(window, bitorder="little")[start_bit : start_bit + chunk]
+            hits = np.flatnonzero(bits)
+            if hits.size:
+                first = int(hits[0])
+                self._pos += first + 1
+                return zeros + first
+            zeros += chunk
+            self._pos += chunk
 
     def read_bit_array(self, count: int) -> np.ndarray:
         """Read ``count`` bits as a ``uint8`` 0/1 array in one pass."""

@@ -17,23 +17,36 @@ registry, mirroring the pluggable lossless-backend registry of
   as a correctness oracle: the differential tests assert that both
   kernels produce **byte-identical** streams, and the Figure 8 benchmark
   reports the throughput gap between them.
+* ``"fused"`` runs the whole per-level encode chain — negabinary →
+  bitplane transpose → XOR prediction → per-plane packing — as **one
+  sweep in the packed byte domain** (:meth:`Kernel.encode_planes` /
+  :meth:`Kernel.decode_planes`), reusing a per-instance buffer arena
+  across levels and planes instead of materialising fresh intermediates.
+  The trick is that XOR prediction commutes with bit packing (pad bits
+  are zero on both sides), so prediction runs on the 8×-smaller packed
+  rows and the whole level needs a single ``np.packbits`` call.  Output
+  bytes are asserted identical to both other kernels.
 
-Both kernels are stateless; :func:`get_kernel` caches one instance per
-registered name.  New kernels (e.g. a future C/Cython or GPU backend) are
-added with :func:`register_kernel` and become selectable everywhere a
-``kernel=`` argument is threaded through — :class:`repro.IPComp`,
+The simple kernels are stateless and the fused kernel's arena is pure
+per-thread scratch; :func:`get_kernel` caches one instance per registered
+name.  New
+kernels (e.g. a future C/Cython or GPU backend) are added with
+:func:`register_kernel` and become selectable everywhere a ``kernel=``
+argument is threaded through — :class:`repro.IPComp`,
 :class:`repro.ProgressiveRetriever`, the predictive coder, the Huffman
 coder, and the ``ipcomp`` CLI.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional, Union
+import threading
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.coders.bitio import BitReader, BitWriter  # reference kernel substrate
 from repro.core.negabinary import from_negabinary as _nb_decode
+from repro.core.negabinary import required_bits_from_codes as _nb_required_bits
 from repro.core.negabinary import to_negabinary as _nb_encode
 from repro.errors import ConfigurationError
 
@@ -128,6 +141,50 @@ class Kernel:
     def dequantize(self, codes: np.ndarray, bin_width: float) -> np.ndarray:
         """Bin index → bin-centre value (float64)."""
         raise NotImplementedError
+
+    # ------------------------------------------------------- fused pipelines
+
+    def encode_planes(
+        self, codes: np.ndarray, prefix_bits: int
+    ) -> Tuple[int, List[bytes]]:
+        """One level's full plane-encode chain: codes → packed plane blocks.
+
+        Runs negabinary conversion, bitplane transposition, XOR prediction
+        and per-plane bit packing; returns ``(nbits, blocks)`` with one
+        packed byte string per plane, most significant first.  The default
+        implementation composes the four primitive kernel methods, so every
+        kernel gets the hook for free; :class:`FusedKernel` overrides it
+        with a single-sweep implementation.  All implementations must emit
+        byte-identical blocks.
+        """
+        codes = np.asarray(codes, dtype=np.int64).ravel()
+        negabinary = self.to_negabinary(codes)
+        nbits = _nb_required_bits(negabinary)
+        planes = self.extract_bitplanes(negabinary, nbits)
+        predicted = self.predictive_encode(planes, prefix_bits)
+        return nbits, [self.pack_bits(plane) for plane in predicted]
+
+    def decode_planes(
+        self,
+        raw_planes: Sequence[bytes],
+        count: int,
+        nbits: int,
+        prefix_bits: int,
+    ) -> np.ndarray:
+        """Invert :meth:`encode_planes` for the loaded plane prefix.
+
+        ``raw_planes`` are the losslessly *decoded* packed plane byte
+        strings (most significant first); unloaded low planes are treated
+        as zero.  Returns the ``int64`` quantization codes.
+        """
+        keep = len(raw_planes)
+        if count == 0 or keep == 0:
+            return np.zeros(count, dtype=np.int64)
+        encoded = np.empty((keep, count), dtype=np.uint8)
+        for row, raw in enumerate(raw_planes):
+            encoded[row] = self.unpack_bits(raw, count)
+        planes = self.predictive_decode(encoded, prefix_bits)
+        return self.from_negabinary(self.assemble_bitplanes(planes, nbits))
 
 
 class VectorizedKernel(Kernel):
@@ -405,6 +462,187 @@ class ReferenceKernel(Kernel):
         return np.array(dequantized, dtype=np.float64).reshape(codes.shape)
 
 
+class _BufferArena:
+    """Grow-only scratch buffers, keyed by role.
+
+    The fused kernel reuses one arena across every level and plane it
+    encodes, so the hot path allocates only when a level is larger than any
+    level seen before.  Buffers are pure scratch: nothing returned to a
+    caller aliases an arena buffer (block bytes are materialised with
+    ``tobytes``; decoded codes come out of ``packbits``/``view`` copies).
+    :class:`FusedKernel` keeps one arena *per thread* — ``get_kernel``
+    caches a single process-wide instance, and two threads sweeping the
+    same buffers would silently corrupt each other's streams.
+    """
+
+    def __init__(self) -> None:
+        self._buffers: Dict[str, np.ndarray] = {}
+
+    def take(self, key: str, shape: Tuple[int, ...], dtype=np.uint8) -> np.ndarray:
+        needed = 1
+        for extent in shape:
+            needed *= int(extent)
+        buf = self._buffers.get(key)
+        if buf is None or buf.size < needed or buf.dtype != np.dtype(dtype):
+            buf = np.empty(max(needed, 1), dtype=dtype)
+            self._buffers[key] = buf
+        return buf[:needed].reshape(shape)
+
+
+#: Per-byte LSB mask / bit-gather multiplier of the 8×8 bit-block
+#: transpose (Hacker's Delight ``transpose8``): with ``t`` holding one
+#: 0/1 bit in every byte's LSB, ``(t * _TRANSPOSE_MAGIC) >> 56`` packs
+#: byte ``i``'s bit into output bit ``i`` — carry-free, because each
+#: output bit position receives exactly one contribution.
+_TRANSPOSE_MASK = np.uint64(0x0101010101010101)
+_TRANSPOSE_MAGIC = np.uint64(0x0102040810204080)
+_U64_SHIFTS = [np.uint64(s) for s in range(64)]
+
+
+class FusedKernel(VectorizedKernel):
+    """Single-sweep plane pipeline over a reusable buffer arena.
+
+    The primitive operations are inherited from :class:`VectorizedKernel`
+    (they already are single bulk passes), but the per-level pipelines are
+    overridden to run entirely in the *packed* byte domain.  The insight is
+    that ``extract_bitplanes`` + ``pack_bits`` (and their inverses) compose
+    to a **bit-matrix transpose** — ``n × nbits`` value-major bits to
+    ``nbits × n`` plane-major bits — and an 8×8 bit-block transpose has a
+    carry-free multiply implementation that never materialises the
+    ``n × nbits`` bit matrix at all:
+
+    * **encode** — for every code byte, the 8 values of a block collapse
+      into one ``uint64``; eight shift/mask/multiply passes emit the eight
+      packed plane rows directly.  The XOR prediction then runs on the
+      packed rows — 8× less data than the bit-domain XOR — and every
+      intermediate lives in the arena, reused across levels.
+    * **decode** — the losslessly-decoded plane bytes are laid into one
+      arena matrix, un-predicted in the packed domain, and pushed through
+      the same (involutive) block transpose straight back into value
+      bytes; the reconstructed codes never pass through a bit matrix
+      either.
+
+    Byte identity with the other kernels holds because the block transpose
+    reproduces ``np.packbits``'s little-endian bit placement exactly and
+    the zero padding of the trailing partial block matches ``packbits``'s
+    zero-filled pad bits (and XOR before or after packing is the same
+    operation: 0⊕0 pads stay 0).
+    """
+
+    name = "fused"
+
+    def __init__(self) -> None:
+        # One arena per thread: the registry hands every caller the same
+        # cached instance, and shared scratch across threads would be a
+        # silent stream corruptor.
+        self._thread_state = threading.local()
+
+    @property
+    def _arena(self) -> _BufferArena:
+        arena = getattr(self._thread_state, "arena", None)
+        if arena is None:
+            arena = self._thread_state.arena = _BufferArena()
+        return arena
+
+    # ------------------------------------------------------- fused pipelines
+
+    def encode_planes(
+        self, codes: np.ndarray, prefix_bits: int
+    ) -> Tuple[int, List[bytes]]:
+        _check_prefix_bits(prefix_bits)
+        codes = np.asarray(codes, dtype=np.int64).ravel()
+        negabinary = _nb_encode(codes)
+        nbits = _nb_required_bits(negabinary)
+        n = codes.size
+        if n == 0:
+            return nbits, [b""] * nbits
+        arena = self._arena
+        row_bytes = (n + 7) // 8  # packed plane row length
+        npad = 8 * row_bytes
+        padded = arena.take("encode.codes", (npad,), np.uint64)
+        padded[:n] = negabinary
+        padded[n:] = 0
+        packed = arena.take("encode.packed", (nbits, row_bytes))
+        shifted = arena.take("encode.shifted", (npad,), np.uint64)
+        block_bytes = arena.take("encode.block", (npad,), np.uint8)
+        gathered = arena.take("encode.gather", (row_bytes,), np.uint64)
+        for j in range((nbits + 7) // 8):
+            # One uint64 per block of 8 values, holding code byte j of each.
+            np.right_shift(padded, _U64_SHIFTS[8 * j], out=shifted)
+            np.copyto(block_bytes, shifted, casting="unsafe")  # low bytes
+            blocks = block_bytes.view("<u8")
+            for k in range(8):
+                position = 8 * j + k
+                if position >= nbits:
+                    break
+                np.right_shift(blocks, _U64_SHIFTS[k], out=gathered)
+                gathered &= _TRANSPOSE_MASK
+                gathered *= _TRANSPOSE_MAGIC
+                np.right_shift(gathered, _U64_SHIFTS[56], out=gathered)
+                np.copyto(packed[nbits - 1 - position], gathered, casting="unsafe")
+        predicted = arena.take("encode.predicted", (nbits, row_bytes))
+        np.copyto(predicted, packed)
+        for j in range(1, prefix_bits + 1):
+            if nbits > j:
+                np.bitwise_xor(packed[:-j], predicted[j:], out=predicted[j:])
+        return nbits, [predicted[row].tobytes() for row in range(nbits)]
+
+    def decode_planes(
+        self,
+        raw_planes: Sequence[bytes],
+        count: int,
+        nbits: int,
+        prefix_bits: int,
+    ) -> np.ndarray:
+        _check_prefix_bits(prefix_bits)
+        keep = len(raw_planes)
+        if count == 0 or keep == 0:
+            return np.zeros(count, dtype=np.int64)
+        arena = self._arena
+        row_bytes = (count + 7) // 8
+        packed = arena.take("decode.packed", (keep, row_bytes))
+        for row, raw in enumerate(raw_planes):
+            buf = np.frombuffer(raw, dtype=np.uint8)
+            if buf.size < row_bytes:
+                # Short block: surface the same error the per-plane
+                # unpack path raises (np.unpackbits count > available).
+                self.unpack_bits(raw, count)
+            packed[row] = buf[:row_bytes]
+        if prefix_bits == 1:
+            np.bitwise_xor.accumulate(packed, axis=0, out=packed)
+        elif prefix_bits:
+            for k in range(1, keep):
+                for j in range(1, prefix_bits + 1):
+                    if k - j >= 0:
+                        packed[k] ^= packed[k - j]
+        # Inverse block transpose: plane rows → per-value code bytes.
+        npad = 8 * row_bytes
+        value_bytes = arena.take("decode.values", (npad, 8))
+        value_bytes[:] = 0
+        value_blocks = value_bytes.reshape(row_bytes, 8, 8)
+        blocks = arena.take("decode.blocks", (row_bytes,), np.uint64)
+        gathered = arena.take("decode.gather", (row_bytes,), np.uint64)
+        lifted = arena.take("decode.lift", (row_bytes,), np.uint64)
+        for j in range((nbits + 7) // 8):
+            blocks[:] = 0
+            for k in range(8):
+                position = 8 * j + k
+                row = nbits - 1 - position
+                if position >= nbits or row >= keep:
+                    continue  # beyond the level width / not loaded → zero
+                np.copyto(lifted, packed[row], casting="unsafe")
+                lifted <<= _U64_SHIFTS[8 * k]
+                blocks |= lifted
+            for i in range(8):
+                np.right_shift(blocks, _U64_SHIFTS[i], out=gathered)
+                gathered &= _TRANSPOSE_MASK
+                gathered *= _TRANSPOSE_MAGIC
+                np.right_shift(gathered, _U64_SHIFTS[56], out=gathered)
+                np.copyto(value_blocks[:, i, j], gathered, casting="unsafe")
+        codes = value_bytes.reshape(-1).view("<u8")[:count]
+        return self.from_negabinary(codes.astype(np.uint64))
+
+
 # --------------------------------------------------------------------- registry
 
 _REGISTRY: Dict[str, Callable[[], Kernel]] = {}
@@ -444,3 +682,4 @@ def get_kernel(kernel: Optional[Union[str, Kernel]] = None) -> Kernel:
 
 register_kernel("vectorized", VectorizedKernel)
 register_kernel("reference", ReferenceKernel)
+register_kernel("fused", FusedKernel)

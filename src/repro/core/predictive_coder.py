@@ -7,17 +7,28 @@ sequence of *independently decodable blocks*, one per bitplane:
 2. codes → bitplanes, most significant first (:mod:`repro.core.bitplane`);
 3. planes → XOR-predicted planes using the two previously loaded planes;
 4. every predicted plane → packed bits → a lossless coder chosen by the
-   profile's **backend negotiation**: each candidate coder trial-encodes the
+   profile's **backend negotiation**: under the default ``"smallest"``
+   (a.k.a. *full*) policy each candidate coder trial-encodes the whole
    packed plane and the smallest output wins (ties break toward the earlier
    candidate, so the choice — and therefore the stream — is deterministic).
-   The winning coder's name is recorded per plane in
+   The ``"sampled"`` policy trial-encodes only a deterministic prefix of
+   the packed plane (``profile.negotiation_sample`` bytes) to pick the
+   winner and then encodes the full plane once with it — O(candidates ×
+   sample) instead of O(candidates × plane) work.  Either way the winning
+   coder's name is recorded per plane in
    :attr:`LevelEncoding.plane_coders` and travels in the stream-v2 header,
    so decoding dispatches per ``(level, plane)`` without any out-of-band
-   configuration.
+   configuration: sampled streams are just as self-describing and
+   deterministic as fully negotiated ones (they may merely pick a
+   different — still valid — coder for a plane whose prefix is not
+   representative).
 
-Steps 1–4 run on a pluggable bit-level kernel (:mod:`repro.core.kernels`):
-the default ``"vectorized"`` kernel performs them as NumPy bulk passes, the
-``"reference"`` kernel as auditable Python loops; both yield byte-identical
+Steps 1–4 run on a pluggable bit-level kernel (:mod:`repro.core.kernels`)
+through its :meth:`~repro.core.kernels.Kernel.encode_planes` /
+:meth:`~repro.core.kernels.Kernel.decode_planes` pipeline hooks: the default
+``"vectorized"`` kernel performs the stages as separate NumPy bulk passes,
+the ``"fused"`` kernel as one sweep over a reusable buffer arena, and the
+``"reference"`` kernel as auditable Python loops; all yield byte-identical
 blocks (coder negotiation only sees the packed bytes, which are identical).
 
 Alongside the blocks the encoder records the *exact* information-loss table
@@ -37,8 +48,8 @@ import numpy as np
 
 from repro.coders.backend import Backend, get_backend
 from repro.core.kernels import DEFAULT_KERNEL, get_kernel
-from repro.core.negabinary import required_bits_from_codes, truncate_low_planes
-from repro.core.profile import CodecProfile
+from repro.core.negabinary import truncate_low_planes
+from repro.core.profile import DEFAULT_NEGOTIATION_SAMPLE, CodecProfile
 from repro.core.quantizer import LinearQuantizer
 from repro.errors import ConfigurationError, StreamFormatError
 
@@ -92,23 +103,60 @@ class LevelEncoding:
 
 
 def negotiate_encode(
-    data: bytes, candidates: Sequence[str], coders: Optional[Dict[str, Backend]] = None
+    data: bytes,
+    candidates: Sequence[str],
+    coders: Optional[Dict[str, Backend]] = None,
+    *,
+    policy: str = "smallest",
+    sample: int = DEFAULT_NEGOTIATION_SAMPLE,
 ) -> Tuple[str, bytes]:
     """Encode ``data`` with the best candidate coder; return ``(name, blob)``.
 
-    Every candidate trial-encodes the payload and the smallest output wins;
-    ties break toward the earlier candidate.  With a single candidate this
-    degenerates to a plain encode (the ``"fixed"`` negotiation policy).
+    Under ``policy="smallest"`` (full negotiation) every candidate
+    trial-encodes the whole payload and the smallest output wins; ties break
+    toward the earlier candidate.  With a single candidate this degenerates
+    to a plain encode (the ``"fixed"`` negotiation policy).
+
+    Under ``policy="sampled"`` each candidate trial-encodes two
+    deterministic payload prefixes (``sample // 2`` and ``sample`` bytes)
+    and its full-payload size is *extrapolated* from the affine fit
+    ``size(n) ≈ a + b·n`` — the two-point fit cancels per-stream fixed
+    costs (e.g. a Huffman symbol table) that would otherwise bias short
+    probes against coders with large headers but low per-byte rates.  The
+    predicted winner then encodes the full payload exactly once.  Prefixes
+    are deterministic and ties break toward the earlier candidate, so the
+    chosen coder — and therefore the stream — is deterministic too.
+    Payloads no longer than ``sample`` fall back to full negotiation (the
+    prefix *is* the payload, so probing would cost more than trialling).
     """
-    best_name: Optional[str] = None
+    if not candidates:
+        raise StreamFormatError("no candidate coders to negotiate between")
+
+    def _resolve(name: str) -> Backend:
+        return coders[name] if coders is not None else get_backend(name)
+
+    if policy == "sampled" and len(candidates) > 1 and len(data) > sample:
+        half = max(1, sample // 2)
+        best_name: Optional[str] = None
+        best_predicted = 0.0
+        for name in candidates:
+            coder = _resolve(name)
+            size_half = len(coder.encode(data[:half]))
+            size_sample = len(coder.encode(data[:sample]))
+            slope = (size_sample - size_half) / max(1, sample - half)
+            predicted = size_sample + slope * (len(data) - sample)
+            if best_name is None or predicted < best_predicted:
+                best_name, best_predicted = name, predicted
+        assert best_name is not None
+        return best_name, _resolve(best_name).encode(data)
+
+    best_name = None
     best_blob: Optional[bytes] = None
     for name in candidates:
-        coder = coders[name] if coders is not None else get_backend(name)
-        blob = coder.encode(data)
+        blob = _resolve(name).encode(data)
         if best_blob is None or len(blob) < len(best_blob):
             best_name, best_blob = name, blob
-    if best_name is None or best_blob is None:
-        raise StreamFormatError("no candidate coders to negotiate between")
+    assert best_name is not None and best_blob is not None
     return best_name, best_blob
 
 
@@ -188,15 +236,19 @@ class PredictiveCoder:
     def encode_level(self, level: int, codes: np.ndarray) -> LevelEncoding:
         """Encode the quantization integers of one level into plane blocks."""
         codes = np.asarray(codes, dtype=np.int64).ravel()
-        negabinary = self.kernel.to_negabinary(codes)
-        nbits = required_bits_from_codes(negabinary)
-        planes = self.kernel.extract_bitplanes(negabinary, nbits)
-        predicted = self.kernel.predictive_encode(planes, self.prefix_bits)
+        # The whole negabinary → bitplane → XOR-predict → pack chain is one
+        # kernel pipeline call, so the fused kernel can run it as a single
+        # sweep over its buffer arena.
+        nbits, packed_planes = self.kernel.encode_planes(codes, self.prefix_bits)
         blocks: List[bytes] = []
         chosen: List[str] = []
-        for plane in predicted:
+        for packed in packed_planes:
             name, block = negotiate_encode(
-                self.kernel.pack_bits(plane), self.candidates, self._coders
+                packed,
+                self.candidates,
+                self._coders,
+                policy=self.profile.negotiation,
+                sample=self.profile.negotiation_sample,
             )
             blocks.append(block)
             chosen.append(name)
@@ -276,8 +328,10 @@ class PredictiveCoder:
         keep = len(loaded_blocks)
         if count == 0 or keep == 0:
             return np.zeros(count, dtype=np.int64)
-        encoded = np.empty((keep, count), dtype=np.uint8)
-        for row, block in enumerate(loaded_blocks):
-            encoded[row] = self.decode_plane_bits(encoding_meta, row, block)
-        planes = self.kernel.predictive_decode(encoded, self.prefix_bits)
-        return self.kernel.from_negabinary(self.kernel.assemble_bitplanes(planes, nbits))
+        # Lossless decoding dispatches per plane (the header names a coder
+        # for each); the bit-level inverse chain is one kernel pipeline call.
+        raw_planes = [
+            self._coder(encoding_meta.coder_for_plane(row)).decode(block)
+            for row, block in enumerate(loaded_blocks)
+        ]
+        return self.kernel.decode_planes(raw_planes, count, nbits, self.prefix_bits)

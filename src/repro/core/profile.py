@@ -15,12 +15,20 @@ bundles:
 * the **backend-negotiation policy** — how a plane block's coder is chosen
   from the candidates at compression time.
 
-With ``negotiation="smallest"`` (the default) every packed plane block is
-trial-encoded against each candidate and the smallest output wins (ties go to
-the earlier candidate, so the choice is deterministic); the winning coder
-name is recorded per ``(level, plane)`` in the stream-v2 header, making
-streams self-describing.  ``negotiation="fixed"`` skips the trials and uses
-the first candidate everywhere — the v1-era single-backend behaviour.
+With ``negotiation="smallest"`` (the default, also accepted as ``"full"``)
+every packed plane block is trial-encoded against each candidate and the
+smallest output wins (ties go to the earlier candidate, so the choice is
+deterministic); the winning coder name is recorded per ``(level, plane)`` in
+the stream-v2 header, making streams self-describing.
+``negotiation="sampled"`` probes two deterministic plane prefixes (half and
+all of ``negotiation_sample`` bytes) per candidate, extrapolates each
+candidate's full-plane size from the affine fit, and encodes the plane once
+with the predicted winner — O(candidates × sample) negotiation cost instead
+of O(candidates × plane), which is what makes wide candidate sets
+affordable on large fields; the choice is still deterministic and still
+recorded in the header, so sampled streams decode exactly like full ones.
+``negotiation="fixed"`` skips the trials and uses the first candidate
+everywhere — the v1-era single-backend behaviour.
 
 Profiles are immutable, hashable, picklable (they cross process boundaries in
 :mod:`repro.parallel`), and JSON round-trippable (they are embedded in
@@ -42,7 +50,15 @@ from repro.core.kernels import DEFAULT_KERNEL, get_kernel
 from repro.errors import ConfigurationError
 
 #: Negotiation policies understood by :class:`CodecProfile`.
-NEGOTIATION_POLICIES = ("smallest", "fixed")
+NEGOTIATION_POLICIES = ("smallest", "sampled", "fixed")
+
+#: Accepted spellings that normalise to a canonical policy name.
+NEGOTIATION_ALIASES = {"full": "smallest"}
+
+#: Default number of packed-plane prefix bytes trial-encoded per candidate
+#: under ``negotiation="sampled"``.  64 KiB keeps the probe cheap while
+#: covering several compression-window lengths of every built-in coder.
+DEFAULT_NEGOTIATION_SAMPLE = 65536
 
 #: Default plane-coder candidate set (ordered: ties pick the earliest).
 #: Deliberately small: ``zlib`` wins on compressible planes, ``raw`` on
@@ -80,9 +96,15 @@ class CodecProfile:
         Ordered candidate coders for the bitplane blocks.  With
         ``negotiation="fixed"`` only the first entry is used.
     negotiation:
-        ``"smallest"`` trial-encodes every plane against all candidates and
-        keeps the smallest output; ``"fixed"`` always uses
+        ``"smallest"`` (accepted alias: ``"full"``) trial-encodes every
+        plane against all candidates and keeps the smallest output;
+        ``"sampled"`` picks the winner on a ``negotiation_sample``-byte
+        plane prefix and encodes once with it; ``"fixed"`` always uses
         ``plane_coders[0]``.
+    negotiation_sample:
+        Packed-plane prefix bytes trial-encoded per candidate under the
+        ``"sampled"`` policy.  Ignored by the other policies (and by planes
+        that fit inside the sample, which are fully negotiated).
     """
 
     error_bound: float = 1e-6
@@ -93,6 +115,7 @@ class CodecProfile:
     anchor_coder: str = "zlib"
     plane_coders: Tuple[str, ...] = DEFAULT_PLANE_CODERS
     negotiation: str = "smallest"
+    negotiation_sample: int = DEFAULT_NEGOTIATION_SAMPLE
 
     def __post_init__(self) -> None:
         from repro.coders.backend import available_backends
@@ -104,11 +127,23 @@ class CodecProfile:
         if not 0 <= self.prefix_bits <= 3:
             raise ConfigurationError("prefix_bits must be in [0, 3]")
         get_kernel(self.kernel)  # fail fast on unknown kernel names
+        object.__setattr__(
+            self,
+            "negotiation",
+            NEGOTIATION_ALIASES.get(self.negotiation, self.negotiation),
+        )
         if self.negotiation not in NEGOTIATION_POLICIES:
             raise ConfigurationError(
-                f"negotiation must be one of {NEGOTIATION_POLICIES}, "
+                f"negotiation must be one of {NEGOTIATION_POLICIES} "
+                f"(or an alias {tuple(NEGOTIATION_ALIASES)}), "
                 f"got {self.negotiation!r}"
             )
+        if not isinstance(self.negotiation_sample, int) or isinstance(
+            self.negotiation_sample, bool
+        ):
+            raise ConfigurationError("negotiation_sample must be an integer")
+        if self.negotiation_sample < 1:
+            raise ConfigurationError("negotiation_sample must be positive")
         # Coerce list/single-string plane coders to a tuple so profiles built
         # from JSON (or sloppy callers) stay hashable and picklable.
         coders = self.plane_coders
@@ -231,6 +266,7 @@ class CodecProfile:
             "anchor_coder": self.anchor_coder,
             "plane_coders": list(self.plane_coders),
             "negotiation": self.negotiation,
+            "negotiation_sample": int(self.negotiation_sample),
         }
         if not runtime:
             del obj["kernel"]

@@ -21,7 +21,10 @@ Two header versions exist (the binary ``version`` word distinguishes them):
   coder, and per level a ``"plane_codecs"`` index array parallel to the
   plane sizes.  This is what backend negotiation records, and it makes every
   stream self-describing — no compression-time configuration is needed to
-  decode one.
+  decode one.  The *negotiation policy* never appears in the stream: whether
+  a plane's coder was chosen by a full trial encode (``"smallest"``) or by
+  probing a deterministic plane prefix (``"sampled"``), only the winner's
+  name travels, so sampled streams parse and decode exactly like full ones.
 
 Readers accept both: a v1 header is normalised at parse time into the same
 in-memory :class:`StreamHeader` (every plane coded by the single backend), so

@@ -207,7 +207,10 @@ class ChunkedDataset:
             n_blocks=n_blocks, workers=workers, profile=resolved
         )
         with BlockContainerWriter(path) as writer:
-            blocks = compressor.compress_into(writer, data)
+            # Shards stream straight into the container as each slab's
+            # stream is produced; the manifest only needs the slab extents,
+            # so the compressed payloads are not retained in memory.
+            blocks = compressor.compress_into(writer, data, keep_blobs=False)
             manifest = {
                 "format": FORMAT_NAME,
                 "version": FORMAT_VERSION,

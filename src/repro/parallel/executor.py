@@ -1,4 +1,4 @@
-"""Process-pool block compressor.
+"""Process-pool block compressor with shared-memory slab transport.
 
 ``BlockParallelCompressor`` decomposes a field into slabs, compresses every
 slab with an independent IPComp stream (workers are separate processes, so the
@@ -6,19 +6,26 @@ NumPy work genuinely runs in parallel), and reassembles on decompression.
 Because each block carries its own error-bounded stream the global L∞ bound
 is preserved, and progressive retrieval can be served block by block.
 
-Workers receive ``(CodecProfile, slab array)`` and return bytes; the profile
-is a frozen dataclass of primitives, so it pickles across the process
-boundary unchanged, and the top-level :func:`_compress_block` /
-:func:`_decompress_block` functions exist so the payloads are picklable by
-the standard :mod:`concurrent.futures` machinery.  ``workers=0`` (or an environment without ``fork``/spawn support)
-falls back to serial execution with identical results.  A pool that cannot
-start — or that loses its worker processes — triggers the serial fallback;
-an exception *raised by the worker function itself* is a real error and
-propagates to the caller.
+**Slab transport.**  The parallel compress path places the field in one
+:mod:`multiprocessing.shared_memory` segment and sends workers only
+``(profile, segment name, shape, dtype, slab extents)`` — a few hundred
+bytes per task instead of a pickled copy of every slab crossing the process
+boundary twice.  Workers attach a read-only NumPy view and compress their
+slabs in place.  Consecutive small slabs are **batched** into one task
+(:data:`MIN_TASK_BYTES`) so a finely sharded field does not drown in
+per-task dispatch overhead.  When shared memory is unavailable (no
+``/dev/shm``, sealed sandbox) the payloads fall back to pickled slab
+arrays, and ``workers=0`` — or an environment without ``fork``/spawn
+support — falls back to serial execution; every route produces
+byte-identical streams.  A pool that cannot start — or that loses its
+worker processes — triggers the serial fallback; an exception *raised by
+the worker function itself* is a real error and propagates to the caller.
 
 The compressor also speaks the on-disk container dialect of
-:mod:`repro.io`: :meth:`~BlockParallelCompressor.compress_into` writes one
-``shard-NNNN`` entry per slab to any block-container writer, and
+:mod:`repro.io`: :meth:`~BlockParallelCompressor.compress_into` **streams**
+one ``shard-NNNN`` entry per slab to any block-container writer as each
+slab's stream is produced (no intermediate list of all streams is built
+before the first byte reaches the container), and
 :meth:`~BlockParallelCompressor.blocks_from_entries` reads them back — the
 substrate :class:`repro.io.ChunkedDataset` builds on.
 """
@@ -28,9 +35,14 @@ from __future__ import annotations
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
+
+try:  # pragma: no cover - present on every supported platform
+    from multiprocessing import shared_memory as _shared_memory
+except ImportError:  # pragma: no cover - exotic builds without _posixshmem
+    _shared_memory = None
 
 from repro.core.compressor import IPComp
 from repro.core.profile import CodecProfile
@@ -47,6 +59,10 @@ from repro.parallel.partition import (
 #: Container entries produced by :meth:`BlockParallelCompressor.compress_into`.
 SHARD_PREFIX = "shard-"
 
+#: Minimum slab bytes a parallel task should carry: consecutive smaller
+#: slabs are batched into one task to amortise dispatch overhead.
+MIN_TASK_BYTES = 1 << 20
+
 
 def shard_name(index: int) -> str:
     """Canonical container-entry name of slab ``index``."""
@@ -59,6 +75,34 @@ def _compress_block(payload: Tuple[CodecProfile, np.ndarray]) -> bytes:
     return IPComp(profile=profile).compress(block)
 
 
+def _compress_batch_shm(payload) -> List[bytes]:
+    """Worker: compress a batch of slabs read from a shared-memory field.
+
+    The payload carries no array data — just the segment name plus the
+    global shape/dtype and each slab's extents — so task pickling cost is
+    independent of the field size.  The same function also runs in-process
+    on the serial fallback paths (attaching to a segment from the creating
+    process is valid and free).
+    """
+    profile, segment_name, shape, dtype, batch_ranges = payload
+    segment = _shared_memory.SharedMemory(name=segment_name)
+    field = None
+    try:
+        field = np.ndarray(tuple(shape), dtype=np.dtype(dtype), buffer=segment.buf)
+        return [
+            IPComp(profile=profile).compress(
+                np.ascontiguousarray(field[ranges_to_slices(ranges)])
+            )
+            for ranges in batch_ranges
+        ]
+    finally:
+        # The ndarray view must release the buffer before the segment
+        # handle can close (ascontiguousarray copies, so nothing else
+        # holds it).
+        del field
+        segment.close()
+
+
 def _decompress_block(blob: bytes) -> np.ndarray:
     """Worker: fully decompress one slab."""
     retriever = ProgressiveRetriever(blob)
@@ -69,6 +113,45 @@ def _retrieve_block(payload: Tuple[bytes, float]) -> np.ndarray:
     """Worker: partially retrieve one slab at the requested error bound."""
     blob, error_bound = payload
     return ProgressiveRetriever(blob).retrieve(error_bound=error_bound).data
+
+
+def _slab_bytes(slc: SliceTuple, shape: Sequence[int], itemsize: int) -> int:
+    """Payload bytes of one slab of a field with the given shape/itemsize."""
+    n = itemsize
+    for axis_slice, extent in zip(slc, shape):
+        start, stop, _ = axis_slice.indices(extent)
+        n *= max(0, stop - start)
+    return n
+
+
+def _batch_slabs(
+    slabs: Sequence[SliceTuple],
+    shape: Sequence[int],
+    itemsize: int,
+    workers: int,
+    min_bytes: int = MIN_TASK_BYTES,
+) -> List[List[SliceTuple]]:
+    """Group consecutive slabs into per-task batches.
+
+    Small slabs are merged until a batch carries at least ``min_bytes`` of
+    field data, capped so a field large enough to feed every worker is never
+    collapsed below ``workers`` batches: the effective threshold is
+    ``min(min_bytes, total_bytes // workers)``.
+    """
+    total = sum(_slab_bytes(slc, shape, itemsize) for slc in slabs)
+    target = min(min_bytes, max(1, total // max(workers, 1)))
+    batches: List[List[SliceTuple]] = []
+    current: List[SliceTuple] = []
+    current_bytes = 0
+    for slc in slabs:
+        current.append(slc)
+        current_bytes += _slab_bytes(slc, shape, itemsize)
+        if current_bytes >= target:
+            batches.append(current)
+            current, current_bytes = [], 0
+    if current:
+        batches.append(current)
+    return batches
 
 
 @dataclass
@@ -105,18 +188,36 @@ class BlockParallelCompressor:
 
     # ------------------------------------------------------------------ utils
 
-    def _map(self, function, payloads: Sequence) -> List:
-        workers = self.workers
-        if workers is None:
-            workers = min(self.n_blocks, 4)
+    def _effective_workers(self) -> int:
+        if self.workers is None:
+            return min(self.n_blocks, 4)
+        return self.workers or 0
+
+    def _imap(self, function, payloads: Sequence) -> Iterator:
+        """Apply ``function`` to every payload, yielding results *in order*.
+
+        Results are yielded as soon as they (and all their predecessors)
+        complete, so consumers can stream them — e.g. write shard ``k`` to
+        a container while shard ``k+1`` is still compressing.  The fallback
+        ladder matches the original list-based ``_map``: a pool that cannot
+        start, a submit-time fork/spawn denial, or worker *processes* dying
+        mid-run all degrade to in-process execution with bit-identical
+        results, while an exception raised by ``function`` itself is a real
+        error and propagates.
+        """
+        workers = self._effective_workers()
         if not workers or workers <= 1 or len(payloads) <= 1:
-            return [function(p) for p in payloads]
+            for payload in payloads:
+                yield function(payload)
+            return
         try:
             pool = ProcessPoolExecutor(max_workers=workers)
         except (OSError, ValueError, RuntimeError, NotImplementedError):
             # The pool itself could not start (no /dev/shm, no spawn method):
             # fall back to serial execution, results are bit-identical.
-            return [function(p) for p in payloads]
+            for payload in payloads:
+                yield function(payload)
+            return
         with pool:
             try:
                 # Worker processes are spawned lazily at submit time, so
@@ -124,17 +225,26 @@ class BlockParallelCompressor:
                 # environment problem, still the serial fallback.
                 futures = [pool.submit(function, p) for p in payloads]
             except (OSError, ValueError, RuntimeError, NotImplementedError):
-                return [function(p) for p in payloads]
-            try:
-                return [future.result() for future in futures]
-            except BrokenProcessPool:
-                # Worker *processes* died while running (sandboxed fork,
-                # OOM-killed child) — an environment problem, so retry
-                # serially.  Exceptions raised by ``function`` itself arrive
-                # as their original type and fall through to the caller: a
-                # worker error is a real error, not a cue to silently
-                # recompute.
-                return [function(p) for p in payloads]
+                for payload in payloads:
+                    yield function(payload)
+                return
+            for index, future in enumerate(futures):
+                try:
+                    result = future.result()
+                except BrokenProcessPool:
+                    # Worker *processes* died while running (sandboxed fork,
+                    # OOM-killed child) — an environment problem, so finish
+                    # the remaining payloads serially.  Exceptions raised by
+                    # ``function`` itself arrive as their original type and
+                    # fall through to the caller: a worker error is a real
+                    # error, not a cue to silently recompute.
+                    for payload in payloads[index:]:
+                        yield function(payload)
+                    return
+                yield result
+
+    def _map(self, function, payloads: Sequence) -> List:
+        return list(self._imap(function, payloads))
 
     # ------------------------------------------------------------- public API
 
@@ -149,32 +259,96 @@ class BlockParallelCompressor:
 
     def compress(self, data: np.ndarray) -> List[CompressedBlock]:
         """Compress ``data`` into ``n_blocks`` independent IPComp streams."""
-        data = np.asarray(data)
+        return list(self.compress_iter(data))
+
+    def compress_iter(self, data: np.ndarray) -> Iterator[CompressedBlock]:
+        """Compress ``data`` slab by slab, yielding blocks in slab order.
+
+        The parallel path ships the field to workers through one
+        shared-memory segment (see the module docstring); blocks are
+        yielded as soon as they — and their predecessors — finish, so a
+        consumer can stream them to disk while later slabs still compress.
+        Every execution mode yields byte-identical blocks.
+        """
+        data = np.ascontiguousarray(data)
         profile = self.resolved_profile(data)
         slabs = block_slices(data.shape, self.n_blocks)
+        if len(slabs) > 1 and self._effective_workers() > 1 and _shared_memory is not None:
+            segment = self._create_segment(data.nbytes)
+            if segment is not None:
+                yield from self._compress_iter_shm(segment, data, profile, slabs)
+                return
         payloads = [(profile, np.ascontiguousarray(data[slc])) for slc in slabs]
-        blobs = self._map(_compress_block, payloads)
-        return [CompressedBlock(slc, blob) for slc, blob in zip(slabs, blobs)]
+        for slc, blob in zip(slabs, self._imap(_compress_block, payloads)):
+            yield CompressedBlock(slc, blob)
+
+    @staticmethod
+    def _create_segment(nbytes: int):
+        """A fresh shared-memory segment, or ``None`` where unsupported."""
+        try:
+            return _shared_memory.SharedMemory(create=True, size=max(1, nbytes))
+        except (OSError, ValueError, RuntimeError, NotImplementedError):
+            # No /dev/shm (sealed sandbox), size limits, … — the pickled
+            # slab transport below is slower but always available.
+            return None
+
+    def _compress_iter_shm(
+        self, segment, data: np.ndarray, profile: CodecProfile, slabs: List[SliceTuple]
+    ) -> Iterator[CompressedBlock]:
+        try:
+            view = np.ndarray(data.shape, dtype=data.dtype, buffer=segment.buf)
+            view[...] = data
+            del view  # workers hold their own attachments; release ours
+            batches = _batch_slabs(
+                slabs, data.shape, data.dtype.itemsize, self._effective_workers()
+            )
+            payloads = [
+                (
+                    profile,
+                    segment.name,
+                    tuple(data.shape),
+                    str(data.dtype),
+                    [slices_to_ranges(slc, data.shape) for slc in batch],
+                )
+                for batch in batches
+            ]
+            for batch, blobs in zip(batches, self._imap(_compress_batch_shm, payloads)):
+                for slc, blob in zip(batch, blobs):
+                    yield CompressedBlock(slc, blob)
+        finally:
+            try:
+                segment.close()
+                segment.unlink()
+            except OSError:  # pragma: no cover - best-effort cleanup
+                pass
 
     # ----------------------------------------------------- container entries
 
-    def compress_into(self, writer, data: np.ndarray) -> List[CompressedBlock]:
-        """Compress ``data`` and write one ``shard-NNNN`` entry per slab.
+    def compress_into(
+        self, writer, data: np.ndarray, *, keep_blobs: bool = True
+    ) -> List[CompressedBlock]:
+        """Compress ``data``, streaming one ``shard-NNNN`` entry per slab.
 
         ``writer`` is any object with the
         :meth:`repro.io.BlockContainerWriter.add_block` interface (duck-typed
         so this module needs no dependency on :mod:`repro.io`).  Each entry's
-        metadata records the slab's global slice extents; the blocks are also
-        returned for callers that want to keep them in memory.
+        metadata records the slab's global slice extents.  Shards are written
+        **as they are produced** — the container receives shard ``k`` while
+        later slabs are still compressing, and no list of all streams is
+        materialised first.  The blocks are also returned for callers that
+        want to keep them in memory; ``keep_blobs=False`` returns them with
+        empty payloads (slab extents only) so writing a large dataset does
+        not retain every compressed stream.
         """
         data = np.asarray(data)
-        blocks = self.compress(data)
-        for index, block in enumerate(blocks):
+        blocks: List[CompressedBlock] = []
+        for index, block in enumerate(self.compress_iter(data)):
             writer.add_block(
                 shard_name(index),
                 block.blob,
                 {"slices": slices_to_ranges(block.slices, data.shape)},
             )
+            blocks.append(block if keep_blobs else CompressedBlock(block.slices, b""))
         return blocks
 
     @staticmethod

@@ -18,6 +18,26 @@ def raw_field(tmp_path):
     return field, path
 
 
+def test_sampled_negotiation_and_fused_kernel_flags(tmp_path, raw_field):
+    """`--negotiation sampled|full` + `--negotiation-sample` + `--kernel fused`."""
+    field, raw_path = raw_field
+    sampled = tmp_path / "sampled.ipc"
+    full = tmp_path / "full.ipc"
+    common = ["compress", str(raw_path), "--shape", "16x18x20", "--eb", "1e-5",
+              "--coders", "zlib,huffman,rle,raw", "--kernel", "fused"]
+    assert main(common + ["-o", str(sampled), "--negotiation", "sampled",
+                          "--negotiation-sample", "256"]) == 0
+    assert main(common + ["-o", str(full), "--negotiation", "full"]) == 0
+    restored = tmp_path / "restored.d64"
+    assert main(["decompress", str(sampled), "-o", str(restored)]) == 0
+    eb = 1e-5 * (field.max() - field.min())
+    assert np.abs(load_raw(restored, field.shape) - field).max() <= eb * (1 + 1e-9)
+    # "full" must spell the default policy: byte-identical to "smallest".
+    smallest = tmp_path / "smallest.ipc"
+    assert main(common + ["-o", str(smallest), "--negotiation", "smallest"]) == 0
+    assert full.read_bytes() == smallest.read_bytes()
+
+
 def test_compress_decompress_cycle(tmp_path, raw_field, capsys):
     field, raw_path = raw_field
     compressed = tmp_path / "density.ipc"

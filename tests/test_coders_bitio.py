@@ -110,3 +110,148 @@ def test_read_bit_array_past_end_raises():
         reader.read_bit_array(9)
     with pytest.raises(ValueError):
         reader.read_bit_array(-1)
+
+
+# --------------------------------------------- differential: bulk vs. per-bit
+#
+# The multi-bit writer/reader paths were rewritten from per-bit Python loops
+# to np.packbits/np.unpackbits bulk passes.  These tests replay randomized
+# operation sequences against a literal copy of the old loop implementation
+# and require byte-for-byte identical streams and identical read-backs.
+
+
+class _LoopWriter:
+    """The pre-bulk BitWriter hot paths, bit by bit (differential oracle)."""
+
+    def __init__(self) -> None:
+        self.inner = BitWriter()
+
+    def write_bit(self, bit: int) -> None:
+        self.inner.write_bit(bit)
+
+    def write_bits(self, value: int, count: int) -> None:
+        for i in range(count):
+            self.inner.write_bit((value >> i) & 1)
+
+    def write_unary(self, value: int) -> None:
+        for _ in range(value):
+            self.inner.write_bit(0)
+        self.inner.write_bit(1)
+
+    def write_bit_array(self, bits) -> None:
+        for bit in np.asarray(bits).ravel().tolist():
+            self.inner.write_bit(1 if bit else 0)
+
+    def getvalue(self) -> bytes:
+        return self.inner.getvalue()
+
+
+class _LoopReader:
+    """The pre-bulk BitReader hot paths, bit by bit (differential oracle)."""
+
+    def __init__(self, data: bytes) -> None:
+        self.inner = BitReader(data)
+
+    def read_bit(self) -> int:
+        return self.inner.read_bit()
+
+    def read_bits(self, count: int) -> int:
+        value = 0
+        for i in range(count):
+            value |= self.inner.read_bit() << i
+        return value
+
+    def read_unary(self) -> int:
+        count = 0
+        while self.inner.read_bit() == 0:
+            count += 1
+        return count
+
+
+def _random_ops(rng, n_ops: int):
+    """A randomized, alignment-stressing sequence of writer operations."""
+    ops = []
+    for _ in range(n_ops):
+        kind = rng.integers(0, 4)
+        if kind == 0:
+            ops.append(("bit", int(rng.integers(0, 2))))
+        elif kind == 1:
+            count = int(rng.integers(0, 80))  # crosses the 16-bit fast path
+            value = int(rng.integers(0, 1 << 62)) if count else 0
+            ops.append(("bits", value, count))
+        elif kind == 2:
+            ops.append(("unary", int(rng.integers(0, 70))))
+        else:
+            size = int(rng.integers(0, 120))
+            ops.append(("array", (rng.random(size) > 0.4).astype(np.uint8)))
+    return ops
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2, 3])
+def test_writer_bulk_paths_match_per_bit_oracle(seed):
+    rng = np.random.default_rng(721000 + seed)  # local rng: conftest's is session-shared
+    ops = _random_ops(rng, 60)
+    bulk, loop = BitWriter(), _LoopWriter()
+    for op in ops:
+        if op[0] == "bit":
+            bulk.write_bit(op[1]), loop.write_bit(op[1])
+        elif op[0] == "bits":
+            bulk.write_bits(op[1], op[2]), loop.write_bits(op[1], op[2])
+        elif op[0] == "unary":
+            bulk.write_unary(op[1]), loop.write_unary(op[1])
+        else:
+            bulk.write_bit_array(op[1]), loop.write_bit_array(op[1])
+    assert bulk.getvalue() == loop.getvalue()
+    assert len(bulk) == len(loop.inner)
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2, 3])
+def test_reader_bulk_paths_match_per_bit_oracle(seed):
+    rng = np.random.default_rng(722000 + seed)
+    ops = _random_ops(rng, 60)
+    writer = BitWriter()
+    schedule = []  # (kind, arg) read operations mirroring the writes
+    for op in ops:
+        if op[0] == "bit":
+            writer.write_bit(op[1])
+            schedule.append(("bit", None))
+        elif op[0] == "bits":
+            writer.write_bits(op[1], op[2])
+            schedule.append(("bits", op[2]))
+        elif op[0] == "unary":
+            writer.write_unary(op[1])
+            schedule.append(("unary", None))
+        else:
+            writer.write_bit_array(op[1])
+            schedule.append(("bits_run", op[1].size))
+    data = writer.getvalue()
+    bulk, loop = BitReader(data), _LoopReader(data)
+    for kind, arg in schedule:
+        if kind == "bit":
+            assert bulk.read_bit() == loop.read_bit()
+        elif kind == "bits":
+            assert bulk.read_bits(arg) == loop.read_bits(arg)
+        elif kind == "unary":
+            assert bulk.read_unary() == loop.read_unary()
+        else:
+            expect = [loop.read_bit() for _ in range(arg)]
+            assert bulk.read_bit_array(arg).tolist() == expect
+
+
+def test_long_unary_and_wide_fields_roundtrip():
+    writer = BitWriter()
+    writer.write_bit(1)  # misalign everything that follows
+    writer.write_unary(10_000)
+    writer.write_bits((1 << 200) - 3, 201)
+    writer.write_unary(0)
+    reader = BitReader(writer.getvalue())
+    assert reader.read_bit() == 1
+    assert reader.read_unary() == 10_000
+    assert reader.read_bits(201) == (1 << 200) - 3
+    assert reader.read_unary() == 0
+
+
+def test_read_unary_exhaustion_matches_per_bit_error():
+    # All zeros, no terminator: both paths must raise StreamFormatError.
+    with pytest.raises(StreamFormatError):
+        BitReader(b"\x00\x00").read_unary()
