@@ -185,6 +185,7 @@ def _run_kernel_stage(field):
 def _run_negotiation(field):
     mb = field.nbytes / 1e6
     timings = {}
+    captured = {}
     for label, negotiation in (
         ("fixed", "fixed"),
         ("full", "smallest"),
@@ -192,9 +193,23 @@ def _run_negotiation(field):
     ):
         comp = IPComp(profile=_profile("fused", negotiation))
         reps = 2 if label != "full" else 1
-        timings[label] = _best_seconds(lambda: comp.compress(field), reps)
+
+        def run(label=label, comp=comp):
+            captured[label] = comp.compress(field)
+
+        timings[label] = _best_seconds(run, reps)
     overhead_full = (timings["full"] - timings["fixed"]) / timings["full"]
     overhead_sampled = (timings["sampled"] - timings["fixed"]) / timings["sampled"]
+    # Per-plane coder agreement between the sampled (autotuned-probe) and
+    # full policies, straight from the two headers — the ≥90 % pin of the
+    # sampled-negotiation contract lives in this gate.
+    header_full = ProgressiveRetriever(captured["full"]).header
+    header_sampled = ProgressiveRetriever(captured["sampled"]).header
+    total = agree = 0
+    for enc_full, enc_sampled in zip(header_full.levels, header_sampled.levels):
+        for a, b in zip(enc_full.plane_coders, enc_sampled.plane_coders):
+            total += 1
+            agree += a == b
     return {
         "shape": list(field.shape),
         "candidates": list(WIDE_CODERS),
@@ -208,6 +223,9 @@ def _run_negotiation(field):
         "speedup_sampled_over_full": round(timings["full"] / timings["sampled"], 3),
         "negotiation_overhead_full": round(overhead_full, 3),
         "negotiation_overhead_sampled": round(overhead_sampled, 3),
+        "sampled_coder_agreement": round(agree / max(total, 1), 4),
+        "sampled_stream_bytes": len(captured["sampled"]),
+        "full_stream_bytes": len(captured["full"]),
     }
 
 
@@ -320,6 +338,12 @@ def test_pipeline_e2e(benchmark, results_dir):
         vectorized = payload["matrix"][f"vectorized/{mode}"]["encode_mbps"]
         assert fused >= vectorized * 0.85, (mode, fused, vectorized)
     assert negotiation["speedup_sampled_over_full"] >= 2.0, negotiation
+    # Sampled negotiation (with the per-plane autotuned probe) must agree
+    # with the full trials on ≥ 90 % of planes and cost ≤ 5 % stream size.
+    assert negotiation["sampled_coder_agreement"] >= 0.9, negotiation
+    assert negotiation["sampled_stream_bytes"] <= (
+        negotiation["full_stream_bytes"] * 1.05
+    ), negotiation
 
     floor_failures = _check_floor(payload)
     assert not floor_failures, "\n".join(floor_failures)

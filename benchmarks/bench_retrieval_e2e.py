@@ -1,0 +1,280 @@
+"""End-to-end retrieval throughput: sync vs prefetch vs pool decode.
+
+The decode-side companion of ``bench_pipeline_e2e``: it measures the
+retrieval engine's three execution paths over a file-backed chunked dataset
+and emits **`BENCH_retrieval.json`** at the repo root:
+
+1. **Full-field read** — output MB/s for the synchronous path, the
+   prefetching path (range reads overlapped with decode), and the pool
+   decode stage per worker count (recorded with the box's ``cpu_count``;
+   a 1-core CI box cannot scale, so pool floors only apply on ≥ 2 cores).
+2. **ROI reads** — bytes-touched fraction for a ≤ 1/4-volume region
+   (the Figure 6 headline), identical across execution paths.
+3. **Refinement ladder** — a 4-rung ``refine()`` ladder under prefetch
+   with speculation: zero re-read ranges and byte counts identical to the
+   synchronous ladder (hard-gated; this is the accounting contract).
+4. **Single-stream decode** — the bare ``.ipc`` file path through
+   ``open_stream_source`` with and without prefetch.
+
+Correctness is hard-gated (bitwise identity across every path); speed is
+recorded and gated only where the hardware can honour it: the checked-in
+floor (``benchmarks/perf_floor.json``, ``retrieval_mbps`` section) applies
+when the scale matches, and the pool-over-sync floor is asserted only when
+``os.cpu_count() ≥ 2``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import BENCH_SCALE, REPO_ROOT, print_table, write_csv
+from repro import ChunkedDataset, IPComp, ProgressiveRetriever
+from repro.retrieval.engine import open_stream_source
+
+BENCH_JSON = REPO_ROOT / "BENCH_retrieval.json"
+FLOOR_FILE = REPO_ROOT / "benchmarks" / "perf_floor.json"
+
+BOUND = 1e-5
+N_BLOCKS = 8
+_POOL_WORKERS = (0, 2, 4)
+_PREFETCH_DEPTH = 4
+
+_SHAPES = {
+    "tiny": (24, 28, 32),
+    "default": (48, 56, 64),
+    "full": (64, 80, 96),
+    "paper": (64, 80, 96),
+}
+
+
+def _synthetic_field(shape) -> np.ndarray:
+    rng = np.random.default_rng(271828)  # local; never the shared fixture rng
+    grids = np.meshgrid(*(np.linspace(0, 1, s) for s in shape), indexing="ij")
+    smooth = sum(np.sin((2 + i) * g) for i, g in enumerate(grids))
+    return (smooth + 0.05 * rng.normal(size=shape)).astype(np.float64)
+
+
+def _best_seconds(fn, reps: int) -> float:
+    best = None
+    for _ in range(reps):
+        start = time.perf_counter()
+        fn()
+        elapsed = time.perf_counter() - start
+        best = elapsed if best is None or elapsed < best else best
+    return best
+
+
+def _read_once(path, **knobs):
+    with ChunkedDataset(path, **knobs) as dataset:
+        return dataset.read()
+
+
+def _run_full_reads(path, field):
+    mb = field.nbytes / 1e6
+    reference = _read_once(path)
+    modes = {}
+    sync_s = _best_seconds(lambda: _read_once(path), 3)
+    modes["sync"] = {"mbps": round(mb / sync_s, 3), "seconds": round(sync_s, 4)}
+    prefetch_s = _best_seconds(
+        lambda: _read_once(path, prefetch=_PREFETCH_DEPTH), 3
+    )
+    modes["prefetch"] = {
+        "mbps": round(mb / prefetch_s, 3), "seconds": round(prefetch_s, 4)
+    }
+    identical = True
+    for knobs in ({"prefetch": _PREFETCH_DEPTH}, {"workers": 2}):
+        identical &= (
+            _read_once(path, **knobs).data.tobytes() == reference.data.tobytes()
+        )
+    pool = {}
+    for workers in _POOL_WORKERS:
+        seconds = _best_seconds(lambda: _read_once(path, workers=workers), 2)
+        pool[str(workers)] = {
+            "mbps": round(mb / seconds, 3), "seconds": round(seconds, 4)
+        }
+    best_pool = max(cell["mbps"] for cell in pool.values())
+    best_pipeline = max(best_pool, modes["prefetch"]["mbps"])
+    return {
+        "modes": modes,
+        "pool": pool,
+        "cpu_count": os.cpu_count(),
+        "speedup_prefetch_over_sync": round(
+            modes["prefetch"]["mbps"] / modes["sync"]["mbps"], 3
+        ),
+        "speedup_best_pipeline_over_sync": round(
+            best_pipeline / modes["sync"]["mbps"], 3
+        ),
+        "paths_byte_identical": bool(identical),
+    }
+
+
+def _run_roi(path, field):
+    # Quarter of the sharded (leading) axis, half of the rest: 1/16 of the
+    # volume, intersecting ~1/4 of the shards.
+    roi = (slice(0, max(1, field.shape[0] // 4)),) + tuple(
+        slice(0, max(1, s // 2)) for s in field.shape[1:]
+    )
+    results = {}
+    for label, knobs in (
+        ("sync", {}), ("prefetch", {"prefetch": _PREFETCH_DEPTH}),
+        ("pool", {"workers": 2}),
+    ):
+        with ChunkedDataset(path, **knobs) as dataset:
+            full = dataset.read()
+            with ChunkedDataset(path, **knobs) as fresh:
+                part = fresh.read(roi=roi)
+            results[label] = (part, full)
+    sync_part, sync_full = results["sync"]
+    identical = all(
+        part.data.tobytes() == sync_part.data.tobytes()
+        and part.bytes_loaded == sync_part.bytes_loaded
+        for part, _ in results.values()
+    )
+    return {
+        "roi": [[s.start, s.stop] for s in sync_part.roi],
+        "roi_volume_fraction": round(sync_part.data.size / field.size, 4),
+        "roi_bytes": sync_part.bytes_loaded,
+        "full_bytes": sync_full.bytes_loaded,
+        "bytes_fraction": round(sync_part.bytes_loaded / sync_full.bytes_loaded, 4),
+        "paths_byte_identical": bool(identical),
+    }
+
+
+def _run_refine_ladder(path):
+    with ChunkedDataset(path) as dataset:
+        eb = dataset.absolute_bound
+        ladder = [eb * k for k in (1024, 64, 8, 1)]
+        sync = [dataset.refine(error_bound=target) for target in ladder]
+    with ChunkedDataset(path, prefetch=_PREFETCH_DEPTH) as dataset:
+        spec = [dataset.refine(error_bound=target) for target in ladder]
+    seen = set()
+    re_read = 0
+    for step in spec:
+        re_read += len(seen & set(step.ranges))
+        seen |= set(step.ranges)
+    return {
+        "rungs": len(ladder),
+        "bytes_per_rung": [step.bytes_loaded for step in sync],
+        "re_read_ranges": re_read,
+        "bytes_identical_to_sync": all(
+            s.bytes_loaded == p.bytes_loaded and s.ranges == p.ranges
+            for s, p in zip(sync, spec)
+        ),
+        "data_identical_to_sync": all(
+            s.data.tobytes() == p.data.tobytes() for s, p in zip(sync, spec)
+        ),
+    }
+
+
+def _run_stream(tmp_path, field):
+    mb = field.nbytes / 1e6
+    path = tmp_path / "stream.ipc"
+    path.write_bytes(IPComp(error_bound=BOUND, relative=True).compress(field))
+
+    def read(prefetch):
+        source = open_stream_source(path, prefetch=prefetch)
+        try:
+            retriever = ProgressiveRetriever(source)
+            return retriever.retrieve(error_bound=retriever.header.error_bound)
+        finally:
+            source.close()
+
+    sync_s = _best_seconds(lambda: read(0), 3)
+    prefetch_s = _best_seconds(lambda: read(_PREFETCH_DEPTH), 3)
+    return {
+        "sync_mbps": round(mb / sync_s, 3),
+        "prefetch_mbps": round(mb / prefetch_s, 3),
+        "identical": read(0).data.tobytes() == read(_PREFETCH_DEPTH).data.tobytes(),
+    }
+
+
+def _check_floor(payload) -> list:
+    """Regression gate against the checked-in floor (>30 % drop fails)."""
+    if not FLOOR_FILE.exists():
+        return []
+    floor = json.loads(FLOOR_FILE.read_text())
+    if floor.get("scale") != BENCH_SCALE:
+        return []
+    failures = []
+    for mode, minimum in floor.get("retrieval_mbps", {}).items():
+        measured = payload["full_read"]["modes"].get(mode, {}).get("mbps")
+        if measured is not None and measured < minimum * 0.7:
+            failures.append(
+                f"retrieval {mode}: {measured} MB/s < 70% of floor {minimum} MB/s"
+            )
+    # Pool scaling only means anything with ≥ 2 cores under the pool.
+    pool_floor = floor.get("retrieval_pool_speedup_min")
+    cores = os.cpu_count() or 1
+    if pool_floor is not None and cores >= 2:
+        measured = payload["full_read"]["speedup_best_pipeline_over_sync"]
+        if measured < pool_floor:
+            failures.append(
+                f"pool/prefetch speedup {measured} < floor {pool_floor} "
+                f"on a {cores}-core box"
+            )
+    return failures
+
+
+@pytest.mark.benchmark(group="retrieval")
+def test_retrieval_e2e(benchmark, results_dir, tmp_path):
+    shape = _SHAPES.get(BENCH_SCALE, _SHAPES["default"])
+    field = _synthetic_field(shape)
+    path = tmp_path / "field.rprc"
+    ChunkedDataset.write(
+        path, field, error_bound=BOUND, relative=True, n_blocks=N_BLOCKS, workers=0
+    )
+
+    def _run():
+        return {
+            "schema": "bench-retrieval-e2e/v1",
+            "scale": BENCH_SCALE,
+            "shape": list(shape),
+            "field_mb": round(field.nbytes / 1e6, 3),
+            "n_blocks": N_BLOCKS,
+            "prefetch_depth": _PREFETCH_DEPTH,
+            "full_read": _run_full_reads(path, field),
+            "roi": _run_roi(path, field),
+            "refine_ladder": _run_refine_ladder(path),
+            "single_stream": _run_stream(tmp_path, field),
+        }
+
+    payload = benchmark.pedantic(_run, rounds=1, iterations=1)
+
+    header = ["path", "MB/s"]
+    rows = [
+        ["sync", payload["full_read"]["modes"]["sync"]["mbps"]],
+        ["prefetch", payload["full_read"]["modes"]["prefetch"]["mbps"]],
+    ] + [
+        [f"pool/workers={w}", cell["mbps"]]
+        for w, cell in payload["full_read"]["pool"].items()
+    ]
+    print_table("Retrieval e2e: full-field read", header, rows)
+    write_csv(results_dir / "retrieval_e2e.csv", header, rows)
+    print(
+        f"roi: {payload['roi']['roi_volume_fraction']:.3f} of the volume → "
+        f"{payload['roi']['bytes_fraction']:.3f} of the bytes; "
+        f"pipeline speedup {payload['full_read']['speedup_best_pipeline_over_sync']}x "
+        f"over sync on {payload['full_read']['cpu_count']} core(s)"
+    )
+    BENCH_JSON.write_text(json.dumps(payload, indent=2) + "\n")
+
+    # Correctness gates (hardware-independent, always asserted).
+    assert payload["full_read"]["paths_byte_identical"]
+    assert payload["roi"]["paths_byte_identical"]
+    assert payload["single_stream"]["identical"]
+    ladder = payload["refine_ladder"]
+    assert ladder["re_read_ranges"] == 0, ladder
+    assert ladder["bytes_identical_to_sync"], ladder
+    assert ladder["data_identical_to_sync"], ladder
+    # A ≤ 1/4-volume ROI must touch well under half the full-read bytes.
+    assert payload["roi"]["roi_volume_fraction"] <= 0.25
+    assert payload["roi"]["bytes_fraction"] < 0.5, payload["roi"]
+
+    # Perf gates: floor-file driven; pool floors only on multi-core boxes.
+    floor_failures = _check_floor(payload)
+    assert not floor_failures, "\n".join(floor_failures)

@@ -8,8 +8,10 @@ Subcommands::
     ipcomp decompress OUT.ipc  -o RESTORED.raw
     ipcomp retrieve   OUT.ipc  -o PARTIAL.raw (--error-bound 1e-3 | --bitrate 2.0)
     ipcomp retrieve   OUT.rprc -o ROI.raw --roi 0:16,:,: --error-bound 1e-3
+    ipcomp retrieve   OUT.rprc -o ROI.raw --roi ... --workers 4 --prefetch 8
     ipcomp info       OUT.ipc             # header: version, levels, per-plane codec
     ipcomp info       OUT.rprc            # manifest + per-shard header summary
+    ipcomp info       OUT.rprc --roi 0:16,:,: --error-bound 1e-3  # + retrieval plan
     ipcomp datasets                       # print the Table 3 inventory
     ipcomp demo       --dataset density   # synthetic end-to-end demo + metrics
 
@@ -18,6 +20,12 @@ shape is passed as ``AxBxC``.  ``compress --blocks N`` writes a sharded
 :class:`~repro.io.ChunkedDataset` container instead of a single stream;
 ``retrieve`` detects the format from the file and, for containers, serves
 ``--roi START:STOP,...`` regions by opening only the intersecting shards.
+Retrieval runs the plan → prefetch → pool-decode pipeline of
+:mod:`repro.retrieval`: ``--prefetch N`` bounds the background range reads
+in flight (default 4; ``--no-prefetch`` reads synchronously) and
+``--workers N`` pool-decodes container shards in worker processes — both
+pure runtime choices with bitwise-identical output and identical reported
+byte counts.
 
 Configuration is one :class:`~repro.core.profile.CodecProfile`:
 ``--profile FILE.json`` loads a profile, and the individual flags (``--eb``,
@@ -40,6 +48,8 @@ from repro.core.stream import IPCompStream
 from repro.datasets import dataset_table, load_dataset, load_raw, save_raw
 from repro.errors import ConfigurationError, ReproError
 from repro.io import is_container
+from repro.retrieval.engine import open_stream_source
+from repro.retrieval.prefetch import DEFAULT_PREFETCH_DEPTH
 
 
 def _parse_shape(text: str) -> tuple:
@@ -214,12 +224,50 @@ def _build_parser() -> argparse.ArgumentParser:
         help="region of interest (container inputs only): per-axis "
         "start:stop, ':' keeps an axis whole",
     )
+    retrieve.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="pool-decode worker processes for container retrieval "
+        "(0/1 = in-process; single streams always decode in-process)",
+    )
+    prefetch_group = retrieve.add_mutually_exclusive_group()
+    prefetch_group.add_argument(
+        "--prefetch",
+        type=int,
+        default=None,
+        metavar="N",
+        help=f"planned byte ranges kept in flight by the background "
+        f"prefetcher (default: {DEFAULT_PREFETCH_DEPTH}; reads overlap "
+        "decode, reported bytes are unchanged)",
+    )
+    prefetch_group.add_argument(
+        "--no-prefetch",
+        action="store_true",
+        help="read every planned range synchronously",
+    )
     _add_profile_arguments(retrieve, full=False)
 
     info = sub.add_parser(
         "info", help="print the parsed stream header / dataset manifest"
     )
     info.add_argument("input", type=Path)
+    info.add_argument(
+        "--roi",
+        type=_parse_roi,
+        default=None,
+        metavar="S:E,S:E,...",
+        help="also print the retrieval plan (fetch ops, coalesced ranges, "
+        "predicted bytes) for this region (container inputs only)",
+    )
+    info.add_argument(
+        "--error-bound",
+        type=float,
+        default=None,
+        help="fidelity target of the printed retrieval plan "
+        "(default: the stored bound, i.e. full precision)",
+    )
 
     sub.add_parser("datasets", help="list the Table 3 dataset inventory")
 
@@ -274,14 +322,45 @@ def _cmd_decompress(args) -> int:
     return 0
 
 
+def _runtime_knobs_from_profile_file(args) -> dict:
+    """``prefetch`` / ``workers`` read from ``--profile`` (flags override)."""
+    if getattr(args, "profile", None) is None:
+        return {}
+    try:
+        obj = json.loads(Path(args.profile).read_text(encoding="utf-8"))
+    except (OSError, ValueError) as exc:
+        raise ConfigurationError(
+            f"cannot read codec profile {args.profile}: {exc}"
+        ) from None
+    if not isinstance(obj, dict):
+        raise ConfigurationError("codec profile JSON must be an object")
+    return {k: obj[k] for k in ("prefetch", "workers") if k in obj}
+
+
+def _retrieve_prefetch_depth(args, file_knobs: dict) -> int:
+    """Effective prefetch depth: flag > profile file > default."""
+    if args.no_prefetch:
+        return 0
+    if args.prefetch is not None:
+        if args.prefetch < 0:
+            raise ConfigurationError("--prefetch must be non-negative")
+        return args.prefetch
+    return int(file_knobs.get("prefetch", DEFAULT_PREFETCH_DEPTH))
+
+
 def _cmd_retrieve(args) -> int:
     profile = _decode_profile_from_args(args)
+    file_knobs = _runtime_knobs_from_profile_file(args)
+    prefetch = _retrieve_prefetch_depth(args, file_knobs)
+    workers = args.workers if args.workers is not None else file_knobs.get("workers")
     if is_container(args.input):
         if args.bitrate is not None:
             raise ConfigurationError(
                 "container retrieval targets an error bound, not a bitrate"
             )
-        with ChunkedDataset(args.input, profile=profile) as dataset:
+        with ChunkedDataset(
+            args.input, profile=profile, prefetch=prefetch, workers=workers
+        ) as dataset:
             result = dataset.read(error_bound=args.error_bound, roi=args.roi)
             save_raw(args.output, result.data)
             print(
@@ -295,9 +374,18 @@ def _cmd_retrieve(args) -> int:
         raise ConfigurationError(
             "--roi requires a chunked container (compress with --blocks)"
         )
-    blob = args.input.read_bytes()
-    retriever = ProgressiveRetriever(blob, profile=profile)
-    result = retriever.retrieve(error_bound=args.error_bound, bitrate=args.bitrate)
+    # Single streams decode in-process (one stream, nothing to pool), but
+    # still run the plan → prefetch stages against the file: only the
+    # planned plane blocks are read, overlapped with decode when prefetch
+    # is on.
+    source = open_stream_source(args.input, prefetch=prefetch)
+    try:
+        retriever = ProgressiveRetriever(source, profile=profile)
+        result = retriever.retrieve(error_bound=args.error_bound, bitrate=args.bitrate)
+    finally:
+        close = getattr(source, "close", None)
+        if close is not None:
+            close()
     save_raw(args.output, result.data)
     print(
         f"retrieved {result.bytes_loaded} B "
@@ -333,10 +421,39 @@ def _cmd_info(args) -> int:
                 )
                 shard_headers[shard.name] = _header_summary(header)
             report["shard_headers"] = shard_headers
+            if args.roi is not None or args.error_bound is not None:
+                # Stage-1 planning only: the fetch ops, coalesced ranges and
+                # predicted bytes a stateless read of this region would run.
+                plan = dataset.plan(error_bound=args.error_bound, roi=args.roi)
+                report["retrieval_plan"] = plan.to_json()
         print(json.dumps(report, indent=2))
         return 0
-    header, _ = IPCompStream.parse_header(args.input.read_bytes())
-    print(json.dumps(_header_summary(header), indent=2))
+    if args.roi is not None:
+        raise ConfigurationError(
+            "--roi requires a chunked container (compress with --blocks)"
+        )
+    blob = args.input.read_bytes()
+    header, _ = IPCompStream.parse_header(blob)
+    summary = _header_summary(header)
+    if args.error_bound is not None:
+        # Single-stream retrieval plan at the requested target: the same
+        # stage-1 fetch ops a `retrieve --error-bound` would read.
+        from repro.retrieval.plan import RetrievalPlan, ShardPlan
+
+        retriever = ProgressiveRetriever(blob)
+        ops = retriever.pending_ops(error_bound=args.error_bound)
+        plan = RetrievalPlan([
+            ShardPlan(
+                shard=None,
+                ops=ops,
+                header_bytes=retriever.store.header_bytes,
+                target_keep=retriever.plan_request(
+                    error_bound=args.error_bound
+                ).keep,
+            )
+        ])
+        summary["retrieval_plan"] = plan.to_json()
+    print(json.dumps(summary, indent=2))
     return 0
 
 

@@ -12,9 +12,10 @@ sequence of *independently decodable blocks*, one per bitplane:
    packed plane and the smallest output wins (ties break toward the earlier
    candidate, so the choice — and therefore the stream — is deterministic).
    The ``"sampled"`` policy trial-encodes only a deterministic prefix of
-   the packed plane (``profile.negotiation_sample`` bytes) to pick the
-   winner and then encodes the full plane once with it — O(candidates ×
-   sample) instead of O(candidates × plane) work.  Either way the winning
+   the packed plane — autotuned per plane as ≈1/8 of the plane's bytes,
+   clamped to ``[MIN_NEGOTIATION_PROBE, profile.negotiation_sample]`` — to
+   pick the winner and then encodes the full plane once with it —
+   O(candidates × probe) instead of O(candidates × plane) work.  Either way the winning
    coder's name is recorded per plane in
    :attr:`LevelEncoding.plane_coders` and travels in the stream-v2 header,
    so decoding dispatches per ``(level, plane)`` without any out-of-band
@@ -102,6 +103,37 @@ class LevelEncoding:
             ) from None
 
 
+#: Floor of the autotuned per-plane probe under ``sampled`` negotiation:
+#: below this, prefix statistics are too thin to separate the candidates
+#: reliably (and the probe overhead is negligible anyway).
+MIN_NEGOTIATION_PROBE = 4096
+
+#: Fraction of the plane the autotuned probe covers: probe ≈ plane/8,
+#: clamped to [:data:`MIN_NEGOTIATION_PROBE`, ``negotiation_sample``].
+NEGOTIATION_PROBE_FRACTION = 8
+
+
+def effective_negotiation_sample(nbytes: int, configured: int) -> int:
+    """The autotuned per-plane probe size under ``sampled`` negotiation.
+
+    ``configured`` (the profile's ``negotiation_sample``) is an *upper
+    bound*; the probe actually used for a plane of ``nbytes`` is::
+
+        min(configured, max(MIN_NEGOTIATION_PROBE, nbytes // 8))
+
+    Large planes probe a fixed fraction (1/8) of their bytes instead of the
+    conservative fixed default, so mid-size planes (say 32 KiB) pay a 4 KiB
+    probe rather than a full trial, while the probe never exceeds the
+    configured cap.  Planes that fit inside the resulting probe keep the
+    tiny-plane behaviour: they are fully negotiated (the prefix *is* the
+    payload, so probing would cost more than trialling).
+    """
+    return max(
+        1,
+        min(int(configured), max(MIN_NEGOTIATION_PROBE, nbytes // NEGOTIATION_PROBE_FRACTION)),
+    )
+
+
 def negotiate_encode(
     data: bytes,
     candidates: Sequence[str],
@@ -118,16 +150,18 @@ def negotiate_encode(
     to a plain encode (the ``"fixed"`` negotiation policy).
 
     Under ``policy="sampled"`` each candidate trial-encodes two
-    deterministic payload prefixes (``sample // 2`` and ``sample`` bytes)
-    and its full-payload size is *extrapolated* from the affine fit
-    ``size(n) ≈ a + b·n`` — the two-point fit cancels per-stream fixed
-    costs (e.g. a Huffman symbol table) that would otherwise bias short
-    probes against coders with large headers but low per-byte rates.  The
-    predicted winner then encodes the full payload exactly once.  Prefixes
-    are deterministic and ties break toward the earlier candidate, so the
-    chosen coder — and therefore the stream — is deterministic too.
-    Payloads no longer than ``sample`` fall back to full negotiation (the
-    prefix *is* the payload, so probing would cost more than trialling).
+    deterministic payload prefixes (``probe // 2`` and ``probe`` bytes,
+    where the probe is :func:`effective_negotiation_sample` of the payload
+    size capped by ``sample``) and its full-payload size is *extrapolated*
+    from the affine fit ``size(n) ≈ a + b·n`` — the two-point fit cancels
+    per-stream fixed costs (e.g. a Huffman symbol table) that would
+    otherwise bias short probes against coders with large headers but low
+    per-byte rates.  The predicted winner then encodes the full payload
+    exactly once.  Prefixes are deterministic and ties break toward the
+    earlier candidate, so the chosen coder — and therefore the stream — is
+    deterministic too.  Payloads no longer than the probe fall back to full
+    negotiation (the prefix *is* the payload, so probing would cost more
+    than trialling).
     """
     if not candidates:
         raise StreamFormatError("no candidate coders to negotiate between")
@@ -135,6 +169,7 @@ def negotiate_encode(
     def _resolve(name: str) -> Backend:
         return coders[name] if coders is not None else get_backend(name)
 
+    sample = effective_negotiation_sample(len(data), sample)
     if policy == "sampled" and len(candidates) > 1 and len(data) > sample:
         half = max(1, sample // 2)
         best_name: Optional[str] = None

@@ -102,9 +102,21 @@ class CodecProfile:
         plane prefix and encodes once with it; ``"fixed"`` always uses
         ``plane_coders[0]``.
     negotiation_sample:
-        Packed-plane prefix bytes trial-encoded per candidate under the
-        ``"sampled"`` policy.  Ignored by the other policies (and by planes
-        that fit inside the sample, which are fully negotiated).
+        **Upper bound** on the packed-plane prefix bytes trial-encoded per
+        candidate under the ``"sampled"`` policy; the effective probe is
+        autotuned per plane from the plane's size (see
+        :func:`repro.core.predictive_coder.effective_negotiation_sample`).
+        Ignored by the other policies (and by planes that fit inside the
+        probe, which are fully negotiated).
+    prefetch:
+        Retrieval-side knob: number of planned byte ranges kept in flight
+        by the retrieval engine's background prefetcher (0 = synchronous
+        reads).  A pure runtime choice — like ``kernel``, it never changes
+        any byte, reported byte count, or range trace.
+    workers:
+        Retrieval-side knob: pool-decode worker processes for stateless
+        container reads (0/1 = in-process decode).  Runtime-only, output
+        bitwise-identical either way.
     """
 
     error_bound: float = 1e-6
@@ -116,6 +128,8 @@ class CodecProfile:
     plane_coders: Tuple[str, ...] = DEFAULT_PLANE_CODERS
     negotiation: str = "smallest"
     negotiation_sample: int = DEFAULT_NEGOTIATION_SAMPLE
+    prefetch: int = 0
+    workers: int = 0
 
     def __post_init__(self) -> None:
         from repro.coders.backend import available_backends
@@ -144,6 +158,12 @@ class CodecProfile:
             raise ConfigurationError("negotiation_sample must be an integer")
         if self.negotiation_sample < 1:
             raise ConfigurationError("negotiation_sample must be positive")
+        for name in ("prefetch", "workers"):
+            value = getattr(self, name)
+            if not isinstance(value, int) or isinstance(value, bool):
+                raise ConfigurationError(f"{name} must be an integer")
+            if value < 0:
+                raise ConfigurationError(f"{name} must be non-negative")
         # Coerce list/single-string plane coders to a tuple so profiles built
         # from JSON (or sloppy callers) stay hashable and picklable.
         coders = self.plane_coders
@@ -253,9 +273,11 @@ class CodecProfile:
     def to_json(self, *, runtime: bool = True) -> dict:
         """JSON form of the profile.
 
-        ``runtime=False`` omits the kernel field: kernels never change the
-        bytes, so on-disk artefacts (dataset manifests) exclude them to stay
-        byte-identical across kernels — ``--profile`` files keep it.
+        ``runtime=False`` omits the runtime-only fields — ``kernel``,
+        ``prefetch``, ``workers`` — which never change the bytes, so
+        on-disk artefacts (dataset manifests) exclude them to stay
+        byte-identical across runtime configurations; ``--profile`` files
+        keep them.
         """
         obj = {
             "error_bound": float(self.error_bound),
@@ -267,9 +289,12 @@ class CodecProfile:
             "plane_coders": list(self.plane_coders),
             "negotiation": self.negotiation,
             "negotiation_sample": int(self.negotiation_sample),
+            "prefetch": int(self.prefetch),
+            "workers": int(self.workers),
         }
         if not runtime:
-            del obj["kernel"]
+            for name in ("kernel", "prefetch", "workers"):
+                del obj[name]
         return obj
 
     @classmethod

@@ -23,7 +23,7 @@ which is the quantity Figures 6 and 7 of the paper plot.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
 import numpy as np
 
@@ -34,6 +34,7 @@ from repro.core.profile import CodecProfile
 from repro.core.quantizer import LinearQuantizer
 from repro.core.stream import CompressedStore
 from repro.errors import ConfigurationError, RetrievalError, StreamFormatError
+from repro.retrieval.plan import FetchOp, plan_stream_ops
 
 
 @dataclass
@@ -118,6 +119,51 @@ class ProgressiveRetriever:
         assert byte_budget is not None
         return self.loader.plan_for_size(byte_budget)
 
+    def plan_request(
+        self,
+        error_bound: Optional[float] = None,
+        bitrate: Optional[float] = None,
+        byte_budget: Optional[int] = None,
+    ) -> LoadingPlan:
+        """Stage-1 planning only: the loading plan a request would use."""
+        return self._plan(error_bound, bitrate, byte_budget)
+
+    def pending_ops(
+        self,
+        error_bound: Optional[float] = None,
+        bitrate: Optional[float] = None,
+        byte_budget: Optional[int] = None,
+        *,
+        plan: Optional[LoadingPlan] = None,
+    ) -> List[FetchOp]:
+        """The coalesced fetch ops a request would read, given current state.
+
+        The exact byte ranges :meth:`retrieve` is about to touch — the
+        anchor plus planned planes from scratch, only the *new* planes on
+        refinement (fidelity never decreases, mirroring Algorithm 2's keep
+        merge).  The retrieval engine primes these through the prefetcher;
+        the CLI's ``info`` prints them.
+        """
+        if plan is None:
+            plan = self._plan(error_bound, bitrate, byte_budget)
+        fresh = self._current_output is None
+        if fresh:
+            target = {enc.level: plan.keep.get(enc.level, 0) for enc in self.header.levels}
+            current: Optional[Dict[int, int]] = None
+        else:
+            target = {
+                level: max(plan.keep.get(level, 0), self._current_keep.get(level, 0))
+                for level in self._current_keep
+            }
+            current = self._current_keep
+        return plan_stream_ops(self.store, current, target, include_anchor=fresh)
+
+    def _prime(self, plan: LoadingPlan) -> None:
+        """Hand the planned ranges to the source's prefetcher, if it has one."""
+        prime = getattr(self.store.source, "prime", None)
+        if prime is not None:
+            prime([(op.offset, op.length) for op in self.pending_ops(plan=plan)])
+
     # ---------------------------------------------------------------- retrieval
 
     def retrieve(
@@ -134,6 +180,9 @@ class ProgressiveRetriever:
         data is loaded at all.
         """
         plan = self._plan(error_bound, bitrate, byte_budget)
+        # Stage 2: overlap the planned range reads with decoding whenever
+        # the source supports priming (a no-op on plain in-memory blobs).
+        self._prime(plan)
         if self._current_output is None:
             return self._retrieve_from_scratch(plan)
         return self._refine(plan)

@@ -342,8 +342,28 @@ class CompressedStore:
         """Header + anchor block: always loaded regardless of fidelity."""
         return self.header_bytes + self.header.anchor_size
 
+    @property
+    def source(self):
+        """The byte-range source backing this store (planner/prefetch hook)."""
+        return self._source
+
     def block_size(self, level: int, plane: int) -> int:
         return self._offsets[(level, plane)][1]
+
+    # ---------------------------------------------------------------- extents
+
+    def anchor_extent(self) -> Tuple[int, int]:
+        """``(offset, size)`` of the anchor block within the stream."""
+        return self._anchor_offset, self.header.anchor_size
+
+    def block_extent(self, level: int, plane: int) -> Tuple[int, int]:
+        """``(offset, size)`` of one plane block — the planner's substrate."""
+        try:
+            return self._offsets[(level, plane)]
+        except KeyError:
+            raise StreamFormatError(
+                f"no block for level {level}, plane {plane}"
+            ) from None
 
     # ------------------------------------------------------------------ reads
 

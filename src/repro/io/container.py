@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import json
 import struct
+import threading
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple, Union
 
@@ -104,6 +105,9 @@ class BlockContainerReader:
     def __init__(self, path: Union[str, Path]) -> None:
         self.path = Path(path)
         self._handle = open(self.path, "rb")
+        # Range reads may arrive from prefetch threads concurrently with the
+        # decoding thread's cache misses; seek+read must stay atomic.
+        self._lock = threading.Lock()
         try:
             self._parse_footer()
         except BaseException:
@@ -197,11 +201,12 @@ class BlockContainerReader:
                 f"range [{offset}, {offset + length}) outside block "
                 f"{name!r} of {size} bytes"
             )
-        self._handle.seek(int(entry["offset"]) + offset)
-        data = self._handle.read(length)
+        with self._lock:
+            self._handle.seek(int(entry["offset"]) + offset)
+            data = self._handle.read(length)
+            self.bytes_read += length
         if len(data) != length:
             raise StreamFormatError(f"container truncated inside block {name!r}")
-        self.bytes_read += length
         return data
 
     def source(self, name: str) -> "BlockSource":
@@ -209,10 +214,54 @@ class BlockContainerReader:
         return BlockSource(self, name)
 
     def close(self) -> None:
-        self._closed = True
-        self._handle.close()
+        with self._lock:
+            self._closed = True
+            self._handle.close()
 
     def __enter__(self) -> "BlockContainerReader":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class FileSource:
+    """Byte-range source over a plain (single-stream) file.
+
+    The file-backed analogue of :class:`repro.core.stream.BytesSource`: it
+    lets a :class:`~repro.core.progressive.ProgressiveRetriever` — and the
+    retrieval engine's prefetcher — pull individual plane blocks of a bare
+    ``.ipc`` stream straight off disk instead of materialising the whole
+    blob first.  Reads are lock-serialised so prefetch threads can share
+    the handle.
+    """
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self._handle = open(self.path, "rb")
+        self._lock = threading.Lock()
+        self._handle.seek(0, 2)
+        self.size = self._handle.tell()
+        self.bytes_read = 0
+
+    def read_range(self, offset: int, length: int) -> bytes:
+        if offset < 0 or length < 0 or offset + length > self.size:
+            raise StreamFormatError(
+                f"read of [{offset}, {offset + length}) past stream end {self.size}"
+            )
+        with self._lock:
+            self._handle.seek(offset)
+            data = self._handle.read(length)
+            self.bytes_read += length
+        if len(data) != length:
+            raise StreamFormatError(f"stream file truncated at offset {offset}")
+        return data
+
+    def close(self) -> None:
+        with self._lock:
+            self._handle.close()
+
+    def __enter__(self) -> "FileSource":
         return self
 
     def __exit__(self, *exc) -> None:

@@ -15,10 +15,19 @@ needs:
   a tighter follow-up request runs Algorithm 2 per shard and loads only the
   *new* plane blocks, never re-reading a byte range it already has.
 
+Requests are served by the :class:`~repro.retrieval.engine.RetrievalEngine`
+pipeline — fetch-op planning, optional background prefetch (``prefetch=``)
+that overlaps range reads with decode and speculatively primes the next
+fidelity rung after a ``refine()``, and an optional pool decode stage
+(``workers=``) for stateless reads where worker processes retrieve shards
+straight off the file into a shared output segment.  All of it is a pure
+runtime choice: decoded output is bitwise-identical, and the reported
+accounting is *consumption-based* — the ranges a request's decoding
+actually used, identical with and without prefetching.
+
 Every request returns a :class:`DatasetReadResult` carrying the exact bytes
-touched (container-level accounting, header and anchor included) and the
-``(shard, offset, length)`` ranges read — the quantities the ROI benchmark
-asserts on.
+touched (header and anchor included) and the ``(shard, offset, length)``
+ranges consumed — the quantities the ROI benchmark asserts on.
 
 File layout (a :mod:`repro.io.container` block container)::
 
@@ -43,7 +52,6 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from repro.core.profile import CodecProfile
-from repro.core.progressive import ProgressiveRetriever
 from repro.errors import ConfigurationError, StreamFormatError
 from repro.io.container import (
     BlockContainerReader,
@@ -59,6 +67,8 @@ from repro.parallel.partition import (
     slices_intersect,
     slices_to_ranges,
 )
+from repro.retrieval.engine import RetrievalEngine
+from repro.retrieval.plan import RetrievalPlan
 
 MANIFEST_BLOCK = "manifest"
 FORMAT_NAME = "repro-chunked-dataset"
@@ -100,11 +110,22 @@ class ChunkedDataset:
 
     Open an existing file with ``ChunkedDataset(path)`` (context-manager
     friendly) or create one with :meth:`ChunkedDataset.write`.  ``profile``
-    supplies the runtime decode kernel; it does not need to match the
-    profile used at write time (shards are self-describing v2 streams).
+    supplies the runtime decode knobs — the kernel, plus default
+    ``prefetch`` / ``workers`` for the retrieval engine; it does not need
+    to match the profile used at write time (shards are self-describing v2
+    streams).  The explicit ``prefetch`` / ``workers`` keywords override
+    the profile's fields; all three knobs are runtime-only and change no
+    reported byte or decoded bit.
     """
 
-    def __init__(self, path: Union[str, Path], profile: Optional[CodecProfile] = None) -> None:
+    def __init__(
+        self,
+        path: Union[str, Path],
+        profile: Optional[CodecProfile] = None,
+        *,
+        prefetch: Optional[int] = None,
+        workers: Optional[int] = None,
+    ) -> None:
         self.path = Path(path)
         self.profile = profile
         self._reader = BlockContainerReader(self.path)
@@ -141,10 +162,22 @@ class ChunkedDataset:
         except (KeyError, TypeError, ValueError, UnicodeDecodeError) as exc:
             self._reader.close()
             raise StreamFormatError(f"malformed dataset manifest: {exc!r}") from None
-        # Stateful per-shard retrievers + traced sources (refine() path).
-        self._retrievers: Dict[str, ProgressiveRetriever] = {}
-        self._sources: Dict[str, BlockSource] = {}
-        self._cumulative_bytes = 0
+        if prefetch is None:
+            prefetch = profile.prefetch if profile is not None else 0
+        if workers is None:
+            workers = profile.workers if profile is not None else 0
+        # The plan → prefetch → pool-decode pipeline serving every request
+        # (it owns the stateful per-shard retrievers of the refine() path).
+        self._engine = RetrievalEngine(
+            lambda name: BlockSource(self._reader, name),
+            shape=self.shape,
+            dtype=self.dtype,
+            stored_bound=self.absolute_bound,
+            profile=profile,
+            prefetch=prefetch,
+            workers=workers,
+            path=self.path,
+        )
         self._write_profile: Optional[CodecProfile] = None
 
     @property
@@ -253,11 +286,13 @@ class ChunkedDataset:
         whose slabs intersect ``roi`` are opened; each contributes exactly
         the plane blocks its loader plan selects.  Stateless: a later
         ``read`` starts from scratch — use :meth:`refine` for incremental
-        refinement.
+        refinement.  With ``workers > 1`` the decode runs in the pool
+        stage (bitwise-identical output, same per-shard range accounting).
         """
         roi_slices, selected = self._select(roi)
-        fresh: Dict[str, ProgressiveRetriever] = {}
-        return self._request(roi_slices, selected, error_bound, fresh, {})
+        target = self._validated_target(error_bound)
+        result = self._engine.read(selected, roi_slices, target)
+        return self._to_read_result(result, roi_slices)
 
     def refine(
         self,
@@ -269,14 +304,34 @@ class ChunkedDataset:
         Per-shard retrievers persist across calls: a shard touched before
         only loads the plane blocks the tighter target adds (never
         re-reading a byte range), and a shard entering the ROI for the first
-        time is retrieved from scratch.  Fidelity never decreases.
+        time is retrieved from scratch.  Fidelity never decreases.  With
+        prefetching enabled the engine also primes the *next* fidelity rung
+        in the background after each call; a speculative read is physically
+        performed at most once and is only ever reported by the request
+        that consumes it.
         """
         roi_slices, selected = self._select(roi)
-        return self._request(
-            roi_slices, selected, error_bound, self._retrievers, self._sources
-        )
+        target = self._validated_target(error_bound)
+        result = self._engine.refine(selected, roi_slices, target)
+        return self._to_read_result(result, roi_slices)
+
+    def plan(self, error_bound: Optional[float] = None, roi=None) -> RetrievalPlan:
+        """Stage-1 planning only: the fetch ops a stateless request would run.
+
+        The coalesced ``(shard, byte-range, planes)`` op list plus predicted
+        bytes — what the CLI's ``info --roi`` prints.  Reads only the shard
+        headers; no payload is touched and no refine() state is disturbed.
+        """
+        _, selected = self._select(roi)
+        return self._engine.plan(selected, self._validated_target(error_bound))
 
     # ------------------------------------------------------------------ guts
+
+    def _validated_target(self, error_bound: Optional[float]) -> float:
+        target = self.absolute_bound if error_bound is None else float(error_bound)
+        if target <= 0 or not np.isfinite(target):
+            raise ConfigurationError("error_bound must be a positive finite number")
+        return target
 
     def _select(self, roi) -> Tuple[SliceTuple, List[DatasetShard]]:
         if roi is None:
@@ -286,69 +341,16 @@ class ChunkedDataset:
         selected = [s for s in self.shards if slices_intersect(s.slices, roi_slices)]
         return roi_slices, selected
 
-    def _request(
-        self,
-        roi_slices: SliceTuple,
-        selected: List[DatasetShard],
-        error_bound: Optional[float],
-        retrievers: Dict[str, ProgressiveRetriever],
-        sources: Dict[str, BlockSource],
-    ) -> DatasetReadResult:
-        target = self.absolute_bound if error_bound is None else float(error_bound)
-        if target <= 0 or not np.isfinite(target):
-            raise ConfigurationError("error_bound must be a positive finite number")
-        start_bytes = self._reader.bytes_read
-        trace_start = {name: len(src.trace) for name, src in sources.items()}
-        pieces: List[Tuple[SliceTuple, np.ndarray]] = []
-        achieved = 0.0
-        ranges: List[Tuple[str, int, int]] = []
-        for shard in selected:
-            retriever = retrievers.get(shard.name)
-            if retriever is None:
-                source = BlockSource(self._reader, shard.name)
-                sources[shard.name] = source
-                retriever = ProgressiveRetriever(source, profile=self.profile)
-                retrievers[shard.name] = retriever
-            result = retriever.retrieve(error_bound=target)
-            achieved = max(achieved, result.error_bound)
-            pieces.append((shard.slices, result.data))
-        for shard in selected:
-            source = sources[shard.name]
-            for offset, length in source.trace[trace_start.get(shard.name, 0):]:
-                ranges.append((shard.name, offset, length))
-        bytes_loaded = self._reader.bytes_read - start_bytes
-        self._cumulative_bytes += bytes_loaded
+    def _to_read_result(self, result, roi_slices: SliceTuple) -> DatasetReadResult:
         return DatasetReadResult(
-            data=self._assemble(pieces, roi_slices),
+            data=result.data,
             roi=roi_slices,
-            error_bound=achieved,
-            bytes_loaded=bytes_loaded,
-            cumulative_bytes=self._cumulative_bytes,
-            shards=[s.name for s in selected],
-            ranges=ranges,
+            error_bound=result.error_bound,
+            bytes_loaded=result.bytes_loaded,
+            cumulative_bytes=result.cumulative_bytes,
+            shards=result.shards,
+            ranges=result.ranges,
         )
-
-    def _assemble(
-        self, pieces: Sequence[Tuple[SliceTuple, np.ndarray]], roi_slices: SliceTuple
-    ) -> np.ndarray:
-        out_shape = tuple(s.stop - s.start for s in roi_slices)
-        out = np.empty(out_shape, dtype=self.dtype)
-        filled = 0
-        for slab, data in pieces:
-            sel_out, sel_in = [], []
-            for slab_axis, roi_axis in zip(slab, roi_slices):
-                start = max(slab_axis.start, roi_axis.start)
-                stop = min(slab_axis.stop, roi_axis.stop)
-                sel_out.append(slice(start - roi_axis.start, stop - roi_axis.start))
-                sel_in.append(slice(start - slab_axis.start, stop - slab_axis.start))
-            piece = data[tuple(sel_in)]
-            out[tuple(sel_out)] = piece
-            filled += piece.size
-        if filled != out.size:
-            raise StreamFormatError(
-                f"shards cover {filled} of the region's {out.size} points"
-            )
-        return out
 
     # ------------------------------------------------------------- properties
 
@@ -376,14 +378,10 @@ class ChunkedDataset:
 
     def current_keep(self) -> Dict[str, Dict[int, int]]:
         """Resident planes per stateful shard retriever (diagnostics)."""
-        return {
-            name: retriever.current_keep
-            for name, retriever in self._retrievers.items()
-        }
+        return self._engine.current_keep()
 
     def close(self) -> None:
-        self._retrievers.clear()
-        self._sources.clear()
+        self._engine.close()
         self._reader.close()
 
     def __enter__(self) -> "ChunkedDataset":

@@ -13,6 +13,7 @@ from __future__ import annotations
 from repro.parallel.executor import BlockParallelCompressor, CompressedBlock, shard_name
 from repro.parallel.partition import (
     block_slices,
+    intersect_slab_roi,
     normalize_roi,
     partition_shape,
     ranges_to_slices,
@@ -29,6 +30,7 @@ __all__ = [
     "block_slices",
     "reassemble",
     "normalize_roi",
+    "intersect_slab_roi",
     "slices_intersect",
     "slices_to_ranges",
     "ranges_to_slices",

@@ -19,7 +19,16 @@ arrays, and ``workers=0`` — or an environment without ``fork``/spawn
 support — falls back to serial execution; every route produces
 byte-identical streams.  A pool that cannot start — or that loses its
 worker processes — triggers the serial fallback; an exception *raised by
-the worker function itself* is a real error and propagates to the caller.
+the worker function itself* is a real error and propagates to the caller
+(the ladder lives in :mod:`repro.parallel.poolmap`, shared with the decode
+direction).
+
+**Decode direction.**  :meth:`~BlockParallelCompressor.decompress` and
+:meth:`~BlockParallelCompressor.retrieve` run the mirror transport — the
+pool decode stage of :mod:`repro.retrieval.pooldecode`: workers write
+reconstructed slabs directly into one shared-memory *output* segment keyed
+by the slab extents, so reassembly is zero-copy (no result array is ever
+pickled back), with the same fallback ladder and bitwise-identical output.
 
 The compressor also speaks the on-disk container dialect of
 :mod:`repro.io`: :meth:`~BlockParallelCompressor.compress_into` **streams**
@@ -32,8 +41,6 @@ substrate :class:`repro.io.ChunkedDataset` builds on.
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
-from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Iterator, List, Optional, Sequence, Tuple
 
@@ -50,11 +57,12 @@ from repro.core.progressive import ProgressiveRetriever
 from repro.errors import ConfigurationError, StreamFormatError
 from repro.parallel.partition import (
     SliceTuple,
+    batch_slabs,
     block_slices,
     ranges_to_slices,
-    reassemble,
     slices_to_ranges,
 )
+from repro.parallel.poolmap import create_segment, imap_fallback
 
 #: Container entries produced by :meth:`BlockParallelCompressor.compress_into`.
 SHARD_PREFIX = "shard-"
@@ -103,57 +111,6 @@ def _compress_batch_shm(payload) -> List[bytes]:
         segment.close()
 
 
-def _decompress_block(blob: bytes) -> np.ndarray:
-    """Worker: fully decompress one slab."""
-    retriever = ProgressiveRetriever(blob)
-    return retriever.retrieve(error_bound=retriever.header.error_bound).data
-
-
-def _retrieve_block(payload: Tuple[bytes, float]) -> np.ndarray:
-    """Worker: partially retrieve one slab at the requested error bound."""
-    blob, error_bound = payload
-    return ProgressiveRetriever(blob).retrieve(error_bound=error_bound).data
-
-
-def _slab_bytes(slc: SliceTuple, shape: Sequence[int], itemsize: int) -> int:
-    """Payload bytes of one slab of a field with the given shape/itemsize."""
-    n = itemsize
-    for axis_slice, extent in zip(slc, shape):
-        start, stop, _ = axis_slice.indices(extent)
-        n *= max(0, stop - start)
-    return n
-
-
-def _batch_slabs(
-    slabs: Sequence[SliceTuple],
-    shape: Sequence[int],
-    itemsize: int,
-    workers: int,
-    min_bytes: int = MIN_TASK_BYTES,
-) -> List[List[SliceTuple]]:
-    """Group consecutive slabs into per-task batches.
-
-    Small slabs are merged until a batch carries at least ``min_bytes`` of
-    field data, capped so a field large enough to feed every worker is never
-    collapsed below ``workers`` batches: the effective threshold is
-    ``min(min_bytes, total_bytes // workers)``.
-    """
-    total = sum(_slab_bytes(slc, shape, itemsize) for slc in slabs)
-    target = min(min_bytes, max(1, total // max(workers, 1)))
-    batches: List[List[SliceTuple]] = []
-    current: List[SliceTuple] = []
-    current_bytes = 0
-    for slc in slabs:
-        current.append(slc)
-        current_bytes += _slab_bytes(slc, shape, itemsize)
-        if current_bytes >= target:
-            batches.append(current)
-            current, current_bytes = [], 0
-    if current:
-        batches.append(current)
-    return batches
-
-
 @dataclass
 class CompressedBlock:
     """One slab of the domain and its compressed stream."""
@@ -199,49 +156,14 @@ class BlockParallelCompressor:
         Results are yielded as soon as they (and all their predecessors)
         complete, so consumers can stream them — e.g. write shard ``k`` to
         a container while shard ``k+1`` is still compressing.  The fallback
-        ladder matches the original list-based ``_map``: a pool that cannot
+        ladder (shared with the decode side, see
+        :func:`repro.parallel.poolmap.imap_fallback`): a pool that cannot
         start, a submit-time fork/spawn denial, or worker *processes* dying
         mid-run all degrade to in-process execution with bit-identical
         results, while an exception raised by ``function`` itself is a real
         error and propagates.
         """
-        workers = self._effective_workers()
-        if not workers or workers <= 1 or len(payloads) <= 1:
-            for payload in payloads:
-                yield function(payload)
-            return
-        try:
-            pool = ProcessPoolExecutor(max_workers=workers)
-        except (OSError, ValueError, RuntimeError, NotImplementedError):
-            # The pool itself could not start (no /dev/shm, no spawn method):
-            # fall back to serial execution, results are bit-identical.
-            for payload in payloads:
-                yield function(payload)
-            return
-        with pool:
-            try:
-                # Worker processes are spawned lazily at submit time, so
-                # fork/spawn denial (sandboxes) surfaces here — still an
-                # environment problem, still the serial fallback.
-                futures = [pool.submit(function, p) for p in payloads]
-            except (OSError, ValueError, RuntimeError, NotImplementedError):
-                for payload in payloads:
-                    yield function(payload)
-                return
-            for index, future in enumerate(futures):
-                try:
-                    result = future.result()
-                except BrokenProcessPool:
-                    # Worker *processes* died while running (sandboxed fork,
-                    # OOM-killed child) — an environment problem, so finish
-                    # the remaining payloads serially.  Exceptions raised by
-                    # ``function`` itself arrive as their original type and
-                    # fall through to the caller: a worker error is a real
-                    # error, not a cue to silently recompute.
-                    for payload in payloads[index:]:
-                        yield function(payload)
-                    return
-                yield result
+        yield from imap_fallback(function, payloads, self._effective_workers())
 
     def _map(self, function, payloads: Sequence) -> List:
         return list(self._imap(function, payloads))
@@ -284,13 +206,14 @@ class BlockParallelCompressor:
 
     @staticmethod
     def _create_segment(nbytes: int):
-        """A fresh shared-memory segment, or ``None`` where unsupported."""
-        try:
-            return _shared_memory.SharedMemory(create=True, size=max(1, nbytes))
-        except (OSError, ValueError, RuntimeError, NotImplementedError):
-            # No /dev/shm (sealed sandbox), size limits, … — the pickled
-            # slab transport below is slower but always available.
+        """A fresh shared-memory segment, or ``None`` where unsupported.
+
+        ``None`` routes to the pickled slab transport — slower but always
+        available (see :func:`repro.parallel.poolmap.create_segment`).
+        """
+        if _shared_memory is None:
             return None
+        return create_segment(nbytes)
 
     def _compress_iter_shm(
         self, segment, data: np.ndarray, profile: CodecProfile, slabs: List[SliceTuple]
@@ -299,8 +222,12 @@ class BlockParallelCompressor:
             view = np.ndarray(data.shape, dtype=data.dtype, buffer=segment.buf)
             view[...] = data
             del view  # workers hold their own attachments; release ours
-            batches = _batch_slabs(
-                slabs, data.shape, data.dtype.itemsize, self._effective_workers()
+            batches = batch_slabs(
+                slabs,
+                data.shape,
+                data.dtype.itemsize,
+                self._effective_workers(),
+                MIN_TASK_BYTES,
             )
             payloads = [
                 (
@@ -379,12 +306,15 @@ class BlockParallelCompressor:
     def decompress(
         self, blocks: Sequence[CompressedBlock], shape: Sequence[int], dtype=np.float64
     ) -> np.ndarray:
-        """Fully decompress and reassemble the original field."""
-        blobs = [b.blob for b in blocks]
-        pieces = self._map(_decompress_block, blobs)
-        return reassemble(
-            shape, [(b.slices, piece) for b, piece in zip(blocks, pieces)], dtype
-        )
+        """Fully decompress and reassemble the original field.
+
+        Runs the pool decode stage (:mod:`repro.retrieval.pooldecode`):
+        with ``workers > 1`` and shared memory available, workers write the
+        reconstructed slabs straight into one shared output segment and the
+        returned array is a zero-copy view of it; every fallback (no shared
+        memory → pickled results, no pool → in-process) is bit-identical.
+        """
+        return self._pooled_reassemble(blocks, shape, dtype, None)
 
     def retrieve(
         self,
@@ -394,10 +324,23 @@ class BlockParallelCompressor:
         dtype=np.float64,
     ) -> np.ndarray:
         """Progressively retrieve every slab at ``error_bound`` and reassemble."""
-        payloads = [(b.blob, float(error_bound)) for b in blocks]
-        pieces = self._map(_retrieve_block, payloads)
-        return reassemble(
-            shape, [(b.slices, piece) for b, piece in zip(blocks, pieces)], dtype
+        return self._pooled_reassemble(blocks, shape, dtype, float(error_bound))
+
+    def _pooled_reassemble(
+        self,
+        blocks: Sequence[CompressedBlock],
+        shape: Sequence[int],
+        dtype,
+        error_bound: Optional[float],
+    ) -> np.ndarray:
+        from repro.retrieval.pooldecode import pooled_reassemble
+
+        return pooled_reassemble(
+            blocks,
+            shape,
+            dtype,
+            workers=self._effective_workers(),
+            error_bound=error_bound,
         )
 
     @staticmethod

@@ -136,6 +136,65 @@ def slices_intersect(a: SliceTuple, b: SliceTuple) -> bool:
     )
 
 
+def intersect_slab_roi(slab: SliceTuple, roi: SliceTuple) -> Tuple[SliceTuple, SliceTuple]:
+    """Selectors scattering a slab's data into an ROI-shaped output.
+
+    Returns ``(sel_out, sel_in)``: ``out[sel_out] = slab_data[sel_in]``
+    places the slab∩ROI overlap of a decoded slab into an array shaped like
+    the ROI.  Both the serial reassembly and the pool-decode workers (which
+    write straight into the shared output segment) use this, so the two
+    paths scatter identically by construction.
+    """
+    sel_out, sel_in = [], []
+    for slab_axis, roi_axis in zip(slab, roi):
+        start = max(slab_axis.start, roi_axis.start)
+        stop = min(slab_axis.stop, roi_axis.stop)
+        sel_out.append(slice(start - roi_axis.start, stop - roi_axis.start))
+        sel_in.append(slice(start - slab_axis.start, stop - slab_axis.start))
+    return tuple(sel_out), tuple(sel_in)
+
+
+def slab_bytes(slc: SliceTuple, shape: Sequence[int], itemsize: int) -> int:
+    """Payload bytes of one slab of a field with the given shape/itemsize."""
+    n = itemsize
+    for axis_slice, extent in zip(slc, shape):
+        start, stop, _ = axis_slice.indices(extent)
+        n *= max(0, stop - start)
+    return n
+
+
+def batch_slabs(
+    slabs: Sequence[SliceTuple],
+    shape: Sequence[int],
+    itemsize: int,
+    workers: int,
+    min_bytes: int,
+) -> List[List[SliceTuple]]:
+    """Group consecutive slabs into per-task batches.
+
+    Small slabs are merged until a batch carries at least ``min_bytes`` of
+    field data, capped so a field large enough to feed every worker is never
+    collapsed below ``workers`` batches: the effective threshold is
+    ``min(min_bytes, total_bytes // workers)``.  Both transport directions
+    use this — encode tasks over input slabs and pool-decode tasks over
+    output slabs.
+    """
+    total = sum(slab_bytes(slc, shape, itemsize) for slc in slabs)
+    target = min(min_bytes, max(1, total // max(workers, 1)))
+    batches: List[List[SliceTuple]] = []
+    current: List[SliceTuple] = []
+    current_bytes = 0
+    for slc in slabs:
+        current.append(slc)
+        current_bytes += slab_bytes(slc, shape, itemsize)
+        if current_bytes >= target:
+            batches.append(current)
+            current, current_bytes = [], 0
+    if current:
+        batches.append(current)
+    return batches
+
+
 def reassemble(
     shape: Sequence[int],
     pieces: Sequence[Tuple[SliceTuple, np.ndarray]],

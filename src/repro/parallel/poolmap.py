@@ -1,0 +1,102 @@
+"""Generic process-pool mapping with the bit-identical fallback ladder.
+
+Both halves of the parallel substrate — the encode side
+(:class:`repro.parallel.executor.BlockParallelCompressor`) and the decode
+side (:mod:`repro.retrieval.pooldecode`) — dispatch work to a process pool
+with exactly the same degradation contract:
+
+* a pool that cannot *start* (no spawn method, sealed sandbox, resource
+  limits) falls back to in-process execution;
+* a submit-time fork/spawn denial falls back to in-process execution;
+* worker *processes* dying mid-run (:class:`BrokenProcessPool`: sandboxed
+  fork, OOM-killed children) finish the remaining payloads in-process;
+* an exception raised by the worker **function** itself is a real error and
+  propagates to the caller — environment failures degrade, logic failures
+  never do.
+
+Every route produces identical results because the worker functions are
+pure; the ladder only changes *where* they run.  This module also owns the
+shared-memory segment helpers both sides use for their zero-copy
+transports.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Iterator, Sequence
+
+try:  # pragma: no cover - present on every supported platform
+    from multiprocessing import shared_memory
+except ImportError:  # pragma: no cover - exotic builds without _posixshmem
+    shared_memory = None
+
+
+def imap_fallback(function, payloads: Sequence, workers: int) -> Iterator:
+    """Apply ``function`` to every payload, yielding results *in order*.
+
+    Results are yielded as soon as they (and all their predecessors)
+    complete, so consumers can stream them — e.g. write shard ``k`` to a
+    container while shard ``k+1`` is still compressing.  ``workers <= 1``
+    (or a single payload) short-circuits to plain in-process execution.
+    """
+    if not workers or workers <= 1 or len(payloads) <= 1:
+        for payload in payloads:
+            yield function(payload)
+        return
+    try:
+        pool = ProcessPoolExecutor(max_workers=workers)
+    except (OSError, ValueError, RuntimeError, NotImplementedError):
+        # The pool itself could not start (no /dev/shm, no spawn method):
+        # fall back to in-process execution, results are bit-identical.
+        for payload in payloads:
+            yield function(payload)
+        return
+    with pool:
+        try:
+            # Worker processes are spawned lazily at submit time, so
+            # fork/spawn denial (sandboxes) surfaces here — still an
+            # environment problem, still the in-process fallback.
+            futures = [pool.submit(function, p) for p in payloads]
+        except (OSError, ValueError, RuntimeError, NotImplementedError):
+            for payload in payloads:
+                yield function(payload)
+            return
+        for index, future in enumerate(futures):
+            try:
+                result = future.result()
+            except BrokenProcessPool:
+                # Worker *processes* died while running — an environment
+                # problem, so finish the remaining payloads in-process.
+                # Exceptions raised by ``function`` itself arrive as their
+                # original type and fall through to the caller: a worker
+                # error is a real error, not a cue to silently recompute.
+                for payload in payloads[index:]:
+                    yield function(payload)
+                return
+            yield result
+
+
+def create_segment(nbytes: int):
+    """A fresh shared-memory segment, or ``None`` where unsupported.
+
+    ``None`` signals the caller to use its pickled transport instead; the
+    two are bit-identical, the segment is merely faster.
+    """
+    if shared_memory is None:
+        return None
+    try:
+        return shared_memory.SharedMemory(create=True, size=max(1, nbytes))
+    except (OSError, ValueError, RuntimeError, NotImplementedError):
+        # No /dev/shm (sealed sandbox), size limits, … — the pickled
+        # transport is slower but always available.
+        return None
+
+
+def release_segment(segment) -> None:
+    """Best-effort close + unlink of a segment this process created."""
+    try:
+        segment.close()
+        segment.unlink()
+    except (BufferError, OSError):  # pragma: no cover - best-effort cleanup
+        pass

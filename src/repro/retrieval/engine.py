@@ -1,0 +1,355 @@
+"""The retrieval engine: one façade driving plan → prefetch → pool-decode.
+
+:class:`RetrievalEngine` owns everything between "a fidelity request over a
+set of shards" and "an assembled array plus its exact I/O accounting":
+
+* **stage 1 (plan)** — every selected shard's
+  :meth:`~repro.core.progressive.ProgressiveRetriever.pending_ops` yields
+  the deduplicated, coalesced fetch ops of the request
+  (:mod:`repro.retrieval.plan`);
+* **stage 2 (prefetch)** — with a prefetch depth configured, all shards'
+  ops are primed up front through one shared :class:`Prefetcher`, so the
+  range reads of shard *k+1* overlap the decode of shard *k*; after a
+  stateful ``refine()`` the engine speculatively primes the next fidelity
+  rung (``target / rung_factor``) so a follow-up refinement finds its
+  blocks already resident — physically read once, attributed to the
+  request that consumes them;
+* **stage 3 (decode)** — in-process per-shard decode by default; with
+  ``workers > 1`` a *stateless* read of a container is dispatched to the
+  pool decode stage (:mod:`repro.retrieval.pooldecode`), whose workers do
+  the same plan-then-load retrieval against their own reader and write the
+  slabs straight into a shared output segment.
+
+Byte accounting is **consumption-based**: each request reports the ranges
+its decoding actually consumed (per block, identical to the synchronous
+path), never the physical prefetch I/O — so turning prefetching on changes
+no reported number, only wall-clock time.  Decoded output is
+bitwise-identical across serial / prefetch / pool paths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.profile import CodecProfile
+from repro.core.progressive import ProgressiveRetriever
+from repro.errors import StreamFormatError
+from repro.parallel.partition import (
+    SliceTuple,
+    intersect_slab_roi,
+    slices_to_ranges,
+)
+from repro.retrieval.plan import RetrievalPlan, ShardPlan
+from repro.retrieval.prefetch import Prefetcher, PrefetchSource
+
+__all__ = ["EngineResult", "RetrievalEngine", "open_stream_source"]
+
+#: Default speculation ratio: after serving a refine() at bound E, prefetch
+#: the plan for E / DEFAULT_RUNG_FACTOR (the ladder step the benchmarks and
+#: examples use) in the background.
+DEFAULT_RUNG_FACTOR = 8.0
+
+
+@dataclass
+class EngineResult:
+    """One engine request: per-shard pieces assembled, plus exact I/O cost."""
+
+    data: np.ndarray
+    error_bound: float
+    bytes_loaded: int
+    cumulative_bytes: int
+    shards: List[str]
+    ranges: List[Tuple[str, int, int]]
+
+
+class RetrievalEngine:
+    """Plan → prefetch → pool-decode pipeline over a set of shard streams.
+
+    ``open_source(name)`` returns a fresh byte-range source for one shard
+    (duck-typed, so the engine has no dependency on :mod:`repro.io`; the
+    chunked dataset passes container block sources).  ``path`` — when the
+    shards live in a container file — enables the pool decode stage for
+    stateless reads; without it pool requests fall back to in-process
+    decode.  ``stored_bound`` is the fidelity served when a request passes
+    no target.
+    """
+
+    def __init__(
+        self,
+        open_source: Callable[[str], object],
+        *,
+        shape: Sequence[int],
+        dtype,
+        stored_bound: float,
+        profile: Optional[CodecProfile] = None,
+        prefetch: int = 0,
+        workers: int = 0,
+        path=None,
+        speculate: bool = True,
+        rung_factor: float = DEFAULT_RUNG_FACTOR,
+    ) -> None:
+        self._open_source = open_source
+        self.shape = tuple(int(s) for s in shape)
+        self.dtype = np.dtype(dtype)
+        self.stored_bound = float(stored_bound)
+        self.profile = profile
+        self.prefetch = max(0, int(prefetch or 0))
+        self.workers = max(0, int(workers or 0))
+        self.path = path
+        self.speculate = bool(speculate)
+        self.rung_factor = float(rung_factor)
+        self._prefetcher: Optional[Prefetcher] = None
+        # Stateful per-shard retrievers + traced sources (refine() path).
+        self._retrievers: Dict[str, ProgressiveRetriever] = {}
+        self._sources: Dict[str, PrefetchSource] = {}
+        self.cumulative_bytes = 0
+
+    # ------------------------------------------------------------------ wiring
+
+    def _prefetcher_or_none(self) -> Optional[Prefetcher]:
+        if self.prefetch <= 0:
+            return None
+        if self._prefetcher is None:
+            self._prefetcher = Prefetcher(depth=self.prefetch)
+        return self._prefetcher
+
+    def _make_source(self, name: str) -> PrefetchSource:
+        return PrefetchSource(self._open_source(name), self._prefetcher_or_none())
+
+    def _retriever_for(
+        self,
+        name: str,
+        retrievers: Dict[str, ProgressiveRetriever],
+        sources: Dict[str, PrefetchSource],
+    ) -> ProgressiveRetriever:
+        retriever = retrievers.get(name)
+        if retriever is None:
+            source = self._make_source(name)
+            sources[name] = source
+            retriever = ProgressiveRetriever(source, profile=self.profile)
+            retrievers[name] = retriever
+        return retriever
+
+    def _target(self, error_bound: Optional[float]) -> float:
+        return self.stored_bound if error_bound is None else float(error_bound)
+
+    # ---------------------------------------------------------------- planning
+
+    def plan(self, shards: Sequence, error_bound: Optional[float] = None) -> RetrievalPlan:
+        """Stage 1 only: the fetch ops a *stateless* request would perform.
+
+        Uses throwaway retrievers over plain sources (header reads only —
+        no payload is touched and no stateful retriever is disturbed), so
+        inspection tools can print a plan without changing any accounting.
+        """
+        target = self._target(error_bound)
+        plans: List[ShardPlan] = []
+        for shard in shards:
+            source = PrefetchSource(self._open_source(shard.name), None)
+            retriever = ProgressiveRetriever(source, profile=self.profile)
+            ops = retriever.pending_ops(error_bound=target)
+            plans.append(
+                ShardPlan(
+                    shard=shard.name,
+                    ops=[replace(op, shard=shard.name) for op in ops],
+                    header_bytes=retriever.store.header_bytes,
+                    target_keep=retriever.plan_request(error_bound=target).keep,
+                )
+            )
+            source.close()
+        return RetrievalPlan(plans)
+
+    # ---------------------------------------------------------------- requests
+
+    def read(
+        self,
+        shards: Sequence,
+        roi_slices: SliceTuple,
+        error_bound: Optional[float] = None,
+    ) -> EngineResult:
+        """Stateless retrieval: fresh retrievers, optionally pool-decoded."""
+        target = self._target(error_bound)
+        if self.workers > 1 and self.path is not None and len(shards) > 1:
+            return self._pooled_read(shards, roi_slices, target)
+        return self._request(shards, roi_slices, target, {}, {}, speculate_next=False)
+
+    def refine(
+        self,
+        shards: Sequence,
+        roi_slices: SliceTuple,
+        error_bound: Optional[float] = None,
+    ) -> EngineResult:
+        """Stateful retrieval (Algorithm 2 per shard) with rung speculation."""
+        target = self._target(error_bound)
+        return self._request(
+            shards, roi_slices, target, self._retrievers, self._sources,
+            speculate_next=True,
+        )
+
+    # ------------------------------------------------------------------- guts
+
+    def _request(
+        self,
+        shards: Sequence,
+        roi_slices: SliceTuple,
+        target: float,
+        retrievers: Dict[str, ProgressiveRetriever],
+        sources: Dict[str, PrefetchSource],
+        *,
+        speculate_next: bool,
+    ) -> EngineResult:
+        trace_start = {name: len(src.trace) for name, src in sources.items()}
+        # Stage 1+2 up front, across *all* shards: once every plan is
+        # primed, the background reads for later shards proceed while the
+        # first shard decodes.  (ProgressiveRetriever.retrieve re-primes
+        # its own ops, which the source dedupes to a no-op.)
+        selected = [self._retriever_for(s.name, retrievers, sources) for s in shards]
+        if self.prefetch > 0:
+            for retriever in selected:
+                retriever._prime(retriever.plan_request(error_bound=target))
+        pieces: List[Tuple[SliceTuple, np.ndarray]] = []
+        achieved = 0.0
+        for shard, retriever in zip(shards, selected):
+            result = retriever.retrieve(error_bound=target)
+            achieved = max(achieved, result.error_bound)
+            pieces.append((shard.slices, result.data))
+        ranges: List[Tuple[str, int, int]] = []
+        for shard in shards:
+            source = sources[shard.name]
+            for offset, length in source.trace[trace_start.get(shard.name, 0):]:
+                ranges.append((shard.name, offset, length))
+        bytes_loaded = sum(length for _, _, length in ranges)
+        self.cumulative_bytes += bytes_loaded
+        if speculate_next and self.speculate and self.prefetch > 0:
+            self._speculate(shards, retrievers, sources, target)
+        return EngineResult(
+            data=self._assemble(pieces, roi_slices),
+            error_bound=achieved,
+            bytes_loaded=bytes_loaded,
+            cumulative_bytes=self.cumulative_bytes,
+            shards=[s.name for s in shards],
+            ranges=ranges,
+        )
+
+    def _speculate(
+        self,
+        shards: Sequence,
+        retrievers: Dict[str, ProgressiveRetriever],
+        sources: Dict[str, PrefetchSource],
+        target: float,
+    ) -> None:
+        """Prime the next fidelity rung's blocks in the background.
+
+        A wrong guess costs only background I/O: the primed ranges stay
+        cached (physically read once), unreported until a later request
+        consumes them.
+        """
+        next_target = max(self.stored_bound, target / self.rung_factor)
+        if next_target >= target:
+            return
+        for shard in shards:
+            retriever = retrievers[shard.name]
+            ops = retriever.pending_ops(error_bound=next_target)
+            if ops:
+                sources[shard.name].prime([(op.offset, op.length) for op in ops])
+
+    def _pooled_read(
+        self, shards: Sequence, roi_slices: SliceTuple, target: float
+    ) -> EngineResult:
+        from repro.retrieval.pooldecode import pooled_container_read
+
+        out_shape = tuple(s.stop - s.start for s in roi_slices)
+        tasks = [
+            (shard.name, slices_to_ranges(shard.slices, self.shape))
+            for shard in shards
+        ]
+        data, accounting = pooled_container_read(
+            self.path,
+            tasks,
+            slices_to_ranges(roi_slices, self.shape),
+            out_shape,
+            self.dtype,
+            target,
+            self.workers,
+            kernel=self.profile.kernel if self.profile is not None else None,
+        )
+        achieved = max((bound for _, _, bound in accounting), default=0.0)
+        ranges = [
+            (name, offset, length)
+            for name, trace, _ in accounting
+            for offset, length in trace
+        ]
+        bytes_loaded = sum(length for _, _, length in ranges)
+        self.cumulative_bytes += bytes_loaded
+        return EngineResult(
+            data=data,
+            error_bound=achieved,
+            bytes_loaded=bytes_loaded,
+            cumulative_bytes=self.cumulative_bytes,
+            shards=[s.name for s in shards],
+            ranges=ranges,
+        )
+
+    def _assemble(
+        self, pieces: Sequence[Tuple[SliceTuple, np.ndarray]], roi_slices: SliceTuple
+    ) -> np.ndarray:
+        out_shape = tuple(s.stop - s.start for s in roi_slices)
+        out = np.empty(out_shape, dtype=self.dtype)
+        filled = 0
+        for slab, data in pieces:
+            sel_out, sel_in = intersect_slab_roi(slab, roi_slices)
+            piece = data[sel_in]
+            out[sel_out] = piece
+            filled += piece.size
+        if filled != out.size:
+            raise StreamFormatError(
+                f"shards cover {filled} of the region's {out.size} points"
+            )
+        return out
+
+    # ------------------------------------------------------------------- state
+
+    def current_keep(self) -> Dict[str, Dict[int, int]]:
+        """Resident planes per stateful shard retriever (diagnostics)."""
+        return {
+            name: retriever.current_keep
+            for name, retriever in self._retrievers.items()
+        }
+
+    def close(self) -> None:
+        self._retrievers.clear()
+        for source in self._sources.values():
+            source.drop_unconsumed()
+        self._sources.clear()
+        if self._prefetcher is not None:
+            self._prefetcher.close()
+            self._prefetcher = None
+
+
+def open_stream_source(path, prefetch: int = 0):
+    """A byte-range source over a bare ``.ipc`` stream file.
+
+    With ``prefetch > 0`` the source owns a private :class:`Prefetcher`
+    and a :class:`~repro.core.progressive.ProgressiveRetriever` reading
+    through it will overlap its planned range reads with decoding (the
+    retriever primes its own pending ops).  ``source.close()`` releases
+    the file handle and the prefetcher.
+    """
+    from repro.io.container import FileSource
+
+    inner = FileSource(path)
+    if prefetch <= 0:
+        return inner
+    prefetcher = Prefetcher(depth=prefetch)
+    source = PrefetchSource(inner, prefetcher)
+    original_close = source.close
+
+    def close() -> None:
+        original_close()
+        prefetcher.close()
+
+    source.close = close  # type: ignore[method-assign]
+    return source

@@ -1,0 +1,204 @@
+"""Stage 1 of the retrieval pipeline: fetch-op planning.
+
+A *fetch op* is one contiguous byte range of one stream (or of one shard
+block inside a container) together with the payload blocks it carries.  The
+planner turns "refine this region to this fidelity" into the minimal list of
+such ops:
+
+* **deduplicated** — blocks already resident in a stateful retriever are
+  never planned again (the Algorithm-2 never-re-read property, now enforced
+  at the planning layer instead of ad hoc in each reader);
+* **coalesced** — physically adjacent blocks (consecutive planes of a
+  level, the anchor plus the first planes, a level boundary crossed whole)
+  merge into a single range read, so a plan touches the disk once per
+  contiguous run instead of once per block.
+
+The planner works from parsed stream headers alone (the block extent table
+of a :class:`repro.core.stream.CompressedStore`); it never touches payload
+bytes.  Everything downstream — the prefetcher, the pool decode stage, the
+CLI's plan inspection — consumes the same :class:`FetchOp` list, which is
+what makes the accounting of the three execution paths identical by
+construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "FetchOp",
+    "ShardPlan",
+    "RetrievalPlan",
+    "coalesce_blocks",
+    "plan_stream_ops",
+]
+
+#: Label of the anchor block inside a fetch op.
+ANCHOR_BLOCK = "anchor"
+
+
+@dataclass(frozen=True)
+class FetchOp:
+    """One contiguous byte range to fetch and the blocks it carries.
+
+    ``blocks`` labels the payload blocks inside the range, in offset order:
+    ``"anchor"`` or ``"L<level>/p<plane>"``.  ``shard`` names the container
+    block the range lives in (``None`` for a bare stream).
+    """
+
+    offset: int
+    length: int
+    blocks: Tuple[str, ...]
+    shard: Optional[str] = None
+
+    @property
+    def end(self) -> int:
+        return self.offset + self.length
+
+    def to_json(self) -> dict:
+        obj = {
+            "offset": self.offset,
+            "length": self.length,
+            "blocks": list(self.blocks),
+        }
+        if self.shard is not None:
+            obj["shard"] = self.shard
+        return obj
+
+
+@dataclass
+class ShardPlan:
+    """The planned fetch ops of one stream (one shard of a dataset)."""
+
+    shard: Optional[str]
+    ops: List[FetchOp]
+    #: Header bytes of the stream — read when the stream is first opened,
+    #: before any planning can happen, so reported as overhead rather than
+    #: as a plannable op.
+    header_bytes: int
+    #: Planes to keep per level once the plan is applied.
+    target_keep: Dict[int, int] = field(default_factory=dict)
+
+    @property
+    def op_bytes(self) -> int:
+        return sum(op.length for op in self.ops)
+
+    @property
+    def n_blocks(self) -> int:
+        return sum(len(op.blocks) for op in self.ops)
+
+    def ranges(self) -> List[Tuple[int, int]]:
+        """The coalesced ``(offset, length)`` ranges of this plan."""
+        return [(op.offset, op.length) for op in self.ops]
+
+    def to_json(self) -> dict:
+        return {
+            "shard": self.shard,
+            "ops": [op.to_json() for op in self.ops],
+            "op_bytes": self.op_bytes,
+            "blocks": self.n_blocks,
+            "header_bytes": self.header_bytes,
+            "target_keep": {str(k): v for k, v in sorted(self.target_keep.items())},
+        }
+
+
+@dataclass
+class RetrievalPlan:
+    """A full retrieval plan: per-shard fetch ops plus the predicted cost."""
+
+    shards: List[ShardPlan]
+
+    @property
+    def op_bytes(self) -> int:
+        """Predicted payload bytes (anchor + plane blocks) to fetch."""
+        return sum(plan.op_bytes for plan in self.shards)
+
+    @property
+    def header_bytes(self) -> int:
+        return sum(plan.header_bytes for plan in self.shards)
+
+    @property
+    def predicted_bytes(self) -> int:
+        """Total bytes the request will touch, headers included."""
+        return self.op_bytes + self.header_bytes
+
+    @property
+    def n_ops(self) -> int:
+        return sum(len(plan.ops) for plan in self.shards)
+
+    @property
+    def n_blocks(self) -> int:
+        return sum(plan.n_blocks for plan in self.shards)
+
+    def to_json(self) -> dict:
+        return {
+            "shards": [plan.to_json() for plan in self.shards],
+            "ops": self.n_ops,
+            "blocks": self.n_blocks,
+            "op_bytes": self.op_bytes,
+            "header_bytes": self.header_bytes,
+            "predicted_bytes": self.predicted_bytes,
+        }
+
+
+def coalesce_blocks(
+    blocks: Sequence[Tuple[int, int, str]], shard: Optional[str] = None
+) -> List[FetchOp]:
+    """Merge ``(offset, size, label)`` block extents into contiguous fetch ops.
+
+    Blocks are sorted by offset first; zero-sized blocks ride along inside
+    (or at the edge of) whichever op they touch, so their labels stay
+    visible in the plan without producing empty reads.
+    """
+    ordered = sorted(blocks, key=lambda item: item[0])
+    ops: List[FetchOp] = []
+    run_start = run_end = 0
+    run_labels: List[str] = []
+    for offset, size, label in ordered:
+        if run_labels and offset <= run_end:
+            run_end = max(run_end, offset + size)
+            run_labels.append(label)
+        else:
+            if run_labels and run_end > run_start:
+                ops.append(
+                    FetchOp(run_start, run_end - run_start, tuple(run_labels), shard)
+                )
+            run_start, run_end, run_labels = offset, offset + size, [label]
+    if run_labels and run_end > run_start:
+        ops.append(FetchOp(run_start, run_end - run_start, tuple(run_labels), shard))
+    return ops
+
+
+def plan_stream_ops(
+    store,
+    current_keep: Optional[Dict[int, int]],
+    target_keep: Dict[int, int],
+    *,
+    include_anchor: bool = False,
+    shard: Optional[str] = None,
+) -> List[FetchOp]:
+    """Fetch ops that move one stream from ``current_keep`` to ``target_keep``.
+
+    ``store`` is a :class:`repro.core.stream.CompressedStore` (anything with
+    ``header``, ``anchor_extent`` and ``block_extent``).  ``current_keep``
+    of ``None`` (or ``{}``) plans from scratch; per-level entries already at
+    or above the target contribute nothing — the plan is the exact integer
+    delta Algorithm 2 will read, deduplicated by construction.
+    ``include_anchor`` adds the anchor block (a from-scratch retrieval needs
+    it; refinement never re-reads it).
+    """
+    resident = current_keep or {}
+    blocks: List[Tuple[int, int, str]] = []
+    if include_anchor:
+        offset, size = store.anchor_extent()
+        blocks.append((offset, size, ANCHOR_BLOCK))
+    # Walk levels in stream layout order (descending level, planes MSB
+    # first) so adjacent block runs coalesce maximally.
+    for enc in store.header.levels:
+        old = max(0, int(resident.get(enc.level, 0)))
+        new = int(target_keep.get(enc.level, 0))
+        for plane in range(old, new):
+            offset, size = store.block_extent(enc.level, plane)
+            blocks.append((offset, size, f"L{enc.level}/p{plane}"))
+    return coalesce_blocks(blocks, shard)

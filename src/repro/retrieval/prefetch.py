@@ -1,0 +1,188 @@
+"""Stage 2 of the retrieval pipeline: bounded background prefetching.
+
+A :class:`Prefetcher` owns a small thread pool (file reads release the GIL,
+so range I/O genuinely overlaps NumPy decode work); a :class:`PrefetchSource`
+wraps any byte-range source and serves reads out of a cache of *primed*
+ranges:
+
+* ``prime(ranges)`` submits background reads for the planned, coalesced
+  ranges of a :class:`~repro.retrieval.plan.FetchOp` list, skipping (or
+  splitting around) anything already primed — a range is physically read
+  **at most once**, which is what keeps the never-re-read property intact
+  under speculative prefetching;
+* ``read_range(offset, length)`` returns the bytes from the cache when a
+  primed range covers them (blocking only if that read is still in flight)
+  and falls through to a direct synchronous read otherwise.
+
+Accounting is split in two on purpose:
+
+* ``trace`` records the ranges **consumed** by the reader — per block,
+  append-ordered, exactly what the synchronous path would have read.  The
+  dataset layer reports these, so byte counts are identical with and
+  without prefetching, and a speculative fetch of the next fidelity rung is
+  attributed to the request that eventually *uses* it (or to none at all).
+* ``bytes_fetched`` counts the physical reads, speculation included — the
+  honest I/O figure.
+
+With no prefetcher attached the source is a pure pass-through (plus the
+consumed trace), so the synchronous path runs the same code.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import Future, ThreadPoolExecutor
+from typing import List, Optional, Sequence, Tuple
+
+__all__ = ["Prefetcher", "PrefetchSource"]
+
+#: Default number of range reads in flight (the CLI's ``--prefetch``).
+DEFAULT_PREFETCH_DEPTH = 4
+
+
+class Prefetcher:
+    """A bounded pool of background range readers, shared across sources."""
+
+    def __init__(self, depth: int = DEFAULT_PREFETCH_DEPTH) -> None:
+        self.depth = max(1, int(depth))
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.depth, thread_name_prefix="repro-prefetch"
+        )
+        self._closed = False
+
+    def submit(self, fn, *args) -> Future:
+        return self._executor.submit(fn, *args)
+
+    def close(self) -> None:
+        """Stop issuing new reads; in-flight reads are abandoned to finish."""
+        if not self._closed:
+            self._closed = True
+            self._executor.shutdown(wait=False, cancel_futures=True)
+
+    def __enter__(self) -> "Prefetcher":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class _Primed:
+    """One primed interval: ``[start, end)`` plus its (pending) bytes."""
+
+    __slots__ = ("start", "end", "future", "consumed")
+
+    def __init__(self, start: int, end: int, future: Future) -> None:
+        self.start = start
+        self.end = end
+        self.future = future
+        self.consumed = 0
+
+    def covers(self, offset: int, length: int) -> bool:
+        return self.start <= offset and offset + length <= self.end
+
+
+class PrefetchSource:
+    """Byte-range source wrapper with asynchronous range priming."""
+
+    def __init__(self, inner, prefetcher: Optional[Prefetcher] = None) -> None:
+        self._inner = inner
+        self._prefetcher = prefetcher
+        self.size = inner.size
+        #: Ranges consumed by the reader (the synchronous-path equivalent).
+        self.trace: List[Tuple[int, int]] = []
+        #: Physical bytes read, speculative primes included.
+        self.bytes_fetched = 0
+        self._primed: List[_Primed] = []
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------ prime
+
+    def prime(self, ranges: Sequence[Tuple[int, int]]) -> int:
+        """Schedule background reads of ``ranges``; returns bytes scheduled.
+
+        Ranges (coalesced fetch-op extents) are split around anything
+        already primed, so re-priming — e.g. a speculative rung followed by
+        the actual request's plan — never re-reads a byte.  Without a
+        prefetcher this is a no-op and reads stay synchronous.
+        """
+        if self._prefetcher is None:
+            return 0
+        scheduled = 0
+        with self._lock:
+            for offset, length in ranges:
+                for start, end in self._gaps(offset, offset + length):
+                    future = self._prefetcher.submit(
+                        self._inner.read_range, start, end - start
+                    )
+                    self._primed.append(_Primed(start, end, future))
+                    self.bytes_fetched += end - start
+                    scheduled += end - start
+        return scheduled
+
+    def _gaps(self, start: int, end: int) -> List[Tuple[int, int]]:
+        """Sub-ranges of ``[start, end)`` not covered by primed intervals."""
+        gaps: List[Tuple[int, int]] = []
+        cursor = start
+        for interval in sorted(self._primed, key=lambda p: p.start):
+            if interval.end <= cursor or interval.start >= end:
+                continue
+            if interval.start > cursor:
+                gaps.append((cursor, interval.start))
+            cursor = max(cursor, interval.end)
+        if cursor < end:
+            gaps.append((cursor, end))
+        return gaps
+
+    # ------------------------------------------------------------------ reads
+
+    def read_range(self, offset: int, length: int) -> bytes:
+        """Serve one consumed range: cache hit, in-flight wait, or direct read."""
+        self.trace.append((offset, length))
+        with self._lock:
+            hit = next(
+                (p for p in self._primed if p.covers(offset, length)), None
+            )
+        if hit is None:
+            with self._lock:
+                self.bytes_fetched += length
+            return self._inner.read_range(offset, length)
+        data = hit.future.result()  # blocks only while the read is in flight
+        start = offset - hit.start
+        chunk = data[start : start + length]
+        with self._lock:
+            hit.consumed += length
+            if hit.consumed >= hit.end - hit.start:
+                # Fully consumed: drop the cached bytes (planned blocks are
+                # read exactly once, so the interval can never be needed
+                # again).
+                try:
+                    self._primed.remove(hit)
+                except ValueError:  # pragma: no cover - concurrent drop
+                    pass
+        return chunk
+
+    # ------------------------------------------------------------- diagnostics
+
+    @property
+    def pending_bytes(self) -> int:
+        """Bytes primed but not yet consumed (cache residency)."""
+        with self._lock:
+            return sum(p.end - p.start - p.consumed for p in self._primed)
+
+    def close(self) -> None:
+        """Discard the cache and close the wrapped source (when closable)."""
+        self.drop_unconsumed()
+        close = getattr(self._inner, "close", None)
+        if close is not None:
+            close()
+
+    def drop_unconsumed(self) -> int:
+        """Discard primed-but-unconsumed intervals; returns bytes dropped.
+
+        Used when a speculative rung turns out wrong enough that its cached
+        blocks can never be consumed (the retriever surpassed them).
+        """
+        with self._lock:
+            dropped = sum(p.end - p.start - p.consumed for p in self._primed)
+            self._primed.clear()
+        return dropped

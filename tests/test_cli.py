@@ -263,3 +263,107 @@ def test_error_path_returns_nonzero(tmp_path, capsys):
     code = main(["compress", str(missing), "-o", str(out_path), "--shape", "4x4x4"])
     assert code == 2
     assert "error:" in capsys.readouterr().err
+
+
+def test_retrieve_prefetch_and_workers_flags(tmp_path, raw_field, capsys):
+    """--prefetch/--no-prefetch/--workers: identical output and accounting."""
+    _, raw_path = raw_field
+    container = tmp_path / "density.rprc"
+    main(["compress", str(raw_path), "-o", str(container), "--shape", "16x18x20",
+          "--blocks", "4", "--workers", "0", "--eb", "1e-5"])
+    capsys.readouterr()
+    variants = {
+        "sync": ["--no-prefetch"],
+        "prefetch": ["--prefetch", "8"],
+        "pool": ["--workers", "2", "--no-prefetch"],
+    }
+    outputs, reports = {}, {}
+    for label, extra in variants.items():
+        out = tmp_path / f"{label}.d64"
+        assert main(
+            ["retrieve", str(container), "-o", str(out),
+             "--roi", "0:8,:,:", "--error-bound", "1e-3"] + extra
+        ) == 0
+        outputs[label] = out.read_bytes()
+        reports[label] = capsys.readouterr().out
+    assert outputs["sync"] == outputs["prefetch"] == outputs["pool"]
+    # The printed byte accounting is identical across execution paths.
+    assert len({r.split("(")[0] for r in reports.values()}) == 1
+    # Single streams accept the prefetch flags too.
+    stream = tmp_path / "density.ipc"
+    main(["compress", str(raw_path), "-o", str(stream), "--shape", "16x18x20",
+          "--eb", "1e-5"])
+    a, b = tmp_path / "a.d64", tmp_path / "b.d64"
+    assert main(["retrieve", str(stream), "-o", str(a),
+                 "--error-bound", "1e-3", "--prefetch", "4"]) == 0
+    assert main(["retrieve", str(stream), "-o", str(b),
+                 "--error-bound", "1e-3", "--no-prefetch"]) == 0
+    assert a.read_bytes() == b.read_bytes()
+
+
+def test_retrieve_profile_file_runtime_knobs(tmp_path, raw_field, capsys):
+    """A --profile file's prefetch/workers knobs drive retrieval (flags win)."""
+    _, raw_path = raw_field
+    container = tmp_path / "density.rprc"
+    main(["compress", str(raw_path), "-o", str(container), "--shape", "16x18x20",
+          "--blocks", "3", "--workers", "0", "--eb", "1e-5"])
+    profile_path = tmp_path / "runtime.json"
+    profile_path.write_text('{"prefetch": 2, "workers": 2}')
+    capsys.readouterr()
+    a, b = tmp_path / "a.d64", tmp_path / "b.d64"
+    assert main(["retrieve", str(container), "-o", str(a),
+                 "--error-bound", "1e-3", "--profile", str(profile_path)]) == 0
+    assert main(["retrieve", str(container), "-o", str(b),
+                 "--error-bound", "1e-3", "--profile", str(profile_path),
+                 "--no-prefetch", "--workers", "0"]) == 0
+    assert a.read_bytes() == b.read_bytes()
+
+
+def test_info_stream_error_bound_prints_plan(tmp_path, raw_field, capsys):
+    """`info STREAM --error-bound` prints the single-stream retrieval plan."""
+    _, raw_path = raw_field
+    stream = tmp_path / "density.ipc"
+    main(["compress", str(raw_path), "-o", str(stream), "--shape", "16x18x20",
+          "--eb", "1e-5"])
+    capsys.readouterr()
+    assert main(["info", str(stream), "--error-bound", "1e-3"]) == 0
+    report = json.loads(capsys.readouterr().out)
+    plan = report["retrieval_plan"]
+    assert plan["ops"] >= 1 and plan["predicted_bytes"] > 0
+    # The plan predicts the bytes a retrieve at the same target reports.
+    out = tmp_path / "p.d64"
+    assert main(["retrieve", str(stream), "-o", str(out),
+                 "--error-bound", "1e-3", "--no-prefetch"]) == 0
+    assert f"retrieved {plan['predicted_bytes']} B" in capsys.readouterr().out
+
+
+def test_info_roi_prints_retrieval_plan(tmp_path, raw_field, capsys):
+    _, raw_path = raw_field
+    container = tmp_path / "density.rprc"
+    main(["compress", str(raw_path), "-o", str(container), "--shape", "16x18x20",
+          "--blocks", "4", "--workers", "0", "--eb", "1e-5"])
+    capsys.readouterr()
+    assert main(["info", str(container), "--roi", "0:8,:,:",
+                 "--error-bound", "1e-3"]) == 0
+    report = json.loads(capsys.readouterr().out)
+    plan = report["retrieval_plan"]
+    assert plan["ops"] >= 1
+    assert plan["predicted_bytes"] == plan["op_bytes"] + plan["header_bytes"]
+    shard_names = {entry["shard"] for entry in plan["shards"]}
+    assert shard_names <= {f"shard-{i:04d}" for i in range(4)}
+    for entry in plan["shards"]:
+        for op in entry["ops"]:
+            assert op["length"] > 0 and op["blocks"]
+    # The plan predicts the bytes a retrieve of the same region reports.
+    out = tmp_path / "roi.d64"
+    assert main(["retrieve", str(container), "-o", str(out),
+                 "--roi", "0:8,:,:", "--error-bound", "1e-3",
+                 "--no-prefetch"]) == 0
+    printed = capsys.readouterr().out
+    assert f"retrieved {plan['predicted_bytes']} B" in printed
+    # --roi on a plain stream is rejected for info as well.
+    stream = tmp_path / "density.ipc"
+    main(["compress", str(raw_path), "-o", str(stream), "--shape", "16x18x20"])
+    capsys.readouterr()
+    assert main(["info", str(stream), "--roi", "0:4,:,:"]) == 2
+    assert "--roi requires" in capsys.readouterr().err

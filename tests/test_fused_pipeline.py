@@ -264,18 +264,18 @@ def test_sampled_stream_header_coders_match_full_stream_mostly():
 
 
 def test_batch_slabs_merges_small_and_respects_workers():
-    from repro.parallel.executor import _batch_slabs
-    from repro.parallel.partition import block_slices
+    from repro.parallel.executor import MIN_TASK_BYTES
+    from repro.parallel.partition import batch_slabs, block_slices
 
     shape = (64, 8, 8)
     slabs = block_slices(shape, 16)  # 16 slabs × 2 KiB
-    batches = _batch_slabs(slabs, shape, 8, workers=4)
+    batches = batch_slabs(slabs, shape, 8, 4, MIN_TASK_BYTES)
     # Tiny slabs collapse into ≥ 1, ≤ workers-sized batch count while
     # preserving order and covering every slab exactly once.
     flat = [slc for batch in batches for slc in batch]
     assert flat == list(slabs)
     assert 1 <= len(batches) <= 16
-    big_batches = _batch_slabs(slabs, (4096, 64, 64), 8, workers=4)
+    big_batches = batch_slabs(slabs, (4096, 64, 64), 8, 4, MIN_TASK_BYTES)
     assert len(big_batches) >= 4  # large field keeps every worker busy
 
 

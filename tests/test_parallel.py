@@ -166,7 +166,7 @@ def test_broken_pool_falls_back_to_serial():
 
 def test_submit_time_spawn_failure_falls_back_to_serial(monkeypatch):
     """Workers spawn lazily: fork denial at submit() is still environmental."""
-    from repro.parallel import executor as executor_module
+    from repro.parallel import poolmap as poolmap_module
 
     class NoForkPool:
         def __init__(self, *args, **kwargs):
@@ -181,29 +181,29 @@ def test_submit_time_spawn_failure_falls_back_to_serial(monkeypatch):
         def __exit__(self, *exc):
             return False
 
-    monkeypatch.setattr(executor_module, "ProcessPoolExecutor", NoForkPool)
+    monkeypatch.setattr(poolmap_module, "ProcessPoolExecutor", NoForkPool)
     comp = BlockParallelCompressor(n_blocks=2, workers=2)
     assert comp._map(str, [1, 2, 3]) == ["1", "2", "3"]
 
 
 def test_pool_start_failure_falls_back_to_serial(monkeypatch):
-    from repro.parallel import executor as executor_module
+    from repro.parallel import poolmap as poolmap_module
 
     def broken_pool(*args, **kwargs):
         raise OSError("no fork for you")
 
-    monkeypatch.setattr(executor_module, "ProcessPoolExecutor", broken_pool)
+    monkeypatch.setattr(poolmap_module, "ProcessPoolExecutor", broken_pool)
     comp = BlockParallelCompressor(n_blocks=2, workers=2)
     assert comp._map(str, [1, 2, 3]) == ["1", "2", "3"]
 
 
 def test_serial_path_never_touches_the_pool(monkeypatch):
-    from repro.parallel import executor as executor_module
+    from repro.parallel import poolmap as poolmap_module
 
     def exploding_pool(*args, **kwargs):  # pragma: no cover - must not run
         raise AssertionError("pool must not be constructed for workers=0")
 
-    monkeypatch.setattr(executor_module, "ProcessPoolExecutor", exploding_pool)
+    monkeypatch.setattr(poolmap_module, "ProcessPoolExecutor", exploding_pool)
     comp = BlockParallelCompressor(n_blocks=3, workers=0)
     assert comp._map(str, [1, 2]) == ["1", "2"]
 
