@@ -12,6 +12,8 @@ The package is organised as:
 * :mod:`repro.parallel` — block-decomposed multi-process compression.
 * :mod:`repro.io` — on-disk block container plus the file-backed
   :class:`~repro.io.ChunkedDataset` with ROI-progressive retrieval.
+* :mod:`repro.service` — long-lived :class:`~repro.service.RetrievalService`
+  serving concurrent ROI requests from pinned sessions and a tiered cache.
 
 Quickstart::
 
@@ -35,8 +37,9 @@ from repro.core.profile import CodecProfile
 from repro.core.progressive import ProgressiveRetriever, RetrievalResult
 from repro.core.optimizer import LoadingPlan, OptimizedLoader
 from repro.io.dataset import ChunkedDataset, DatasetReadResult
+from repro.service import RetrievalService, RetrievalTrace
 
-__version__ = "2.0.0"
+__version__ = "2.1.0"
 
 __all__ = [
     "CodecProfile",
@@ -48,6 +51,8 @@ __all__ = [
     "LoadingPlan",
     "ChunkedDataset",
     "DatasetReadResult",
+    "RetrievalService",
+    "RetrievalTrace",
     "available_kernels",
     "get_kernel",
     "register_kernel",

@@ -12,6 +12,8 @@ Subcommands::
     ipcomp info       OUT.ipc             # header: version, levels, per-plane codec
     ipcomp info       OUT.rprc            # manifest + per-shard header summary
     ipcomp info       OUT.rprc --roi 0:16,:,: --error-bound 1e-3  # + retrieval plan
+    ipcomp serve      OUT.rprc --requests REQS.jsonl [--threads 4] [--workers 2]
+    ipcomp stats      OUT.rprc --requests REQS.jsonl  # aggregate only
     ipcomp datasets                       # print the Table 3 inventory
     ipcomp demo       --dataset density   # synthetic end-to-end demo + metrics
 
@@ -26,6 +28,13 @@ in flight (default 4; ``--no-prefetch`` reads synchronously) and
 ``--workers N`` pool-decodes container shards in worker processes — both
 pure runtime choices with bitwise-identical output and identical reported
 byte counts.
+
+``serve`` runs a batch of requests — one JSON object per line, e.g.
+``{"roi": "0:16,:,:", "error_bound": 1e-3, "out": "roi.raw"}`` — through a
+single long-lived :class:`~repro.service.RetrievalService` (pinned session,
+tiered slab/rung cache, optional ``--threads`` concurrency and persistent
+``--workers`` pool) and prints one trace JSON line per request; ``stats``
+serves the same batch but prints only the aggregate statistics.
 
 Configuration is one :class:`~repro.core.profile.CodecProfile`:
 ``--profile FILE.json`` loads a profile, and the individual flags (``--eb``,
@@ -50,6 +59,7 @@ from repro.errors import ConfigurationError, ReproError
 from repro.io import is_container
 from repro.retrieval.engine import open_stream_source
 from repro.retrieval.prefetch import DEFAULT_PREFETCH_DEPTH
+from repro.service import RetrievalService
 
 
 def _parse_shape(text: str) -> tuple:
@@ -269,6 +279,66 @@ def _build_parser() -> argparse.ArgumentParser:
         "(default: the stored bound, i.e. full precision)",
     )
 
+    def _add_serve_arguments(subparser: argparse.ArgumentParser) -> None:
+        subparser.add_argument("input", type=Path)
+        subparser.add_argument(
+            "--requests",
+            type=Path,
+            required=True,
+            metavar="FILE.jsonl",
+            help="request batch: one JSON object per line with optional "
+            "'roi' (start:stop,...), 'error_bound', and 'out' (raw output "
+            "file name); '-' reads from stdin",
+        )
+        subparser.add_argument(
+            "--threads",
+            type=int,
+            default=1,
+            metavar="N",
+            help="serve the batch with N concurrent threads (default 1; "
+            "traces still print in request order)",
+        )
+        subparser.add_argument(
+            "--workers",
+            type=int,
+            default=None,
+            metavar="N",
+            help="persistent pool-decode workers shared across requests",
+        )
+        subparser.add_argument(
+            "--cache-bytes",
+            type=int,
+            default=None,
+            metavar="B",
+            help="tiered slab/rung cache budget in bytes "
+            "(default: profile's cache_bytes, else 256 MiB)",
+        )
+        subparser.add_argument(
+            "--out-dir",
+            type=Path,
+            default=Path("."),
+            help="directory for requests' 'out' files (default: cwd)",
+        )
+        subparser.add_argument(
+            "--stats-json",
+            type=Path,
+            default=None,
+            metavar="FILE",
+            help="also write the aggregate service stats to FILE",
+        )
+        _add_profile_arguments(subparser, full=False)
+
+    serve = sub.add_parser(
+        "serve",
+        help="serve a request batch through one cached retrieval service",
+    )
+    _add_serve_arguments(serve)
+
+    stats = sub.add_parser(
+        "stats", help="serve a request batch, print aggregate stats only"
+    )
+    _add_serve_arguments(stats)
+
     sub.add_parser("datasets", help="list the Table 3 dataset inventory")
 
     demo = sub.add_parser("demo", help="synthetic end-to-end demo")
@@ -334,7 +404,11 @@ def _runtime_knobs_from_profile_file(args) -> dict:
         ) from None
     if not isinstance(obj, dict):
         raise ConfigurationError("codec profile JSON must be an object")
-    return {k: obj[k] for k in ("prefetch", "workers") if k in obj}
+    return {
+        k: obj[k]
+        for k in ("prefetch", "workers", "cache_bytes", "cache_verify")
+        if k in obj
+    }
 
 
 def _retrieve_prefetch_depth(args, file_knobs: dict) -> int:
@@ -457,6 +531,93 @@ def _cmd_info(args) -> int:
     return 0
 
 
+def _load_requests(path: Path) -> list:
+    """Parse a JSONL request batch into ``(roi, error_bound, out)`` triples."""
+    if str(path) == "-":
+        text = sys.stdin.read()
+    else:
+        try:
+            text = Path(path).read_text(encoding="utf-8")
+        except OSError as exc:
+            raise ConfigurationError(f"cannot read requests file: {exc}") from None
+    requests = []
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        try:
+            obj = json.loads(line)
+        except ValueError as exc:
+            raise ConfigurationError(
+                f"requests line {lineno} is not valid JSON: {exc}"
+            ) from None
+        if not isinstance(obj, dict):
+            raise ConfigurationError(f"requests line {lineno} must be an object")
+        try:
+            roi = _parse_roi(str(obj["roi"])) if obj.get("roi") is not None else None
+        except argparse.ArgumentTypeError as exc:
+            raise ConfigurationError(f"requests line {lineno}: {exc}") from None
+        bound = obj.get("error_bound")
+        requests.append(
+            (roi, float(bound) if bound is not None else None, obj.get("out"))
+        )
+    if not requests:
+        raise ConfigurationError("requests file contains no requests")
+    return requests
+
+
+def _serve_batch(args) -> tuple:
+    """Run the request batch through one service; returns (traces, stats)."""
+    from concurrent.futures import ThreadPoolExecutor
+
+    profile = _decode_profile_from_args(args)
+    file_knobs = _runtime_knobs_from_profile_file(args)
+    workers = args.workers if args.workers is not None else file_knobs.get("workers")
+    cache_bytes = (
+        args.cache_bytes
+        if args.cache_bytes is not None
+        else file_knobs.get("cache_bytes")
+    )
+    requests = _load_requests(args.requests)
+    with RetrievalService(
+        profile=profile,
+        cache_bytes=cache_bytes,
+        cache_verify=file_knobs.get("cache_verify"),
+        workers=workers,
+    ) as service:
+
+        def serve_one(request):
+            roi, error_bound, out = request
+            response = service.get(args.input, error_bound=error_bound, roi=roi)
+            if out is not None:
+                save_raw(args.out_dir / out, response.data)
+            return response.trace
+
+        threads = max(1, int(args.threads))
+        if threads == 1 or len(requests) == 1:
+            traces = [serve_one(request) for request in requests]
+        else:
+            with ThreadPoolExecutor(max_workers=threads) as pool:
+                traces = list(pool.map(serve_one, requests))
+        stats = service.stats()
+    if args.stats_json is not None:
+        args.stats_json.write_text(json.dumps(stats, indent=2), encoding="utf-8")
+    return traces, stats
+
+
+def _cmd_serve(args) -> int:
+    traces, _ = _serve_batch(args)
+    for trace in traces:
+        print(json.dumps(trace.to_json()))
+    return 0
+
+
+def _cmd_stats(args) -> int:
+    _, stats = _serve_batch(args)
+    print(json.dumps(stats, indent=2))
+    return 0
+
+
 def _cmd_datasets(_args) -> int:
     print(dataset_table())
     return 0
@@ -482,6 +643,8 @@ _COMMANDS = {
     "decompress": _cmd_decompress,
     "retrieve": _cmd_retrieve,
     "info": _cmd_info,
+    "serve": _cmd_serve,
+    "stats": _cmd_stats,
     "datasets": _cmd_datasets,
     "demo": _cmd_demo,
 }

@@ -117,6 +117,17 @@ class CodecProfile:
         Retrieval-side knob: pool-decode worker processes for stateless
         container reads (0/1 = in-process decode).  Runtime-only, output
         bitwise-identical either way.
+    cache_bytes:
+        Serving-side knob: byte budget of the
+        :class:`~repro.service.RetrievalService` tiered cache (decoded slabs
+        + resident plane rungs).  ``0`` means the service default.  Like
+        ``kernel`` / ``prefetch`` / ``workers`` it is runtime-only: it never
+        changes any served byte, reported byte count, or range trace — only
+        how much physical I/O a warm request can skip.
+    cache_verify:
+        Serving-side knob: verify the checksum of a cached decoded slab on
+        every hit, so a poisoned cache entry is invalidated and recomputed
+        instead of served.  Runtime-only.
     """
 
     error_bound: float = 1e-6
@@ -130,6 +141,8 @@ class CodecProfile:
     negotiation_sample: int = DEFAULT_NEGOTIATION_SAMPLE
     prefetch: int = 0
     workers: int = 0
+    cache_bytes: int = 0
+    cache_verify: bool = True
 
     def __post_init__(self) -> None:
         from repro.coders.backend import available_backends
@@ -158,12 +171,14 @@ class CodecProfile:
             raise ConfigurationError("negotiation_sample must be an integer")
         if self.negotiation_sample < 1:
             raise ConfigurationError("negotiation_sample must be positive")
-        for name in ("prefetch", "workers"):
+        for name in ("prefetch", "workers", "cache_bytes"):
             value = getattr(self, name)
             if not isinstance(value, int) or isinstance(value, bool):
                 raise ConfigurationError(f"{name} must be an integer")
             if value < 0:
                 raise ConfigurationError(f"{name} must be non-negative")
+        if not isinstance(self.cache_verify, bool):
+            raise ConfigurationError("cache_verify must be a boolean")
         # Coerce list/single-string plane coders to a tuple so profiles built
         # from JSON (or sloppy callers) stay hashable and picklable.
         coders = self.plane_coders
@@ -274,10 +289,10 @@ class CodecProfile:
         """JSON form of the profile.
 
         ``runtime=False`` omits the runtime-only fields — ``kernel``,
-        ``prefetch``, ``workers`` — which never change the bytes, so
-        on-disk artefacts (dataset manifests) exclude them to stay
-        byte-identical across runtime configurations; ``--profile`` files
-        keep them.
+        ``prefetch``, ``workers``, ``cache_bytes``, ``cache_verify`` —
+        which never change the bytes, so on-disk artefacts (dataset
+        manifests) exclude them to stay byte-identical across runtime
+        configurations; ``--profile`` files keep them.
         """
         obj = {
             "error_bound": float(self.error_bound),
@@ -291,9 +306,11 @@ class CodecProfile:
             "negotiation_sample": int(self.negotiation_sample),
             "prefetch": int(self.prefetch),
             "workers": int(self.workers),
+            "cache_bytes": int(self.cache_bytes),
+            "cache_verify": bool(self.cache_verify),
         }
         if not runtime:
-            for name in ("kernel", "prefetch", "workers"):
+            for name in ("kernel", "prefetch", "workers", "cache_bytes", "cache_verify"):
                 del obj[name]
         return obj
 

@@ -77,7 +77,10 @@ class ProgressiveRetriever:
 
     def __init__(self, blob, profile: Optional[CodecProfile] = None) -> None:
         kernel = profile.kernel if profile is not None else None
-        self.store = CompressedStore(blob)
+        # ``blob`` may also be a ready CompressedStore (possibly built from a
+        # pre-parsed header) — the serving layer pins parsed headers across
+        # requests and hands the store in directly.
+        self.store = blob if isinstance(blob, CompressedStore) else CompressedStore(blob)
         header = self.store.header
         self.header = header
         try:
@@ -97,6 +100,10 @@ class ProgressiveRetriever:
         self._current_codes: Dict[int, np.ndarray] = {}
         self._current_output: Optional[np.ndarray] = None
         self._anchor_values: Optional[np.ndarray] = None
+        # True while the resident output is bit-for-bit what a from-scratch
+        # retrieval at the current keep would reconstruct (Algorithm-1 and
+        # rebuilt-refine paths keep it; a delta-add refine clears it).
+        self._output_exact = True
         self.cumulative_bytes = 0
 
     # ----------------------------------------------------------------- planning
@@ -187,6 +194,70 @@ class ProgressiveRetriever:
             return self._retrieve_from_scratch(plan)
         return self._refine(plan)
 
+    def retrieve_rebuilt(
+        self,
+        error_bound: Optional[float] = None,
+        bitrate: Optional[float] = None,
+        byte_budget: Optional[int] = None,
+    ) -> RetrievalResult:
+        """Refine with Algorithm-2 I/O but from-scratch reconstruction bits.
+
+        Reads exactly the plane blocks :meth:`retrieve` would read (only the
+        delta above the resident keep — never a byte twice), merges them into
+        the resident integer codes (exact bit-plane arithmetic), then runs
+        **one full reconstruction pass** over the merged codes instead of
+        adding a delta reconstruction to the previous output.  Summing two
+        reconstructions is within rounding of the single pass but not
+        bit-identical to it; the single pass *is* — so the returned array is
+        bitwise what a fresh retrieval at the achieved plane selection
+        produces.  This is the property the serving layer's rung cache needs
+        to answer stateless requests from refined state.  Costs a full
+        reconstruction of compute per call; saves the same bytes as
+        :meth:`retrieve`.
+        """
+        plan = self._plan(error_bound, bitrate, byte_budget)
+        self._prime(plan)
+        if self._current_output is None:
+            return self._retrieve_from_scratch(plan)
+        assert self._anchor_values is not None
+        self.store.reset_accounting()
+        target_keep = self._merged_target(plan)
+        any_new = bool(self._load_new_planes(target_keep))
+        if any_new or not self._output_exact:
+            level_diffs = {
+                enc.level: self.quantizer.dequantize(
+                    self._current_codes.get(
+                        enc.level, np.zeros(enc.count, dtype=np.int64)
+                    )
+                )
+                for enc in self.header.levels
+            }
+            self._current_output = self.predictor.reconstruct(
+                self._anchor_values, level_diffs, granularity="sweep"
+            )
+            self._output_exact = True
+        bytes_loaded = self.store.bytes_read
+        self.cumulative_bytes += bytes_loaded
+        achieved_keep = dict(self._current_keep)
+        return RetrievalResult(
+            data=self._cast(self._current_output),
+            plan=plan,
+            bytes_loaded=bytes_loaded,
+            cumulative_bytes=self.cumulative_bytes,
+            # When the merge landed exactly on the plan's selection, report
+            # the plan's own bound so the result is indistinguishable from a
+            # fresh retrieval at this target; a finer resident rung keeps the
+            # Theorem-1 bound of what is actually resident.
+            error_bound=(
+                plan.predicted_error
+                if all(
+                    achieved_keep.get(enc.level, 0) == plan.keep.get(enc.level, 0)
+                    for enc in self.header.levels
+                )
+                else self.loader.plan_error(achieved_keep)
+            ),
+        )
+
     def _retrieve_from_scratch(self, plan: LoadingPlan) -> RetrievalResult:
         """Algorithm 1: single decoding + reconstruction pass."""
         self.store.reset_accounting()
@@ -216,23 +287,21 @@ class ProgressiveRetriever:
             error_bound=plan.predicted_error,
         )
 
-    def _refine(self, plan: LoadingPlan) -> RetrievalResult:
-        """Algorithm 2: load only the new planes and add their contribution."""
-        assert self._current_output is not None and self._anchor_values is not None
-        self.store.reset_accounting()
-        # Never drop precision that is already in memory.
-        target_keep = {
-            level: max(plan.keep.get(level, 0), self._current_keep.get(level, 0))
-            for level in self._current_keep
-        }
-        delta_diffs: Dict[int, np.ndarray] = {}
-        any_new = False
+    def _load_new_planes(self, target_keep: Dict[int, int]) -> Dict[int, np.ndarray]:
+        """Read + merge every plane above the current keep, per level.
+
+        Advances ``_current_codes`` / ``_current_keep`` to ``target_keep``
+        and returns the *previous* integer codes of each level that gained
+        planes (what Algorithm 2 needs to form its delta).  All merging is
+        integer bit-plane arithmetic — the updated codes are bit-for-bit the
+        codes a from-scratch decode at ``target_keep`` would produce.
+        """
+        old_codes_by_level: Dict[int, np.ndarray] = {}
         for enc in self.header.levels:
             old_keep = self._current_keep[enc.level]
             new_keep = target_keep[enc.level]
             if new_keep <= old_keep:
                 continue
-            any_new = True
             blocks = [
                 self.store.read_block(enc.level, plane) for plane in range(new_keep)
                 if plane >= old_keep
@@ -241,18 +310,40 @@ class ProgressiveRetriever:
             # are already decoded in ``_current_codes`` so we re-derive the new
             # integer codes from old codes + freshly loaded planes.
             new_codes = self._merge_codes(enc, old_keep, new_keep, blocks)
-            old_codes = self._current_codes.get(
+            old_codes_by_level[enc.level] = self._current_codes.get(
                 enc.level, np.zeros(enc.count, dtype=np.int64)
             )
-            delta_diffs[enc.level] = self.quantizer.dequantize(new_codes - old_codes)
             self._current_codes[enc.level] = new_codes
             self._current_keep[enc.level] = new_keep
+        return old_codes_by_level
+
+    def _merged_target(self, plan: LoadingPlan) -> Dict[int, int]:
+        """Never drop precision that is already in memory."""
+        return {
+            level: max(plan.keep.get(level, 0), self._current_keep.get(level, 0))
+            for level in self._current_keep
+        }
+
+    def _refine(self, plan: LoadingPlan) -> RetrievalResult:
+        """Algorithm 2: load only the new planes and add their contribution."""
+        assert self._current_output is not None and self._anchor_values is not None
+        self.store.reset_accounting()
+        target_keep = self._merged_target(plan)
+        old_codes_by_level = self._load_new_planes(target_keep)
+        delta_diffs: Dict[int, np.ndarray] = {
+            level: self.quantizer.dequantize(self._current_codes[level] - old_codes)
+            for level, old_codes in old_codes_by_level.items()
+        }
+        any_new = bool(old_codes_by_level)
         if any_new:
             zero_anchor = np.zeros(self.header.anchor_count, dtype=np.float64)
             delta_output = self.predictor.reconstruct(
                 zero_anchor, delta_diffs, granularity="sweep"
             )
             self._current_output = self._current_output + delta_output
+            # Adding reconstructed deltas is within rounding of — but not
+            # bit-identical to — a from-scratch pass at the merged keep.
+            self._output_exact = False
         bytes_loaded = self.store.bytes_read
         self.cumulative_bytes += bytes_loaded
         achieved_keep = dict(self._current_keep)
@@ -317,3 +408,19 @@ class ProgressiveRetriever:
         if self._current_output is None:
             return None
         return self._cast(self._current_output)
+
+    @property
+    def resident_nbytes(self) -> int:
+        """Decoded bytes this retriever keeps resident (cache accounting).
+
+        The reconstruction, the per-level integer codes, and the anchor
+        values — what a byte-budgeted cache should charge for keeping this
+        retriever's rung warm.
+        """
+        total = 0
+        if self._current_output is not None:
+            total += self._current_output.nbytes
+        if self._anchor_values is not None:
+            total += self._anchor_values.nbytes
+        total += sum(codes.nbytes for codes in self._current_codes.values())
+        return total

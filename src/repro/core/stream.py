@@ -314,9 +314,16 @@ class CompressedStore:
     (``overhead_bytes``).
     """
 
-    def __init__(self, blob) -> None:
+    def __init__(self, blob, *, parsed: "Tuple[StreamHeader, int] | None" = None) -> None:
         self._source = BytesSource(blob) if isinstance(blob, (bytes, bytearray)) else blob
-        self.header, payload_start = IPCompStream.parse_header_source(self._source)
+        if parsed is None:
+            self.header, payload_start = IPCompStream.parse_header_source(self._source)
+        else:
+            # A pre-parsed ``(header, payload_offset)`` pair skips the header
+            # reads entirely — the serving layer parses each shard's header
+            # once per session and pins the result, so re-opening a stream
+            # for a later request touches zero header bytes.
+            self.header, payload_start = parsed
         self.header_bytes = payload_start
         self._anchor_offset = payload_start
         self._offsets: Dict[Tuple[int, int], Tuple[int, int]] = {}

@@ -114,6 +114,9 @@ class BlockContainerReader:
             self._handle.close()
             raise
         self.bytes_read = 0
+        #: Number of physical ``read_range`` calls served (the serving-layer
+        #: tests assert a warm cache repeat performs zero of them).
+        self.n_reads = 0
         self._closed = False
 
     def _parse_footer(self) -> None:
@@ -205,6 +208,7 @@ class BlockContainerReader:
             self._handle.seek(int(entry["offset"]) + offset)
             data = self._handle.read(length)
             self.bytes_read += length
+            self.n_reads += 1
         if len(data) != length:
             raise StreamFormatError(f"container truncated inside block {name!r}")
         return data
@@ -243,6 +247,7 @@ class FileSource:
         self._handle.seek(0, 2)
         self.size = self._handle.tell()
         self.bytes_read = 0
+        self.n_reads = 0
 
     def read_range(self, offset: int, length: int) -> bytes:
         if offset < 0 or length < 0 or offset + length > self.size:
@@ -253,6 +258,7 @@ class FileSource:
             self._handle.seek(offset)
             data = self._handle.read(length)
             self.bytes_read += length
+            self.n_reads += 1
         if len(data) != length:
             raise StreamFormatError(f"stream file truncated at offset {offset}")
         return data

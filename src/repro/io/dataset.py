@@ -125,6 +125,7 @@ class ChunkedDataset:
         *,
         prefetch: Optional[int] = None,
         workers: Optional[int] = None,
+        executor=None,
     ) -> None:
         self.path = Path(path)
         self.profile = profile
@@ -177,6 +178,7 @@ class ChunkedDataset:
             prefetch=prefetch,
             workers=workers,
             path=self.path,
+            executor=executor,
         )
         self._write_profile: Optional[CodecProfile] = None
 
@@ -289,7 +291,7 @@ class ChunkedDataset:
         refinement.  With ``workers > 1`` the decode runs in the pool
         stage (bitwise-identical output, same per-shard range accounting).
         """
-        roi_slices, selected = self._select(roi)
+        roi_slices, selected = self.select(roi)
         target = self._validated_target(error_bound)
         result = self._engine.read(selected, roi_slices, target)
         return self._to_read_result(result, roi_slices)
@@ -310,7 +312,7 @@ class ChunkedDataset:
         performed at most once and is only ever reported by the request
         that consumes it.
         """
-        roi_slices, selected = self._select(roi)
+        roi_slices, selected = self.select(roi)
         target = self._validated_target(error_bound)
         result = self._engine.refine(selected, roi_slices, target)
         return self._to_read_result(result, roi_slices)
@@ -322,7 +324,7 @@ class ChunkedDataset:
         bytes — what the CLI's ``info --roi`` prints.  Reads only the shard
         headers; no payload is touched and no refine() state is disturbed.
         """
-        _, selected = self._select(roi)
+        _, selected = self.select(roi)
         return self._engine.plan(selected, self._validated_target(error_bound))
 
     # ------------------------------------------------------------------ guts
@@ -333,7 +335,13 @@ class ChunkedDataset:
             raise ConfigurationError("error_bound must be a positive finite number")
         return target
 
-    def _select(self, roi) -> Tuple[SliceTuple, List[DatasetShard]]:
+    def select(self, roi) -> Tuple[SliceTuple, List[DatasetShard]]:
+        """Normalize ``roi`` and list the shards whose slabs intersect it.
+
+        Public because the serving layer plans per-shard work itself: it
+        needs the same ``(normalized roi, selected shards)`` answer the
+        internal read paths use, without issuing a read.
+        """
         if roi is None:
             roi_slices = tuple(slice(0, s) for s in self.shape)
             return roi_slices, list(self.shards)
@@ -371,6 +379,27 @@ class ChunkedDataset:
     def bytes_read(self) -> int:
         """Total container bytes touched since the dataset was opened."""
         return self._reader.bytes_read
+
+    @property
+    def physical_reads(self) -> int:
+        """Physical ``read_range`` calls on the container since open.
+
+        Consumption-based accounting reports what a request *used*; this
+        counter reports what actually hit the file — the serving layer's
+        warm-cache tests assert it stays flat across a cache hit.
+        """
+        return self._reader.n_reads
+
+    @property
+    def fingerprint(self) -> Tuple[int, int]:
+        """(size, mtime_ns) identity of the backing file.
+
+        The serving layer keys its per-dataset sessions on this: a rewrite
+        of the file changes the fingerprint, so pinned readers and cached
+        slabs for the old bytes are never served against the new ones.
+        """
+        stat = self.path.stat()
+        return (int(stat.st_size), int(stat.st_mtime_ns))
 
     @property
     def file_bytes(self) -> int:

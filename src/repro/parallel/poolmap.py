@@ -32,17 +32,25 @@ except ImportError:  # pragma: no cover - exotic builds without _posixshmem
     shared_memory = None
 
 
-def imap_fallback(function, payloads: Sequence, workers: int) -> Iterator:
+def imap_fallback(function, payloads: Sequence, workers: int, executor=None) -> Iterator:
     """Apply ``function`` to every payload, yielding results *in order*.
 
     Results are yielded as soon as they (and all their predecessors)
     complete, so consumers can stream them — e.g. write shard ``k`` to a
     container while shard ``k+1`` is still compressing.  ``workers <= 1``
     (or a single payload) short-circuits to plain in-process execution.
+
+    ``executor`` lends a caller-owned persistent pool (the serving layer
+    keeps one warm across requests); it is never shut down here, and a
+    broken lent pool degrades through the same ladder as a private one.
     """
     if not workers or workers <= 1 or len(payloads) <= 1:
         for payload in payloads:
             yield function(payload)
+        return
+    if executor is not None:
+        # A lent pool is the caller's to shut down, never ours.
+        yield from _drain_pool(executor, function, payloads)
         return
     try:
         pool = ProcessPoolExecutor(max_workers=workers)
@@ -53,28 +61,35 @@ def imap_fallback(function, payloads: Sequence, workers: int) -> Iterator:
             yield function(payload)
         return
     with pool:
+        yield from _drain_pool(pool, function, payloads)
+
+
+def _drain_pool(pool, function, payloads: Sequence) -> Iterator:
+    """Submit everything, yield in order, degrading per the ladder."""
+    try:
+        # Worker processes are spawned lazily at submit time, so
+        # fork/spawn denial (sandboxes) surfaces here — still an
+        # environment problem, still the in-process fallback.
+        # (Submitting to an already-broken lent pool raises
+        # BrokenProcessPool, a RuntimeError subclass — same clause.)
+        futures = [pool.submit(function, p) for p in payloads]
+    except (OSError, ValueError, RuntimeError, NotImplementedError):
+        for payload in payloads:
+            yield function(payload)
+        return
+    for index, future in enumerate(futures):
         try:
-            # Worker processes are spawned lazily at submit time, so
-            # fork/spawn denial (sandboxes) surfaces here — still an
-            # environment problem, still the in-process fallback.
-            futures = [pool.submit(function, p) for p in payloads]
-        except (OSError, ValueError, RuntimeError, NotImplementedError):
-            for payload in payloads:
+            result = future.result()
+        except BrokenProcessPool:
+            # Worker *processes* died while running — an environment
+            # problem, so finish the remaining payloads in-process.
+            # Exceptions raised by ``function`` itself arrive as their
+            # original type and fall through to the caller: a worker
+            # error is a real error, not a cue to silently recompute.
+            for payload in payloads[index:]:
                 yield function(payload)
             return
-        for index, future in enumerate(futures):
-            try:
-                result = future.result()
-            except BrokenProcessPool:
-                # Worker *processes* died while running — an environment
-                # problem, so finish the remaining payloads in-process.
-                # Exceptions raised by ``function`` itself arrive as their
-                # original type and fall through to the caller: a worker
-                # error is a real error, not a cue to silently recompute.
-                for payload in payloads[index:]:
-                    yield function(payload)
-                return
-            yield result
+        yield result
 
 
 def create_segment(nbytes: int):

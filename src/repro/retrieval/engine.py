@@ -45,12 +45,40 @@ from repro.parallel.partition import (
 from repro.retrieval.plan import RetrievalPlan, ShardPlan
 from repro.retrieval.prefetch import Prefetcher, PrefetchSource
 
-__all__ = ["EngineResult", "RetrievalEngine", "open_stream_source"]
+__all__ = ["EngineResult", "RetrievalEngine", "assemble", "open_stream_source"]
 
 #: Default speculation ratio: after serving a refine() at bound E, prefetch
 #: the plan for E / DEFAULT_RUNG_FACTOR (the ladder step the benchmarks and
 #: examples use) in the background.
 DEFAULT_RUNG_FACTOR = 8.0
+
+
+def assemble(
+    pieces: Sequence[Tuple[SliceTuple, np.ndarray]],
+    roi_slices: SliceTuple,
+    dtype,
+) -> np.ndarray:
+    """Scatter decoded slab pieces into a fresh ROI-shaped output array.
+
+    Each ``(slab slices, slab array)`` piece contributes its slab∩ROI
+    overlap; the pieces must tile the region exactly (short coverage —
+    e.g. a manifest whose slabs miss part of the domain — raises
+    :class:`~repro.errors.StreamFormatError`).  Shared by the engine's
+    in-process decode stage and the serving layer's cache-mixing reads.
+    """
+    out_shape = tuple(s.stop - s.start for s in roi_slices)
+    out = np.empty(out_shape, dtype=np.dtype(dtype))
+    filled = 0
+    for slab, data in pieces:
+        sel_out, sel_in = intersect_slab_roi(slab, roi_slices)
+        piece = data[sel_in]
+        out[sel_out] = piece
+        filled += piece.size
+    if filled != out.size:
+        raise StreamFormatError(
+            f"shards cover {filled} of the region's {out.size} points"
+        )
+    return out
 
 
 @dataclass
@@ -90,6 +118,7 @@ class RetrievalEngine:
         path=None,
         speculate: bool = True,
         rung_factor: float = DEFAULT_RUNG_FACTOR,
+        executor=None,
     ) -> None:
         self._open_source = open_source
         self.shape = tuple(int(s) for s in shape)
@@ -101,6 +130,9 @@ class RetrievalEngine:
         self.path = path
         self.speculate = bool(speculate)
         self.rung_factor = float(rung_factor)
+        # A caller-owned persistent pool for the decode stage (the serving
+        # layer keeps one warm across requests); never shut down here.
+        self.executor = executor
         self._prefetcher: Optional[Prefetcher] = None
         # Stateful per-shard retrievers + traced sources (refine() path).
         self._retrievers: Dict[str, ProgressiveRetriever] = {}
@@ -226,7 +258,7 @@ class RetrievalEngine:
         if speculate_next and self.speculate and self.prefetch > 0:
             self._speculate(shards, retrievers, sources, target)
         return EngineResult(
-            data=self._assemble(pieces, roi_slices),
+            data=assemble(pieces, roi_slices, self.dtype),
             error_bound=achieved,
             bytes_loaded=bytes_loaded,
             cumulative_bytes=self.cumulative_bytes,
@@ -275,6 +307,7 @@ class RetrievalEngine:
             target,
             self.workers,
             kernel=self.profile.kernel if self.profile is not None else None,
+            executor=self.executor,
         )
         achieved = max((bound for _, _, bound in accounting), default=0.0)
         ranges = [
@@ -292,23 +325,6 @@ class RetrievalEngine:
             shards=[s.name for s in shards],
             ranges=ranges,
         )
-
-    def _assemble(
-        self, pieces: Sequence[Tuple[SliceTuple, np.ndarray]], roi_slices: SliceTuple
-    ) -> np.ndarray:
-        out_shape = tuple(s.stop - s.start for s in roi_slices)
-        out = np.empty(out_shape, dtype=self.dtype)
-        filled = 0
-        for slab, data in pieces:
-            sel_out, sel_in = intersect_slab_roi(slab, roi_slices)
-            piece = data[sel_in]
-            out[sel_out] = piece
-            filled += piece.size
-        if filled != out.size:
-            raise StreamFormatError(
-                f"shards cover {filled} of the region's {out.size} points"
-            )
-        return out
 
     # ------------------------------------------------------------------- state
 

@@ -249,6 +249,7 @@ def pooled_container_read(
     error_bound: float,
     workers: int,
     kernel: Optional[str] = None,
+    executor=None,
 ) -> Tuple[np.ndarray, List[Tuple[str, List[Tuple[int, int]], float]]]:
     """Pool-decode selected shards of a container file into an ROI output.
 
@@ -256,6 +257,8 @@ def pooled_container_read(
     ``roi_ranges`` the normalized ROI extents.  Returns the assembled array
     plus ``(name, consumed ranges, achieved bound)`` per shard, in task
     order — the same accounting triple the serial engine produces.
+    ``executor`` lends a caller-owned persistent pool (see
+    :func:`~repro.parallel.poolmap.imap_fallback`).
     """
     out_shape = tuple(int(s) for s in out_shape)
     dtype = np.dtype(dtype)
@@ -281,7 +284,9 @@ def pooled_container_read(
     accounting: List[Tuple[str, List[Tuple[int, int]], float]] = []
     pieces: List[Tuple[str, np.ndarray]] = []
     try:
-        for results in imap_fallback(_retrieve_container_shards, payloads, workers):
+        for results in imap_fallback(
+            _retrieve_container_shards, payloads, workers, executor=executor
+        ):
             for name, trace, achieved, piece in results:
                 accounting.append((name, [tuple(r) for r in trace], achieved))
                 if piece is not None:

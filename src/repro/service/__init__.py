@@ -1,0 +1,24 @@
+"""Long-lived retrieval serving layer with tiered caching.
+
+Public surface:
+
+* :class:`~repro.service.service.RetrievalService` — per-dataset sessions,
+  a persistent worker pool, and a byte-budgeted slab/rung LRU over the
+  :class:`~repro.retrieval.engine.RetrievalEngine` primitives;
+* :class:`~repro.service.trace.RetrievalTrace` — one request's receipt
+  (consumed vs physical bytes, per-tier cache behaviour, plan delta);
+* :class:`~repro.service.cache.TieredCache` — the shared LRU itself.
+"""
+
+from repro.service.cache import DEFAULT_CACHE_BYTES, TieredCache
+from repro.service.service import RetrievalService, ServiceResponse
+from repro.service.trace import RetrievalTrace, ServiceStats
+
+__all__ = [
+    "DEFAULT_CACHE_BYTES",
+    "RetrievalService",
+    "RetrievalTrace",
+    "ServiceResponse",
+    "ServiceStats",
+    "TieredCache",
+]

@@ -1,0 +1,690 @@
+"""Long-lived retrieval service with per-dataset sessions and tiered reuse.
+
+:class:`RetrievalService` is the daemon-style layer the ROADMAP asks for on
+top of the one-shot :class:`~repro.retrieval.engine.RetrievalEngine`
+pipeline.  Where a fresh :class:`~repro.io.dataset.ChunkedDataset` pays
+container-open, per-shard header parse, and cold pool workers on every
+request, the service keeps:
+
+* **sessions** — one per dataset file, pinning the open container reader
+  and parsing each shard's stream header exactly once.  Sessions are keyed
+  by the file's ``(size, mtime_ns)`` fingerprint, so a rewritten file gets
+  a fresh session and the old session's cache entries are purged, never
+  served against the new bytes;
+* **a persistent worker pool** — one :class:`~concurrent.futures.\
+  ProcessPoolExecutor` shared by every request's pool-decode stage (lent to
+  :func:`~repro.parallel.poolmap.imap_fallback`, which degrades through the
+  usual ladder when it breaks);
+* **a tiered byte-budgeted LRU** (:class:`~repro.service.cache.TieredCache`)
+  over decoded **slabs** and resident plane **rungs**, so concurrent ROI
+  requests on the same dataset reuse each other's work.  A request whose
+  plane selection is already decoded is answered from the slab tier with
+  zero physical reads; a coarser resident rung is *refined in place*
+  (Algorithm 2 reads only the new plane blocks — never re-fetched from
+  byte zero) via
+  :meth:`~repro.core.progressive.ProgressiveRetriever.retrieve_rebuilt`,
+  whose single reconstruction pass keeps the answer bitwise-identical to a
+  fresh serial read.
+
+Accounting stays **consumption-based**: every request's trace reports the
+``bytes_loaded`` / ``ranges`` a fresh serial read of the same request
+consumes — cache hits replay the recorded consumption — while the
+physically-performed reads are reported separately (``physical_reads`` is
+0 on a warm repeat).  Decoded answers are bitwise-identical to
+:meth:`ChunkedDataset.read <repro.io.dataset.ChunkedDataset.read>` across
+cold, warm, refined, evicted, and pooled paths; the test suite pins every
+one of those paths to the serial oracle.
+
+Failures degrade along the existing ladder: a faulty source
+(:class:`~repro.errors.StreamFormatError`, short read, ``OSError``) costs
+the poisoned tier entry its residency and the read is retried from scratch
+up to ``retries`` times before propagating; checksum-verified slab entries
+(``cache_verify``) are invalidated on mismatch, never served.
+"""
+
+from __future__ import annotations
+
+import threading
+import zlib
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.core.optimizer import OptimizedLoader
+from repro.core.profile import CodecProfile
+from repro.core.progressive import ProgressiveRetriever
+from repro.core.stream import CompressedStore, StreamHeader
+from repro.errors import ConfigurationError, RetrievalError, StreamFormatError
+from repro.io.container import FileSource, is_container
+from repro.io.dataset import ChunkedDataset, DatasetShard
+from repro.parallel.partition import (
+    SliceTuple,
+    normalize_roi,
+    slices_intersect,
+)
+from repro.parallel.poolmap import imap_fallback
+from repro.retrieval.engine import assemble
+from repro.retrieval.plan import plan_stream_ops
+from repro.service.cache import DEFAULT_CACHE_BYTES, TieredCache
+from repro.service.trace import RetrievalTrace, ServiceStats
+
+__all__ = ["RetrievalService", "ServiceResponse"]
+
+#: Errors that mark a *source* (or a cache entry built from one) as bad —
+#: retried per the fallback ladder.  Configuration mistakes are not in the
+#: tuple: they fail identically on every attempt and belong to the caller.
+_RETRYABLE = (StreamFormatError, RetrievalError, OSError)
+
+
+@dataclass
+class ServiceResponse:
+    """One served request: the decoded region plus its trace."""
+
+    data: np.ndarray
+    trace: RetrievalTrace
+
+
+class _TracedSource:
+    """Byte-range source wrapper keeping consumed and physical accounting.
+
+    ``trace`` is the *consumed* view — replayed header ranges included — and
+    is what the service reports; ``physical_reads`` / ``physical_bytes``
+    count only actual ``read_range`` calls.  Short reads surface as
+    :class:`StreamFormatError` so the retry ladder treats them like any
+    other bad source.
+    """
+
+    def __init__(self, inner) -> None:
+        self._inner = inner
+        self.size = inner.size
+        self.trace: List[Tuple[int, int]] = []
+        self.physical_reads = 0
+        self.physical_bytes = 0
+
+    def read_range(self, offset: int, length: int) -> bytes:
+        data = self._inner.read_range(offset, length)
+        if len(data) != length:
+            raise StreamFormatError(
+                f"short read: wanted {length} bytes at offset {offset}, "
+                f"got {len(data)}"
+            )
+        self.physical_reads += 1
+        self.physical_bytes += length
+        self.trace.append((offset, length))
+        return data
+
+    def replay(self, ranges) -> None:
+        """Record already-satisfied ranges (pinned header) without I/O."""
+        self.trace.extend((int(o), int(n)) for o, n in ranges)
+
+
+@dataclass
+class _ShardMeta:
+    """Once-per-session parsed state of one shard's stream."""
+
+    header: StreamHeader
+    header_bytes: int
+    header_trace: List[Tuple[int, int]]
+    loader: OptimizedLoader
+    extent_store: CompressedStore  # block extents for planning; never read
+
+
+@dataclass
+class _Rung:
+    """A resident progressive retriever plus its accumulated consumed trace."""
+
+    retriever: ProgressiveRetriever
+    source: _TracedSource
+
+
+@dataclass
+class _SlabEntry:
+    """An immutable decoded shard at one exact plane selection."""
+
+    data: np.ndarray
+    trace: List[Tuple[int, int]]
+    bound: float
+    crc: int
+
+
+@dataclass
+class _ShardServe:
+    """What serving one shard produced (before request-level assembly)."""
+
+    data: np.ndarray
+    ranges: List[Tuple[int, int]]
+    bound: float
+    planned_bytes: int
+    physical_reads: int
+    physical_bytes: int
+    retries: int
+    tier: str  # "slab" | "rung" | "cold" | "pool"
+
+
+def _validated_target(stored_bound: float, error_bound: Optional[float]) -> float:
+    target = stored_bound if error_bound is None else float(error_bound)
+    if target <= 0 or not np.isfinite(target):
+        raise ConfigurationError("error_bound must be a positive finite number")
+    return target
+
+
+def _cold_shard_worker(payload):
+    """Pool worker: fresh plan-then-load retrieval of one container shard.
+
+    Opens its own reader (exactly like the engine's pool-decode stage), so
+    the returned ``(name, consumed trace, achieved bound, data)`` matches
+    the serial path entry for entry while the parent's pinned reader sees
+    zero physical reads.
+    """
+    from repro.io.container import BlockContainerReader, BlockSource
+
+    path, name, target, kernel = payload
+    profile = CodecProfile(kernel=kernel) if kernel is not None else None
+    with BlockContainerReader(path) as reader:
+        source = BlockSource(reader, name)
+        retriever = ProgressiveRetriever(source, profile=profile)
+        result = retriever.retrieve(error_bound=target)
+        return (name, list(source.trace), float(result.error_bound), result.data)
+
+
+class _Session:
+    """Per-file pinned state: reader, manifest/header, lazy shard metadata."""
+
+    def __init__(self, sid: int, path: Path, profile: Optional[CodecProfile]) -> None:
+        self.sid = sid
+        self.path = path
+        self.profile = profile
+        stat = path.stat()
+        self.fingerprint = (int(stat.st_size), int(stat.st_mtime_ns))
+        self._meta: Dict[str, _ShardMeta] = {}
+        self._meta_lock = threading.Lock()
+        self._shard_locks: Dict[str, threading.Lock] = {}
+        if is_container(path):
+            self.kind = "container"
+            self.dataset: Optional[ChunkedDataset] = ChunkedDataset(
+                path, profile=profile, prefetch=0, workers=0
+            )
+            self.shape = self.dataset.shape
+            self.dtype = self.dataset.dtype
+            self.stored_bound = self.dataset.absolute_bound
+            self.shards = list(self.dataset.shards)
+            self._stream_source: Optional[FileSource] = None
+        else:
+            # A bare ``.ipc`` stream: one pseudo-shard covering the domain.
+            self.kind = "stream"
+            self.dataset = None
+            self._stream_source = FileSource(path)
+            meta = self._build_meta("stream")
+            self._meta["stream"] = meta
+            self.shape = tuple(int(s) for s in meta.header.shape)
+            self.dtype = np.dtype(meta.header.dtype)
+            self.stored_bound = float(meta.header.error_bound)
+            self.shards = [
+                DatasetShard("stream", tuple(slice(0, s) for s in self.shape))
+            ]
+
+    # ------------------------------------------------------------- selection
+
+    def select(self, roi) -> Tuple[SliceTuple, List[DatasetShard]]:
+        if self.dataset is not None:
+            return self.dataset.select(roi)
+        if roi is None:
+            return tuple(slice(0, s) for s in self.shape), list(self.shards)
+        roi_slices = normalize_roi(roi, self.shape)
+        selected = [
+            s for s in self.shards if slices_intersect(s.slices, roi_slices)
+        ]
+        return roi_slices, selected
+
+    # --------------------------------------------------------------- plumbing
+
+    def raw_source(self, name: str):
+        """A fresh logical byte-range view of one shard over the pinned handle."""
+        if self.dataset is not None:
+            return self.dataset.shard_source(name)
+        return self._stream_source
+
+    def shard_lock(self, name: str) -> threading.Lock:
+        with self._meta_lock:
+            lock = self._shard_locks.get(name)
+            if lock is None:
+                lock = self._shard_locks[name] = threading.Lock()
+            return lock
+
+    def _build_meta(self, name: str) -> _ShardMeta:
+        source = _TracedSource(self.raw_source(name))
+        store = CompressedStore(source)  # parses the header through ``source``
+        return _ShardMeta(
+            header=store.header,
+            header_bytes=store.header_bytes,
+            header_trace=list(source.trace),
+            loader=OptimizedLoader(store.header, overhead_bytes=store.overhead_bytes),
+            extent_store=store,
+        )
+
+    def shard_meta(self, name: str) -> Tuple[_ShardMeta, int, int]:
+        """The shard's pinned metadata, plus the physical cost of building it.
+
+        The header is parsed on first touch only; the ``(reads, bytes)``
+        pair is non-zero exactly once per shard per session and is charged
+        to the request that triggered the parse.
+        """
+        with self._meta_lock:
+            meta = self._meta.get(name)
+        if meta is not None:
+            return meta, 0, 0
+        # Build under the shard's serve lock so concurrent first touches
+        # cannot each pay a physical header parse; the loser re-checks and
+        # is charged nothing.
+        with self.shard_lock(name):
+            with self._meta_lock:
+                meta = self._meta.get(name)
+            if meta is not None:
+                return meta, 0, 0
+            meta = self._build_meta(name)
+            with self._meta_lock:
+                self._meta[name] = meta
+        return meta, len(meta.header_trace), sum(n for _, n in meta.header_trace)
+
+    def close(self) -> None:
+        if self.dataset is not None:
+            self.dataset.close()
+        if self._stream_source is not None:
+            self._stream_source.close()
+
+
+class RetrievalService:
+    """Serve ROI-progressive requests from pinned sessions and a tiered cache.
+
+    ``cache_bytes`` / ``cache_verify`` / ``workers`` default to the
+    profile's runtime knobs (:class:`~repro.core.profile.CodecProfile`);
+    like ``prefetch`` and ``workers`` everywhere else, none of them changes
+    a reported byte or a decoded bit.  ``source_filter`` is an adapter hook
+    — ``source_filter(shard_name, source) -> source`` — wrapped around every
+    cold read's byte-range source; the fault-injection tests use it to make
+    sources flaky.  Requests with a filter installed stay in-process (a
+    filter cannot cross the pool boundary).
+    """
+
+    def __init__(
+        self,
+        profile: Optional[CodecProfile] = None,
+        *,
+        cache_bytes: Optional[int] = None,
+        cache_verify: Optional[bool] = None,
+        workers: Optional[int] = None,
+        retries: int = 2,
+        source_filter: Optional[Callable[[str, object], object]] = None,
+    ) -> None:
+        self.profile = profile
+        if cache_bytes is None:
+            cache_bytes = profile.cache_bytes if profile is not None else 0
+        self.cache = TieredCache(int(cache_bytes) or DEFAULT_CACHE_BYTES)
+        if cache_verify is None:
+            cache_verify = profile.cache_verify if profile is not None else True
+        self.cache_verify = bool(cache_verify)
+        if workers is None:
+            workers = profile.workers if profile is not None else 0
+        self.workers = max(0, int(workers or 0))
+        self.retries = max(0, int(retries))
+        self.source_filter = source_filter
+        self.stats_agg = ServiceStats()
+        self._sessions: Dict[str, _Session] = {}
+        self._lock = threading.Lock()
+        self._next_sid = 0
+        self._executor: Optional[ProcessPoolExecutor] = None
+        self._executor_failed = False
+        self._closed = False
+
+    # ------------------------------------------------------------------ serve
+
+    def get(
+        self,
+        path: Union[str, Path],
+        error_bound: Optional[float] = None,
+        roi=None,
+    ) -> ServiceResponse:
+        """Serve one request; bitwise-identical to a fresh serial ``read``."""
+        session = self._session(path)
+        roi_slices, selected = session.select(roi)
+        target = _validated_target(session.stored_bound, error_bound)
+        served: Dict[str, _ShardServe] = {}
+        if self._pool_eligible(session, selected):
+            served.update(self._serve_pooled(session, selected, target))
+        for shard in selected:
+            if shard.name not in served:
+                served[shard.name] = self._serve_shard(session, shard.name, target)
+        pieces = [(shard.slices, served[shard.name].data) for shard in selected]
+        data = assemble(pieces, roi_slices, session.dtype)
+        ranges: List[Tuple[str, int, int]] = []
+        tier_hits: Dict[str, int] = {}
+        tier_misses: Dict[str, int] = {}
+        for shard in selected:
+            serve = served[shard.name]
+            ranges.extend((shard.name, o, n) for o, n in serve.ranges)
+            counter = tier_hits if serve.tier in ("slab", "rung") else tier_misses
+            tier = serve.tier if serve.tier in ("slab", "rung") else "slab"
+            counter[tier] = counter.get(tier, 0) + 1
+        trace = RetrievalTrace(
+            dataset=str(session.path),
+            roi=[[s.start, s.stop] for s in roi_slices],
+            error_bound=target,
+            achieved_bound=max(
+                (served[s.name].bound for s in selected), default=0.0
+            ),
+            shards=[s.name for s in selected],
+            ranges=ranges,
+            bytes_loaded=sum(n for _, _, n in ranges),
+            planned_bytes=sum(served[s.name].planned_bytes for s in selected),
+            physical_reads=sum(served[s.name].physical_reads for s in selected),
+            physical_bytes=sum(served[s.name].physical_bytes for s in selected),
+            tier_hits=tier_hits,
+            tier_misses=tier_misses,
+            retries=sum(served[s.name].retries for s in selected),
+        )
+        self.stats_agg.record(trace)
+        return ServiceResponse(data=data, trace=trace)
+
+    def stats(self) -> dict:
+        """Aggregate request statistics plus the cache's live counters."""
+        return {
+            **self.stats_agg.to_json(),
+            "cache": self.cache.to_json(),
+            "sessions": len(self._sessions),
+        }
+
+    # ------------------------------------------------------------- per shard
+
+    def _plan_keep(self, meta: _ShardMeta, target: float) -> Dict[int, int]:
+        plan = meta.loader.plan_for_error_bound(target)
+        return {
+            enc.level: plan.keep.get(enc.level, 0) for enc in meta.header.levels
+        }
+
+    def _planned_bytes(self, meta: _ShardMeta, keep: Dict[int, int]) -> int:
+        ops = plan_stream_ops(meta.extent_store, None, keep, include_anchor=True)
+        return sum(op.length for op in ops) + meta.header_bytes
+
+    def _serve_shard(self, session: _Session, name: str, target: float) -> _ShardServe:
+        meta, meta_reads, meta_bytes = session.shard_meta(name)
+        keep = self._plan_keep(meta, target)
+        keep_sig = tuple(sorted(keep.items()))
+        planned = self._planned_bytes(meta, keep)
+        slab_key = (session.sid, name, keep_sig)
+        rung_key = (session.sid, name)
+        with session.shard_lock(name):
+            entry = self.cache.get("slab", slab_key, count=False)
+            if entry is not None and (
+                not self.cache_verify
+                or zlib.crc32(entry.data.tobytes()) == entry.crc
+            ):
+                self.cache.record("slab", hit=True)
+                return _ShardServe(
+                    data=entry.data,
+                    ranges=list(entry.trace),
+                    bound=entry.bound,
+                    planned_bytes=planned,
+                    physical_reads=meta_reads,
+                    physical_bytes=meta_bytes,
+                    retries=0,
+                    tier="slab",
+                )
+            if entry is not None:
+                # Poisoned entry: its bytes no longer match the checksum
+                # recorded at insert.  Never served — drop and recompute.
+                self.cache.invalidate("slab", slab_key)
+            self.cache.record("slab", hit=False)
+            retries = 0
+            rung = self.cache.get("rung", rung_key, count=False)
+            rung_usable = rung is not None and all(
+                rung.retriever.current_keep.get(level, 0) <= k
+                for level, k in keep.items()
+            )
+            self.cache.record("rung", hit=rung_usable)
+            if rung_usable:
+                try:
+                    serve = self._serve_from_rung(
+                        session, name, rung, target, planned, meta_reads, meta_bytes
+                    )
+                    self._insert_slab(slab_key, serve)
+                    return serve
+                except _RETRYABLE:
+                    # The rung's source went bad mid-refine; its partial
+                    # state is unusable — drop it and rebuild from scratch.
+                    self.cache.invalidate("rung", rung_key)
+                    retries += 1
+                    if retries > self.retries:
+                        raise
+            serve = self._serve_cold(
+                session, name, meta, target, planned, retries, meta_reads, meta_bytes
+            )
+            self._insert_slab(slab_key, serve)
+            return serve
+
+    def _serve_from_rung(
+        self,
+        session: _Session,
+        name: str,
+        rung: _Rung,
+        target: float,
+        planned: int,
+        meta_reads: int,
+        meta_bytes: int,
+    ) -> _ShardServe:
+        """Refine a coarser resident rung in place (Algorithm-2 I/O).
+
+        Valid only when the resident keep is component-wise ≤ the plan's, so
+        the merged selection *is* the plan's and the rebuilt reconstruction
+        is bitwise what a fresh read at ``target`` produces.  The consumed
+        trace is the rung's accumulated one: the same multiset of ranges a
+        fresh serial read at this selection reads.
+        """
+        before_reads = rung.source.physical_reads
+        before_bytes = rung.source.physical_bytes
+        result = rung.retriever.retrieve_rebuilt(error_bound=target)
+        # Re-charge the rung at its new resident size (it may have grown);
+        # if the budget no longer accommodates it, it simply ages out.
+        self.cache.put(
+            "rung", (session.sid, name), rung, rung.retriever.resident_nbytes
+        )
+        return _ShardServe(
+            data=result.data,
+            ranges=list(rung.source.trace),
+            bound=result.error_bound,
+            planned_bytes=planned,
+            physical_reads=meta_reads + rung.source.physical_reads - before_reads,
+            physical_bytes=meta_bytes + rung.source.physical_bytes - before_bytes,
+            retries=0,
+            tier="rung",
+        )
+
+    def _serve_cold(
+        self,
+        session: _Session,
+        name: str,
+        meta: _ShardMeta,
+        target: float,
+        planned: int,
+        retries: int,
+        meta_reads: int,
+        meta_bytes: int,
+    ) -> _ShardServe:
+        """From-scratch read over a fresh traced source, with the retry ladder.
+
+        Each attempt starts clean — fresh source, fresh retriever — because
+        a failure may have left partial decode state.  The pinned header is
+        handed to the store pre-parsed and *replayed* into the consumed
+        trace, so the report matches a serial fresh read (which parses the
+        header itself) while the session parses it only once physically.
+        """
+        while True:
+            source = _TracedSource(self._filtered_source(session, name))
+            try:
+                store = CompressedStore(
+                    source, parsed=(meta.header, meta.header_bytes)
+                )
+                source.replay(meta.header_trace)
+                retriever = ProgressiveRetriever(store, profile=self.profile)
+                result = retriever.retrieve(error_bound=target)
+            except _RETRYABLE:
+                retries += 1
+                if retries > self.retries:
+                    raise
+                continue
+            self.cache.put(
+                "rung",
+                (session.sid, name),
+                _Rung(retriever=retriever, source=source),
+                retriever.resident_nbytes,
+            )
+            return _ShardServe(
+                data=result.data,
+                ranges=list(source.trace),
+                bound=result.error_bound,
+                planned_bytes=planned,
+                physical_reads=meta_reads + source.physical_reads,
+                physical_bytes=meta_bytes + source.physical_bytes,
+                retries=retries,
+                tier="cold",
+            )
+
+    def _filtered_source(self, session: _Session, name: str):
+        source = session.raw_source(name)
+        if self.source_filter is not None:
+            source = self.source_filter(name, source)
+        return source
+
+    def _insert_slab(self, slab_key, serve: _ShardServe) -> None:
+        data = serve.data
+        entry = _SlabEntry(
+            data=data,
+            trace=[(int(o), int(n)) for o, n in serve.ranges],
+            bound=serve.bound,
+            crc=zlib.crc32(data.tobytes()),
+        )
+        self.cache.put("slab", slab_key, entry, data.nbytes)
+
+    # ----------------------------------------------------------- pooled path
+
+    def _pool_eligible(self, session: _Session, selected) -> bool:
+        return (
+            self.workers > 1
+            and session.kind == "container"
+            and self.source_filter is None
+            and len(selected) > 1
+        )
+
+    def _serve_pooled(
+        self, session: _Session, selected, target: float
+    ) -> Dict[str, _ShardServe]:
+        """Decode every cache-missing shard through the persistent pool.
+
+        Only shards with neither a matching slab nor a usable rung go to the
+        pool; each worker opens its own reader, so the parent's pinned
+        reader performs zero physical reads for them.  Pool results populate
+        the slab tier (not the rung tier — the retriever state lives in the
+        worker) and are accounted exactly like a serial cold read.
+        """
+        missing: List[Tuple[str, Tuple]] = []
+        for shard in selected:
+            meta, _, _ = session.shard_meta(shard.name)
+            keep = self._plan_keep(meta, target)
+            keep_sig = tuple(sorted(keep.items()))
+            with session.shard_lock(shard.name):
+                slab_key = (session.sid, shard.name, keep_sig)
+                if self.cache.get("slab", slab_key, count=False) is not None:
+                    continue
+                rung = self.cache.get("rung", (session.sid, shard.name), count=False)
+                if rung is not None and all(
+                    rung.retriever.current_keep.get(level, 0) <= k
+                    for level, k in keep.items()
+                ):
+                    continue
+            missing.append((shard.name, keep_sig))
+        if len(missing) <= 1:
+            return {}
+        kernel = self.profile.kernel if self.profile is not None else None
+        payloads = [
+            (str(session.path), name, float(target), kernel)
+            for name, _ in missing
+        ]
+        served: Dict[str, _ShardServe] = {}
+        keep_sigs = dict(missing)
+        for name, trace, bound, data in imap_fallback(
+            _cold_shard_worker, payloads, self.workers, executor=self._pool()
+        ):
+            serve = _ShardServe(
+                data=data,
+                ranges=[(int(o), int(n)) for o, n in trace],
+                bound=bound,
+                planned_bytes=self._planned_bytes(
+                    session.shard_meta(name)[0],
+                    dict(keep_sigs[name]),
+                ),
+                physical_reads=len(trace),
+                physical_bytes=sum(n for _, n in trace),
+                retries=0,
+                tier="pool",
+            )
+            with session.shard_lock(name):
+                self.cache.record("slab", hit=False)
+                self._insert_slab((session.sid, name, keep_sigs[name]), serve)
+            served[name] = serve
+        return served
+
+    def _pool(self) -> Optional[ProcessPoolExecutor]:
+        """The persistent shared executor, lazily started; None if it can't be."""
+        if self._executor is not None or self._executor_failed:
+            return self._executor
+        with self._lock:
+            if self._executor is None and not self._executor_failed:
+                try:
+                    self._executor = ProcessPoolExecutor(max_workers=self.workers)
+                except (OSError, ValueError, RuntimeError, NotImplementedError):
+                    self._executor_failed = True
+        return self._executor
+
+    # -------------------------------------------------------------- sessions
+
+    def _session(self, path: Union[str, Path]) -> _Session:
+        if self._closed:
+            raise RetrievalError("service is closed")
+        resolved = Path(path).resolve()
+        key = str(resolved)
+        stat = resolved.stat()
+        fingerprint = (int(stat.st_size), int(stat.st_mtime_ns))
+        with self._lock:
+            session = self._sessions.get(key)
+            if session is not None and session.fingerprint == fingerprint:
+                return session
+            if session is not None:
+                # The file changed identity under us: purge every cache
+                # entry keyed to the dead session before the new one opens.
+                dead = session.sid
+                self.cache.purge(lambda tier, k: k[0] == dead)
+                session.close()
+            session = _Session(self._next_sid, resolved, self.profile)
+            self._next_sid += 1
+            self._sessions[key] = session
+            return session
+
+    def close(self) -> None:
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            for session in self._sessions.values():
+                session.close()
+            self._sessions.clear()
+            if self._executor is not None:
+                self._executor.shutdown()
+                self._executor = None
+
+    def __enter__(self) -> "RetrievalService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,108 @@
+"""Per-request traces and service-level aggregate statistics.
+
+A :class:`RetrievalTrace` is the serving layer's receipt for one request.
+It separates the two kinds of byte accounting the repo keeps everywhere:
+
+* **consumed** — ``bytes_loaded`` / ``ranges``: the ranges the request's
+  decoding logically used, identical to what a fresh serial
+  :meth:`~repro.io.dataset.ChunkedDataset.read` of the same request
+  reports.  Cache hits *replay* these numbers; they never shrink.
+* **physical** — ``physical_reads`` / ``physical_bytes``: what actually
+  hit the file while serving this request.  A warm slab hit reports the
+  full consumed trace with ``physical_reads == 0``.
+
+``planned_bytes`` is the stage-1 estimate (header + anchor + planned plane
+blocks) computed without touching payload; ``plan_delta`` is how far the
+actual consumption landed from it (0 for a from-scratch plan-shaped read).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+__all__ = ["RetrievalTrace", "ServiceStats"]
+
+
+@dataclass
+class RetrievalTrace:
+    """Receipt for one service request: cost, cache behaviour, plan delta."""
+
+    dataset: str
+    roi: List[List[int]]
+    error_bound: float
+    achieved_bound: float
+    shards: List[str]
+    ranges: List[Tuple[str, int, int]]
+    bytes_loaded: int
+    planned_bytes: int
+    physical_reads: int
+    physical_bytes: int
+    tier_hits: Dict[str, int] = field(default_factory=dict)
+    tier_misses: Dict[str, int] = field(default_factory=dict)
+    retries: int = 0
+
+    @property
+    def plan_delta(self) -> int:
+        """Consumed minus planned bytes (plan-vs-actual)."""
+        return self.bytes_loaded - self.planned_bytes
+
+    def to_json(self) -> dict:
+        return {
+            "dataset": self.dataset,
+            "roi": [list(r) for r in self.roi],
+            "error_bound": self.error_bound,
+            "achieved_bound": self.achieved_bound,
+            "shards": list(self.shards),
+            "ranges": [[name, offset, length] for name, offset, length in self.ranges],
+            "bytes_loaded": self.bytes_loaded,
+            "planned_bytes": self.planned_bytes,
+            "plan_delta": self.plan_delta,
+            "physical_reads": self.physical_reads,
+            "physical_bytes": self.physical_bytes,
+            "tier_hits": dict(self.tier_hits),
+            "tier_misses": dict(self.tier_misses),
+            "retries": self.retries,
+        }
+
+
+class ServiceStats:
+    """Thread-safe running aggregate over every trace a service produced."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.requests = 0
+        self.bytes_loaded = 0
+        self.planned_bytes = 0
+        self.physical_reads = 0
+        self.physical_bytes = 0
+        self.retries = 0
+        self.tier_hits: Dict[str, int] = {}
+        self.tier_misses: Dict[str, int] = {}
+
+    def record(self, trace: RetrievalTrace) -> None:
+        with self._lock:
+            self.requests += 1
+            self.bytes_loaded += trace.bytes_loaded
+            self.planned_bytes += trace.planned_bytes
+            self.physical_reads += trace.physical_reads
+            self.physical_bytes += trace.physical_bytes
+            self.retries += trace.retries
+            for tier, count in trace.tier_hits.items():
+                self.tier_hits[tier] = self.tier_hits.get(tier, 0) + count
+            for tier, count in trace.tier_misses.items():
+                self.tier_misses[tier] = self.tier_misses.get(tier, 0) + count
+
+    def to_json(self) -> dict:
+        with self._lock:
+            return {
+                "requests": self.requests,
+                "bytes_loaded": self.bytes_loaded,
+                "planned_bytes": self.planned_bytes,
+                "physical_reads": self.physical_reads,
+                "physical_bytes": self.physical_bytes,
+                "retries": self.retries,
+                "tier_hits": dict(self.tier_hits),
+                "tier_misses": dict(self.tier_misses),
+            }

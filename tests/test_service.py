@@ -1,0 +1,483 @@
+"""Serving-layer byte-identity matrix and trace accounting.
+
+Every answer a :class:`~repro.service.RetrievalService` produces — cold,
+warm (slab hit), refined (rung hit), pooled, under eviction pressure, or
+with caching effectively disabled — must be **bitwise-identical** to a
+fresh serial read of the same request, with the *consumed* accounting
+(``bytes_loaded`` / ``ranges``) identical to the synchronous path and the
+*physical* accounting telling the truth about what hit the file (zero on a
+warm repeat: the PR's acceptance criterion).
+
+The matrix runs over {v1, v2} × {stream, container}, with the v1 leg
+pinned to the checked-in ``tests/data/v1_stream.ipc`` golden bytes.
+
+NB: module-local rng only (see ``conftest.local_rng``) — the session-scoped
+``rng`` fixture is shared and consuming it here would shift other modules'
+fixture draws.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro import ChunkedDataset, CodecProfile, IPComp, ProgressiveRetriever
+from repro.cli import main as cli_main
+from repro.errors import ConfigurationError
+from repro.io import BlockContainerWriter
+from repro.service import DEFAULT_CACHE_BYTES, RetrievalService, TieredCache
+
+DATA = Path(__file__).parent / "data"
+
+
+def _field(shape, seed=0) -> np.ndarray:
+    rng = np.random.default_rng(60708 + seed)
+    base = rng.normal(size=shape)
+    for axis in range(len(shape)):
+        base = np.cumsum(base, axis=axis)
+    return (base + 0.1 * rng.normal(size=shape)).astype(np.float64)
+
+
+@pytest.fixture(scope="module")
+def v1_blob() -> bytes:
+    return (DATA / "v1_stream.ipc").read_bytes()
+
+
+def _v1_container(directory: Path, v1_blob: bytes) -> Path:
+    """A two-shard manifest-v1 container wrapping the pinned v1 stream twice."""
+    header_shape = np.load(DATA / "v1_expected.npy").shape
+    n0 = header_shape[0]
+    manifest = {
+        "format": "repro-chunked-dataset",
+        "version": 1,
+        "shape": [2 * n0, header_shape[1]],
+        "dtype": "float64",
+        "error_bound": 3.292730916654546e-05,
+        "method": "cubic",
+        "prefix_bits": 2,
+        "backend": "zlib",
+        "shards": [
+            {"name": "shard-0000", "slices": [[0, n0], [0, header_shape[1]]]},
+            {"name": "shard-0001", "slices": [[n0, 2 * n0], [0, header_shape[1]]]},
+        ],
+    }
+    path = directory / "v1.rprc"
+    with BlockContainerWriter(path) as writer:
+        writer.add_block("shard-0000", v1_blob)
+        writer.add_block("shard-0001", v1_blob)
+        writer.add_block("manifest", json.dumps(manifest).encode())
+    return path
+
+
+def _v2_container(directory: Path, shape=(24, 20, 18), seed=2) -> Path:
+    path = directory / "v2.rprc"
+    ChunkedDataset.write(
+        path, _field(shape, seed), error_bound=1e-4, relative=True,
+        n_blocks=4, workers=0,
+    )
+    return path
+
+
+def _make_container(version: int, directory: Path, v1_blob: bytes) -> Path:
+    if version == 1:
+        return _v1_container(directory, v1_blob)
+    return _v2_container(directory)
+
+
+def _serial(path: Path, error_bound, roi):
+    """The synchronous oracle: one fresh ``ChunkedDataset.read``."""
+    with ChunkedDataset(path) as dataset:
+        return dataset.read(error_bound, roi=roi)
+
+
+def _request_ladder(path: Path):
+    """(roi, error_bound) pairs spanning full/partial ROI × bound ladder."""
+    with ChunkedDataset(path) as dataset:
+        stored = dataset.absolute_bound
+        shape = dataset.shape
+    roi = tuple(slice(s // 4, 3 * s // 4) for s in shape)
+    one_shard = tuple(slice(0, max(1, s // 3)) for s in shape)
+    return stored, [
+        (None, stored * 64.0),
+        (roi, stored * 8.0),
+        (one_shard, None),
+        (None, None),
+    ]
+
+
+# ------------------------------------------------------- identity: containers
+
+
+@pytest.mark.parametrize("version", [1, 2])
+def test_service_identity_matrix_containers(tmp_path, v1_blob, version):
+    """Cold / warm / cache-rejecting answers all match the serial oracle."""
+    path = _make_container(version, tmp_path, v1_blob)
+    _, ladder = _request_ladder(path)
+    with RetrievalService() as service, RetrievalService(cache_bytes=1) as tiny:
+        for roi, bound in ladder:
+            oracle = _serial(path, bound, roi)
+            cold = service.get(path, error_bound=bound, roi=roi)
+            assert np.array_equal(cold.data, oracle.data)
+            assert cold.trace.bytes_loaded == oracle.bytes_loaded
+            assert sorted(cold.trace.ranges) == sorted(oracle.ranges)
+            assert cold.trace.achieved_bound == oracle.error_bound
+            # Warm repeat: the cold receipt replayed exactly, no physical I/O.
+            warm = service.get(path, error_bound=bound, roi=roi)
+            assert np.array_equal(warm.data, oracle.data)
+            assert warm.trace.bytes_loaded == oracle.bytes_loaded
+            assert warm.trace.ranges == cold.trace.ranges
+            assert warm.trace.physical_reads == 0
+            assert warm.trace.physical_bytes == 0
+            # A 1-byte budget rejects every entry: always cold, still right.
+            rejecting = tiny.get(path, error_bound=bound, roi=roi)
+            assert np.array_equal(rejecting.data, oracle.data)
+            assert sorted(rejecting.trace.ranges) == sorted(oracle.ranges)
+        assert tiny.cache.stats.rejected > 0
+        assert tiny.cache.resident_bytes == 0
+
+
+@pytest.mark.parametrize("version", [1, 2])
+def test_service_identity_matrix_streams(tmp_path, v1_blob, version):
+    """Bare ``.ipc`` streams serve through a single pseudo-shard session."""
+    if version == 1:
+        path = tmp_path / "v1_stream.ipc"
+        path.write_bytes(v1_blob)
+    else:
+        path = tmp_path / "v2_stream.ipc"
+        path.write_bytes(
+            IPComp(error_bound=1e-4, relative=True).compress(_field((20, 16), 1))
+        )
+    stored = ProgressiveRetriever(path.read_bytes()).header.error_bound
+    oracle_full = ProgressiveRetriever(path.read_bytes()).retrieve(
+        error_bound=stored
+    )
+    with RetrievalService() as service:
+        for bound in (stored * 32.0, None):
+            oracle = ProgressiveRetriever(path.read_bytes()).retrieve(
+                error_bound=stored if bound is None else bound
+            )
+            cold = service.get(path, error_bound=bound)
+            assert np.array_equal(cold.data, oracle.data)
+            assert cold.trace.bytes_loaded == oracle.bytes_loaded
+            assert cold.trace.shards == ["stream"]
+            warm = service.get(path, error_bound=bound)
+            assert np.array_equal(warm.data, oracle.data)
+            assert warm.trace.physical_reads == 0
+            assert warm.trace.bytes_loaded == oracle.bytes_loaded
+            # ROI on a stream slices the decoded domain; cost is the full
+            # pseudo-shard's (one shard, always fully consumed).
+            roi = tuple(slice(1, max(2, s // 2)) for s in oracle.data.shape)
+            sliced = service.get(path, error_bound=bound, roi=roi)
+            assert np.array_equal(sliced.data, oracle.data[roi])
+    if version == 1:
+        assert np.array_equal(oracle_full.data, np.load(DATA / "v1_expected.npy"))
+
+
+# ------------------------------------------------ acceptance: warm-zero reads
+
+
+def test_warm_repeat_is_physically_free(tmp_path, v1_blob):
+    """Acceptance: a warm repeat performs zero physical ``read_range`` calls
+    while reporting bytes/ranges identical to the synchronous path."""
+    path = _v2_container(tmp_path)
+    roi = (slice(2, 19), slice(3, 17), slice(1, 15))
+    bound = _serial(path, None, None).error_bound * 16.0
+    oracle = _serial(path, bound, roi)
+    with RetrievalService() as service:
+        first = service.get(path, error_bound=bound, roi=roi)
+        session = next(iter(service._sessions.values()))
+        pinned_before = session.dataset.physical_reads
+        second = service.get(path, error_bound=bound, roi=roi)
+        # Zero physical reads: neither the trace nor the pinned container
+        # reader's own counter moved.
+        assert second.trace.physical_reads == 0
+        assert second.trace.physical_bytes == 0
+        assert session.dataset.physical_reads == pinned_before
+        # ...while the consumed receipt is the synchronous one, untouched.
+        assert second.trace.ranges == oracle.ranges == first.trace.ranges
+        assert second.trace.bytes_loaded == oracle.bytes_loaded
+        assert np.array_equal(second.data, oracle.data)
+        assert second.trace.tier_hits.get("slab", 0) == len(second.trace.shards)
+        assert first.trace.plan_delta == 0
+
+
+# ----------------------------------------------------------- rung refinement
+
+
+def test_rung_refinement_reads_only_the_delta(tmp_path):
+    """A finer request over a resident rung reports full consumed bytes but
+    physically reads only the new plane blocks — never from byte zero."""
+    path = _v2_container(tmp_path)
+    stored = _serial(path, None, None).error_bound
+    coarse, fine = stored * 128.0, stored * 4.0
+    with RetrievalService() as service:
+        first = service.get(path, error_bound=coarse)
+        refined = service.get(path, error_bound=fine)
+        oracle = _serial(path, fine, None)
+        assert np.array_equal(refined.data, oracle.data)
+        assert refined.trace.bytes_loaded == oracle.bytes_loaded
+        assert sorted(refined.trace.ranges) == sorted(oracle.ranges)
+        assert refined.trace.tier_hits.get("rung", 0) == len(refined.trace.shards)
+        # Physical I/O is exactly the fine-minus-coarse plane delta (headers
+        # cancel: both consumed totals replay them, neither re-reads them).
+        assert (
+            refined.trace.physical_bytes
+            == refined.trace.bytes_loaded - first.trace.bytes_loaded
+        )
+        assert 0 < refined.trace.physical_bytes < refined.trace.bytes_loaded
+        # A coarser request after the fine one is *not* rung-servable (the
+        # resident rung is finer) — it is answered cold, bitwise right.
+        back = service.get(path, error_bound=coarse)
+        assert np.array_equal(back.data, first.data)
+        assert back.trace.ranges == first.trace.ranges
+
+
+# ------------------------------------------------------------ eviction churn
+
+
+def test_eviction_pressure_stays_correct_and_bounded(tmp_path):
+    path = _v2_container(tmp_path)
+    stored = _serial(path, None, None).error_bound
+    shard_nbytes = max(
+        s.shape[0] * s.shape[1] * s.shape[2] * 8
+        for s in ChunkedDataset(path).shards
+    )
+    budget = shard_nbytes + shard_nbytes // 2  # ~1.5 slabs: constant churn
+    ladder = [stored * 64.0, stored * 8.0, None, stored * 64.0, stored * 8.0]
+    with RetrievalService(cache_bytes=budget) as service:
+        for bound in ladder:
+            oracle = _serial(path, bound, None)
+            got = service.get(path, error_bound=bound)
+            assert np.array_equal(got.data, oracle.data)
+            assert got.trace.bytes_loaded == oracle.bytes_loaded
+            assert sorted(got.trace.ranges) == sorted(oracle.ranges)
+        assert service.cache.max_resident_bytes <= budget
+        assert sum(service.cache.stats.evictions.values()) > 0
+
+
+# ------------------------------------------------------------- pooled decode
+
+
+def test_pooled_service_identity_and_warm_hits(tmp_path):
+    path = _v2_container(tmp_path)
+    stored = _serial(path, None, None).error_bound
+    bound = stored * 16.0
+    oracle = _serial(path, bound, None)
+    with RetrievalService(workers=2) as service:
+        cold = service.get(path, error_bound=bound)
+        assert np.array_equal(cold.data, oracle.data)
+        assert cold.trace.bytes_loaded == oracle.bytes_loaded
+        assert sorted(cold.trace.ranges) == sorted(oracle.ranges)
+        warm = service.get(path, error_bound=bound)
+        assert np.array_equal(warm.data, oracle.data)
+        assert warm.trace.physical_reads == 0
+        assert sorted(warm.trace.ranges) == sorted(oracle.ranges)
+
+
+# --------------------------------------------------------- session lifecycle
+
+
+def test_rewritten_file_gets_fresh_session_and_purged_cache(tmp_path):
+    path = _v2_container(tmp_path, seed=3)
+    with RetrievalService() as service:
+        before = service.get(path)
+        ChunkedDataset.write(
+            path, _field((24, 20, 18), seed=4), error_bound=1e-4,
+            relative=True, n_blocks=4, workers=0,
+        )
+        os.utime(path, ns=(1_700_000_000_000_000_000, 1_700_000_000_000_000_001))
+        after = service.get(path)
+        oracle = _serial(path, None, None)
+        assert np.array_equal(after.data, oracle.data)
+        assert not np.array_equal(after.data, before.data)
+        assert service.stats()["sessions"] == 1
+        # Nothing keyed to the dead session survives in the cache.
+        dead_entries = [
+            key for (tier, key) in service.cache._entries if key[0] == 0
+        ]
+        assert dead_entries == []
+
+
+def test_closed_service_refuses_requests(tmp_path):
+    path = _v2_container(tmp_path)
+    service = RetrievalService()
+    service.get(path)
+    service.close()
+    from repro.errors import RetrievalError
+
+    with pytest.raises(RetrievalError):
+        service.get(path)
+
+
+# ------------------------------------------------------------- profile knobs
+
+
+def test_profile_cache_knobs_flow_into_service():
+    profile = CodecProfile(
+        error_bound=1e-4, cache_bytes=12345, cache_verify=False, workers=3
+    )
+    service = RetrievalService(profile)
+    try:
+        assert service.cache.budget_bytes == 12345
+        assert service.cache_verify is False
+        assert service.workers == 3
+    finally:
+        service.close()
+    # Explicit keywords override the profile; 0 falls back to the default.
+    service = RetrievalService(profile, cache_bytes=0, cache_verify=True)
+    try:
+        assert service.cache.budget_bytes == DEFAULT_CACHE_BYTES
+        assert service.cache_verify is True
+    finally:
+        service.close()
+
+
+def test_profile_cache_knobs_are_runtime_only():
+    profile = CodecProfile(error_bound=1e-4, cache_bytes=777, cache_verify=False)
+    runtime = profile.to_json(runtime=True)
+    assert runtime["cache_bytes"] == 777 and runtime["cache_verify"] is False
+    persisted = profile.to_json(runtime=False)
+    assert "cache_bytes" not in persisted and "cache_verify" not in persisted
+    restored = CodecProfile.from_json(runtime)
+    assert restored.cache_bytes == 777 and restored.cache_verify is False
+
+
+def test_profile_cache_knob_validation():
+    with pytest.raises(ConfigurationError):
+        CodecProfile(cache_bytes=-1)
+    with pytest.raises(ConfigurationError):
+        CodecProfile(cache_bytes=1.5)
+    with pytest.raises(ConfigurationError):
+        CodecProfile(cache_verify="yes")
+
+
+def test_invalid_error_bound_rejected(tmp_path):
+    path = _v2_container(tmp_path)
+    with RetrievalService() as service:
+        with pytest.raises(ConfigurationError):
+            service.get(path, error_bound=-1.0)
+        with pytest.raises(ConfigurationError):
+            service.get(path, error_bound=float("nan"))
+
+
+# ----------------------------------------------------------- TieredCache unit
+
+
+def test_tiered_cache_budget_is_a_hard_invariant():
+    cache = TieredCache(100)
+    assert cache.put("slab", "a", "A", 40)
+    assert cache.put("slab", "b", "B", 40)
+    assert cache.put("rung", "c", "C", 40)  # evicts "a" *before* inserting
+    assert cache.max_resident_bytes <= 100
+    assert cache.get("slab", "a") is None
+    assert cache.get("slab", "b") == "B"
+    assert cache.get("rung", "c") == "C"
+    assert cache.stats.evictions == {"slab": 1}
+
+
+def test_tiered_cache_lru_order_and_freshening():
+    cache = TieredCache(100)
+    cache.put("slab", "a", "A", 40)
+    cache.put("slab", "b", "B", 40)
+    assert cache.get("slab", "a") == "A"  # freshen "a": "b" is now LRU
+    cache.put("slab", "c", "C", 40)
+    assert cache.get("slab", "b") is None
+    assert cache.get("slab", "a") == "A"
+
+
+def test_tiered_cache_rejects_oversize_and_recharges_on_reput():
+    cache = TieredCache(100)
+    assert not cache.put("slab", "big", "X", 101)
+    assert cache.stats.rejected == 1
+    assert cache.resident_bytes == 0
+    assert cache.put("rung", "r", "v1", 30)
+    assert cache.put("rung", "r", "v2", 90)  # re-put re-charges the new size
+    assert cache.resident_bytes == 90
+    assert cache.get("rung", "r") == "v2"
+
+
+def test_tiered_cache_invalidate_and_purge():
+    cache = TieredCache(1000)
+    cache.put("slab", (0, "s0"), "A", 10)
+    cache.put("slab", (1, "s0"), "B", 10)
+    cache.put("rung", (0, "s0"), "R", 10)
+    assert cache.invalidate("slab", (0, "s0"))
+    assert not cache.invalidate("slab", (0, "s0"))
+    assert cache.purge(lambda tier, key: key[0] == 0) == 1
+    assert len(cache) == 1
+    assert cache.resident_bytes == 10
+    assert cache.get("slab", (1, "s0")) == "B"
+    with pytest.raises(ValueError):
+        TieredCache(0)
+
+
+# ---------------------------------------------------------------------- CLI
+
+
+def test_cli_serve_prints_traces_and_writes_outputs(tmp_path, capsys):
+    path = _v2_container(tmp_path)
+    stored = _serial(path, None, None).error_bound
+    bound = stored * 16.0
+    requests = tmp_path / "requests.jsonl"
+    requests.write_text(
+        "# warm-repeat pair plus a refinement\n"
+        "\n"
+        f'{{"error_bound": {bound}, "roi": "2:18,3:17,:", "out": "a.raw"}}\n'
+        f'{{"error_bound": {bound}, "roi": "2:18,3:17,:", "out": "b.raw"}}\n'
+        f'{{"out": "full.raw"}}\n',
+        encoding="utf-8",
+    )
+    out_dir = tmp_path / "out"
+    out_dir.mkdir()
+    stats_json = tmp_path / "stats.json"
+    rc = cli_main([
+        "serve", str(path), "--requests", str(requests),
+        "--out-dir", str(out_dir), "--stats-json", str(stats_json),
+    ])
+    assert rc == 0
+    lines = [json.loads(l) for l in capsys.readouterr().out.splitlines() if l]
+    assert len(lines) == 3
+    roi = (slice(2, 18), slice(3, 17), slice(None))
+    oracle = _serial(path, bound, roi)
+    assert lines[0]["bytes_loaded"] == oracle.bytes_loaded
+    assert lines[1]["bytes_loaded"] == oracle.bytes_loaded
+    assert lines[1]["physical_reads"] == 0  # second identical request: warm
+    assert lines[1]["tier_hits"].get("slab", 0) == len(lines[1]["shards"])
+    a, b = (out_dir / "a.raw").read_bytes(), (out_dir / "b.raw").read_bytes()
+    assert a == b == oracle.data.tobytes()
+    full_oracle = _serial(path, None, None)
+    assert (out_dir / "full.raw").read_bytes() == full_oracle.data.tobytes()
+    stats = json.loads(stats_json.read_text())
+    assert stats["requests"] == 3
+    assert stats["cache"]["max_resident_bytes"] <= stats["cache"]["budget_bytes"]
+
+
+def test_cli_stats_prints_aggregate_only(tmp_path, capsys):
+    path = _v2_container(tmp_path)
+    requests = tmp_path / "requests.jsonl"
+    requests.write_text('{"roi": "0:8,:,:"}\n{"roi": "0:8,:,:"}\n')
+    rc = cli_main([
+        "stats", str(path), "--requests", str(requests), "--threads", "2",
+    ])
+    assert rc == 0
+    stats = json.loads(capsys.readouterr().out)
+    assert stats["requests"] == 2
+    assert stats["tier_hits"].get("slab", 0) >= 1
+
+
+def test_cli_serve_rejects_bad_request_batches(tmp_path, capsys):
+    path = _v2_container(tmp_path)
+    bad = tmp_path / "bad.jsonl"
+    bad.write_text("not json\n")
+    assert cli_main(["serve", str(path), "--requests", str(bad)]) == 2
+    empty = tmp_path / "empty.jsonl"
+    empty.write_text("# nothing here\n")
+    assert cli_main(["serve", str(path), "--requests", str(empty)]) == 2
+    not_obj = tmp_path / "list.jsonl"
+    not_obj.write_text("[1, 2]\n")
+    assert cli_main(["serve", str(path), "--requests", str(not_obj)]) == 2
+    capsys.readouterr()

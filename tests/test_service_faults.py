@@ -1,0 +1,255 @@
+"""Fault injection against the serving layer's degradation ladder.
+
+Injected failures — flaky byte-range sources (raising or short-reading),
+poisoned cache entries, a broken persistent pool — must degrade exactly
+along the ladder the rest of the repo uses:
+
+* a bad *source* costs the attempt (and any tier entry built from it) and
+  is retried from scratch up to ``retries`` times before propagating;
+* a slab entry whose bytes stopped matching its insert-time checksum is
+  invalidated and recomputed, never served (``cache_verify``);
+* a broken lent process pool finishes the work in-process with
+  bit-identical results (environment failures degrade; logic failures
+  still propagate).
+
+NB: module-local data only — the conftest ``rng`` fixture is session-scoped
+and shared (use ``local_rng`` in new tests that need randomness).
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro import ChunkedDataset, IPComp
+from repro.errors import ConfigurationError
+from repro.parallel.poolmap import imap_fallback
+from repro.service import RetrievalService
+
+
+def _field(shape, seed=0) -> np.ndarray:
+    rng = np.random.default_rng(82920 + seed)
+    base = rng.normal(size=shape)
+    for axis in range(len(shape)):
+        base = np.cumsum(base, axis=axis)
+    return (base + 0.1 * rng.normal(size=shape)).astype(np.float64)
+
+
+def _make_container(directory: Path) -> Path:
+    path = directory / "field.rprc"
+    ChunkedDataset.write(
+        path, _field((24, 20, 18)), error_bound=1e-4, relative=True,
+        n_blocks=4, workers=0,
+    )
+    return path
+
+
+def _serial(path: Path, error_bound=None, roi=None):
+    with ChunkedDataset(path) as dataset:
+        return dataset.read(error_bound, roi=roi)
+
+
+class _FlakySource:
+    """Byte-range source that fails on chosen global read numbers.
+
+    ``counter`` is a shared single-element list so one policy spans every
+    source the service wraps; ``fail`` decides, per 1-based global read
+    number, whether to inject.  ``mode="raise"`` raises :class:`OSError`;
+    ``mode="short"`` returns a truncated payload (which the service's
+    traced source converts into a ``StreamFormatError``) — both are rungs
+    of the same retry ladder.
+    """
+
+    def __init__(self, inner, counter, fail, mode="raise"):
+        self._inner = inner
+        self.size = inner.size
+        self._counter = counter
+        self._fail = fail
+        self._mode = mode
+
+    def read_range(self, offset: int, length: int) -> bytes:
+        self._counter[0] += 1
+        if self._fail(self._counter[0]):
+            if self._mode == "raise":
+                raise OSError(f"injected failure on read #{self._counter[0]}")
+            return self._inner.read_range(offset, length)[: max(0, length - 1)]
+        return self._inner.read_range(offset, length)
+
+
+# ------------------------------------------------------------- flaky sources
+
+
+@pytest.mark.parametrize("mode", ["raise", "short"])
+def test_every_kth_read_fails_but_answers_stay_identical(tmp_path, mode):
+    """A source failing every k-th ``read_range`` is retried per shard; the
+    final answer and its consumed receipt match the serial oracle exactly."""
+    path = _make_container(tmp_path)
+    oracle = _serial(path)
+    # Calibrate k to one more than the longest per-shard read run, so any
+    # single attempt trips the injector at most once and every retry (which
+    # starts a fresh run right after a failure) completes before the next
+    # k-th read comes due.
+    per_source_counts = []
+
+    def counting(name, source):
+        counter = [0]
+        per_source_counts.append(counter)
+        return _FlakySource(source, counter, lambda n: False)
+
+    with RetrievalService(source_filter=counting) as service:
+        service.get(path)
+    k = max(c[0] for c in per_source_counts) + 1
+    counter = [0]
+
+    def flaky(name, source):
+        return _FlakySource(source, counter, lambda n: n % k == 0, mode=mode)
+
+    with RetrievalService(source_filter=flaky, retries=2) as service:
+        response = service.get(path)
+        assert np.array_equal(response.data, oracle.data)
+        assert response.trace.bytes_loaded == oracle.bytes_loaded
+        assert sorted(response.trace.ranges) == sorted(oracle.ranges)
+        assert response.trace.retries >= 1  # failures actually happened
+        # Failed attempts cost real reads beyond what the answer consumed.
+        assert response.trace.physical_reads > 0
+        assert service.stats()["retries"] == response.trace.retries
+        # Warm repeat: the cache absorbs the flakiness entirely.
+        warm = service.get(path)
+        assert np.array_equal(warm.data, oracle.data)
+        assert warm.trace.physical_reads == 0
+
+
+def test_exhausted_retries_propagate(tmp_path):
+    path = _make_container(tmp_path)
+    counter = [0]
+
+    def always_bad(name, source):
+        return _FlakySource(source, counter, lambda n: True)
+
+    with RetrievalService(source_filter=always_bad, retries=1) as service:
+        with pytest.raises(OSError):
+            service.get(path)
+    # Configuration mistakes are not retried: the source is never touched.
+    counter[0] = 0
+    with RetrievalService(source_filter=always_bad, retries=5) as service:
+        with pytest.raises(ConfigurationError):
+            service.get(path, error_bound=-1.0)
+        assert counter[0] == 0
+
+
+def test_rung_failure_falls_back_to_cold_rebuild(tmp_path):
+    """A rung whose source goes bad mid-refine is invalidated; the request
+    is rebuilt from scratch and stays bitwise-identical."""
+    path = tmp_path / "stream.ipc"
+    path.write_bytes(
+        IPComp(error_bound=1e-4, relative=True).compress(_field((20, 16), 1))
+    )
+    from repro import ProgressiveRetriever
+
+    stored = ProgressiveRetriever(path.read_bytes()).header.error_bound
+    coarse, fine = stored * 64.0, stored
+    fine_oracle = ProgressiveRetriever(path.read_bytes()).retrieve(error_bound=fine)
+    counter = [0]
+    fail_reads = set()
+
+    def flaky(name, source):
+        return _FlakySource(source, counter, lambda n: n in fail_reads)
+
+    with RetrievalService(source_filter=flaky, retries=2) as service:
+        service.get(path, error_bound=coarse)
+        # Poison exactly the refine's first delta read: the resident rung's
+        # next touch fails, forcing invalidation + a cold rebuild (whose own
+        # reads, starting one later, all succeed).
+        fail_reads.add(counter[0] + 1)
+        refined = service.get(path, error_bound=fine)
+        assert np.array_equal(refined.data, fine_oracle.data)
+        assert refined.trace.bytes_loaded == fine_oracle.bytes_loaded
+        assert refined.trace.retries == 1
+        assert refined.trace.tier_misses.get("slab", 0) == 1
+        # The rebuilt state is healthy: warm repeat, then a genuine rung
+        # refine would no longer trip (no further injected reads).
+        warm = service.get(path, error_bound=fine)
+        assert np.array_equal(warm.data, fine_oracle.data)
+        assert warm.trace.physical_reads == 0
+
+
+# ------------------------------------------------------------ poisoned cache
+
+
+def test_poisoned_slab_is_invalidated_not_served(tmp_path):
+    path = _make_container(tmp_path)
+    oracle = _serial(path)
+    with RetrievalService() as service:
+        service.get(path)
+        # Corrupt every resident slab in place: bytes no longer match the
+        # checksum recorded at insert time.
+        poisoned = 0
+        for (tier, key), (entry, _nbytes) in list(service.cache._entries.items()):
+            if tier == "slab":
+                entry.data.flat[0] += 1.0
+                poisoned += 1
+        assert poisoned > 0
+        misses_before = service.cache.stats.misses.get("slab", 0)
+        response = service.get(path)
+        # Every poisoned entry was detected (slab miss) and the answer was
+        # recomputed — here from the still-healthy rung tier underneath.
+        assert np.array_equal(response.data, oracle.data)
+        assert service.cache.stats.misses.get("slab", 0) == misses_before + poisoned
+        # The recomputed entries are healthy again: warm zero-read repeat.
+        warm = service.get(path)
+        assert warm.trace.physical_reads == 0
+        assert np.array_equal(warm.data, oracle.data)
+
+
+def test_cache_verify_off_is_what_disables_the_checksum(tmp_path):
+    """With ``cache_verify=False`` a poisoned entry *is* served — proving
+    the checksum gate is what protects the default path."""
+    path = _make_container(tmp_path)
+    oracle = _serial(path)
+    with RetrievalService(cache_verify=False) as service:
+        service.get(path)
+        for (tier, key), (entry, _nbytes) in list(service.cache._entries.items()):
+            if tier == "slab":
+                entry.data.flat[0] += 1.0
+        response = service.get(path)
+        assert response.trace.physical_reads == 0
+        assert not np.array_equal(response.data, oracle.data)
+
+
+# --------------------------------------------------------------- broken pool
+
+
+class _BrokenPool:
+    """A persistent pool whose workers have already died."""
+
+    def submit(self, *args, **kwargs):
+        raise BrokenProcessPool("injected: worker processes are gone")
+
+    def shutdown(self, *args, **kwargs):
+        pass
+
+
+def test_broken_persistent_pool_degrades_in_process(tmp_path):
+    path = _make_container(tmp_path)
+    oracle = _serial(path)
+    with RetrievalService(workers=2) as service:
+        service._executor = _BrokenPool()  # the lazy _pool() now lends this
+        response = service.get(path)
+        assert np.array_equal(response.data, oracle.data)
+        assert response.trace.bytes_loaded == oracle.bytes_loaded
+        assert sorted(response.trace.ranges) == sorted(oracle.ranges)
+        warm = service.get(path)
+        assert warm.trace.physical_reads == 0
+        assert np.array_equal(warm.data, oracle.data)
+
+
+def test_imap_fallback_never_shuts_down_a_lent_pool():
+    with ProcessPoolExecutor(max_workers=2) as pool:
+        results = list(imap_fallback(len, [b"aa", b"bbb", b"c"], 2, executor=pool))
+        assert results == [2, 3, 1]
+        # The lent pool is still alive and usable after the call.
+        assert pool.submit(len, b"dddd").result() == 4
