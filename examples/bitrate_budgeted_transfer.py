@@ -1,12 +1,17 @@
 #!/usr/bin/env python3
-"""Domain example: fidelity under an I/O or network budget (fixed-rate mode).
+"""Domain example: many tenants sharing one dataset under byte budgets.
 
-A common situation in HPC workflows: a remote analysis node can only afford to
-move a fixed number of bytes per field (WAN transfer, burst-buffer quota, or
-in-situ visualisation frame budget).  IPComp's fixed-rate mode (§5.3) loads
-the most valuable bitplanes for the budget; this example sweeps budgets on the
-seismic Wave field and compares against the residual-ladder baseline, which
-can only jump between its pre-defined rungs.
+A common situation in HPC serving: a post-hoc analysis portal exposes one
+compressed field to many simultaneous users — a WAN-limited collaborator, a
+dashboard polling coarse overviews, a batch job pulling full-fidelity
+slices.  Earlier versions of this example swept per-request byte budgets in
+a manual loop; the service layer now does the budgeting itself.
+:class:`~repro.service.RequestScheduler` admits requests through a bounded
+window, meters each client with a bytes-per-second token bucket costed by
+the planner's exact ``predicted_bytes``, and — the part only a progressive
+codec can offer — sheds overload by answering from whatever fidelity is
+already resident (``degraded``), refining to the requested bound in the
+background.
 
 Run with::
 
@@ -15,48 +20,92 @@ Run with::
 
 from __future__ import annotations
 
+import tempfile
+from pathlib import Path
+
 import numpy as np
 
-from repro import IPComp, ProgressiveRetriever
-from repro.analysis import max_error, psnr
-from repro.baselines import SZ3ResidualCompressor
 from repro.datasets import load_dataset
+from repro.io.dataset import ChunkedDataset
+from repro.service import RequestScheduler, RetrievalService
 
 SHAPE = (56, 56, 24)
-BUDGETS = (0.5, 1.0, 2.0, 4.0, 8.0)  # bits per value
+
+#: Unequal tenant budgets, bytes/second: a WAN user, a dashboard, two batch
+#: jobs.  The scheduler keeps delivery proportional without starving anyone.
+CLIENT_BUDGETS = {
+    "wan": 50_000,
+    "dashboard": 800_000,
+    "batch-a": 3_000_000,
+    "batch-b": 3_000_000,
+}
+
+#: Each tenant's workload: (roi, error_bound) request list over one field.
+REQUESTS = [
+    ("wan", ((0, 28), (0, 56), (0, 24)), 1e-3),
+    ("dashboard", ((0, 56), (0, 28), (0, 24)), 1e-3),
+    ("batch-a", ((0, 56), (0, 56), (0, 24)), 1e-4),
+    ("batch-b", ((28, 56), (0, 56), (0, 24)), 1e-4),
+    ("wan", ((28, 56), (0, 56), (0, 24)), 1e-3),
+    ("dashboard", ((0, 56), (28, 56), (0, 24)), 1e-3),
+    ("batch-a", ((0, 28), (0, 28), (0, 24)), 1e-4),
+    ("batch-b", ((0, 56), (0, 56), (0, 24)), 1e-4),
+]
 
 
 def main() -> None:
     wave = load_dataset("wave", shape=SHAPE)
-    value_range = float(wave.max() - wave.min())
+    workdir = Path(tempfile.mkdtemp(prefix="repro-qos-"))
+    container = workdir / "wave.rprc"
+    ChunkedDataset.write(
+        container, wave, error_bound=1e-6, relative=True, n_blocks=4, workers=0
+    )
+    print(f"wave field {wave.shape} -> {container} "
+          f"({container.stat().st_size / 1e6:.2f} MB container)")
 
-    ipcomp = IPComp(error_bound=1e-7, relative=True)
-    ipcomp_blob = ipcomp.compress(wave)
+    with RetrievalService() as service:
+        # Warm a coarse rung so overloaded requests have a fidelity to
+        # degrade to (a live portal reaches this state by itself).
+        service.get(container, error_bound=1e-2)
 
-    ladder = SZ3ResidualCompressor(error_bound=1e-7, relative=True, rungs=5)
-    ladder_blob = ladder.compress(wave)
+        with RequestScheduler(
+            service, max_inflight=2, client_budgets=CLIENT_BUDGETS
+        ) as scheduler:
+            handles = [
+                (
+                    client,
+                    bound,
+                    scheduler.submit(
+                        container, error_bound=bound, roi=roi, client=client
+                    ),
+                )
+                for client, roi, bound in REQUESTS
+            ]
+            # First answers arrive immediately (possibly degraded); the
+            # refined finals land as budgets allow.
+            for client, bound, handle in handles:
+                first = handle.result(timeout=120)
+                final = handle.refined(timeout=120)
+                tag = "degraded" if handle.degraded else "direct  "
+                print(
+                    f"  {client:>9} eb={bound:.0e} [{tag}] "
+                    f"first bound {first.trace.achieved_bound:.2e} -> "
+                    f"final {final.trace.achieved_bound:.2e}, "
+                    f"waited {final.trace.queue_wait * 1e3:6.1f} ms, "
+                    f"debited {final.trace.budget_debited:>8} B"
+                )
+            stats = scheduler.stats()
 
-    print(f"wave field {wave.shape}: IPComp stream {len(ipcomp_blob) / 1e6:.2f} MB, "
-          f"SZ3-R stream {len(ladder_blob) / 1e6:.2f} MB")
-    print(f"{'budget':>8} | {'IPComp err':>12} {'IPComp PSNR':>12} | "
-          f"{'SZ3-R err':>12} {'SZ3-R PSNR':>12} {'passes':>7}")
-    for budget in BUDGETS:
-        ip_result = ProgressiveRetriever(ipcomp_blob).retrieve(bitrate=budget)
-        ip_err = max_error(wave, ip_result.data) / value_range
-        ip_psnr = psnr(wave, ip_result.data)
-        try:
-            ladder_result = ladder.retrieve(ladder_blob, bitrate=budget)
-            ladder_err = max_error(wave, ladder_result.data) / value_range
-            ladder_psnr = psnr(wave, ladder_result.data)
-            passes = ladder_result.passes
-            ladder_cells = f"{ladder_err:12.3e} {ladder_psnr:12.2f} {passes:7d}"
-        except Exception:
-            ladder_cells = f"{'n/a':>12} {'n/a':>12} {'-':>7}"
-        print(f"{budget:8.1f} | {ip_err:12.3e} {ip_psnr:12.2f} | {ladder_cells}")
-
-    print("\nIPComp serves any budget with one decompression pass; the residual "
-          "ladder is limited to its pre-defined rungs and decompresses one pass per "
-          "rung loaded.")
+    print(f"\nper-client QoS accounting "
+          f"({stats['degraded_served']} degraded serves, "
+          f"{stats['followers']} batched followers):")
+    print(f"{'client':>10} {'budget B/s':>12} {'granted':>8} "
+          f"{'delivered B':>12} {'min tokens':>11}")
+    for name, c in sorted(stats["clients"].items()):
+        print(f"{name:>10} {c['budget_bps']:>12} {c['granted']:>8} "
+              f"{c['delivered_bytes']:>12} {c['min_tokens']:>11.0f}")
+    print("\nToken buckets never overdraw (min tokens >= 0); degraded "
+          "answers refine to the exact requested bound in the background.")
 
 
 if __name__ == "__main__":

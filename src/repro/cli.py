@@ -13,6 +13,8 @@ Subcommands::
     ipcomp info       OUT.rprc            # manifest + per-shard header summary
     ipcomp info       OUT.rprc --roi 0:16,:,: --error-bound 1e-3  # + retrieval plan
     ipcomp serve      OUT.rprc --requests REQS.jsonl [--threads 4] [--workers 2]
+    ipcomp serve      OUT.rprc --requests REQS.jsonl --max-inflight 2 \
+                      --client-budget-bps 1000000 --client-budget-bps vip=8000000
     ipcomp stats      OUT.rprc --requests REQS.jsonl  # aggregate only
     ipcomp datasets                       # print the Table 3 inventory
     ipcomp demo       --dataset density   # synthetic end-to-end demo + metrics
@@ -30,11 +32,17 @@ pure runtime choices with bitwise-identical output and identical reported
 byte counts.
 
 ``serve`` runs a batch of requests — one JSON object per line, e.g.
-``{"roi": "0:16,:,:", "error_bound": 1e-3, "out": "roi.raw"}`` — through a
-single long-lived :class:`~repro.service.RetrievalService` (pinned session,
-tiered slab/rung cache, optional ``--threads`` concurrency and persistent
-``--workers`` pool) and prints one trace JSON line per request; ``stats``
-serves the same batch but prints only the aggregate statistics.
+``{"roi": "0:16,:,:", "error_bound": 1e-3, "out": "roi.raw", "client":
+"alice"}`` — through a single long-lived
+:class:`~repro.service.RetrievalService` (pinned session, tiered slab/rung
+cache, optional ``--threads`` concurrency and persistent ``--workers``
+pool) and prints one trace JSON line per request; ``stats`` serves the
+same batch but prints only the aggregate statistics.  ``--max-inflight``
+and/or ``--client-budget-bps`` route the batch through the QoS
+:class:`~repro.service.RequestScheduler` instead: admission-bounded,
+byte-budgeted per client, with overload answered from resident fidelity
+(``"degraded": true`` in the trace) and refined in the background — the
+written outputs are always the final refined answers.
 
 Configuration is one :class:`~repro.core.profile.CodecProfile`:
 ``--profile FILE.json`` loads a profile, and the individual flags (``--eb``,
@@ -287,8 +295,27 @@ def _build_parser() -> argparse.ArgumentParser:
             required=True,
             metavar="FILE.jsonl",
             help="request batch: one JSON object per line with optional "
-            "'roi' (start:stop,...), 'error_bound', and 'out' (raw output "
-            "file name); '-' reads from stdin",
+            "'roi' (start:stop,...), 'error_bound', 'client' (tenant name "
+            "for QoS scheduling), and 'out' (raw output file name); "
+            "'-' reads from stdin",
+        )
+        subparser.add_argument(
+            "--max-inflight",
+            type=int,
+            default=None,
+            metavar="N",
+            help="QoS scheduler admission window: at most N requests "
+            "fetch/decode concurrently; the rest queue or degrade to a "
+            "resident fidelity (enables the scheduler)",
+        )
+        subparser.add_argument(
+            "--client-budget-bps",
+            action="append",
+            default=None,
+            metavar="[CLIENT=]BPS",
+            help="byte-budget token bucket rate; plain BPS sets the "
+            "default for every client, CLIENT=BPS one tenant's rate "
+            "(repeatable; enables the scheduler)",
         )
         subparser.add_argument(
             "--threads",
@@ -532,7 +559,7 @@ def _cmd_info(args) -> int:
 
 
 def _load_requests(path: Path) -> list:
-    """Parse a JSONL request batch into ``(roi, error_bound, out)`` triples."""
+    """Parse a JSONL batch into ``(roi, error_bound, out, client)`` tuples."""
     if str(path) == "-":
         text = sys.stdin.read()
     else:
@@ -559,15 +586,47 @@ def _load_requests(path: Path) -> list:
             raise ConfigurationError(f"requests line {lineno}: {exc}") from None
         bound = obj.get("error_bound")
         requests.append(
-            (roi, float(bound) if bound is not None else None, obj.get("out"))
+            (
+                roi,
+                float(bound) if bound is not None else None,
+                obj.get("out"),
+                str(obj.get("client") or "default"),
+            )
         )
     if not requests:
         raise ConfigurationError("requests file contains no requests")
     return requests
 
 
+def _parse_client_budgets(values) -> tuple:
+    """Split ``--client-budget-bps`` values into (default_bps, {client: bps})."""
+    default_bps = 0
+    per_client = {}
+    for value in values or []:
+        name, sep, rate = str(value).rpartition("=")
+        try:
+            bps = int(rate)
+        except ValueError:
+            raise ConfigurationError(
+                f"invalid --client-budget-bps value: {value!r}"
+            ) from None
+        if sep:
+            per_client[name] = bps
+        else:
+            default_bps = bps
+    return default_bps, per_client
+
+
 def _serve_batch(args) -> tuple:
-    """Run the request batch through one service; returns (traces, stats)."""
+    """Run the request batch through one service; returns (traces, stats).
+
+    With ``--max-inflight`` or ``--client-budget-bps`` the batch goes
+    through the QoS :class:`~repro.service.scheduler.RequestScheduler`
+    (admission window, per-client byte budgets, degradation with
+    background refinement); outputs are always the *refined* final
+    answers, with the trace's ``degraded`` flag recording whether a
+    coarser answer was load-shed first.
+    """
     from concurrent.futures import ThreadPoolExecutor
 
     profile = _decode_profile_from_args(args)
@@ -579,27 +638,53 @@ def _serve_batch(args) -> tuple:
         else file_knobs.get("cache_bytes")
     )
     requests = _load_requests(args.requests)
+    scheduled = args.max_inflight is not None or args.client_budget_bps
     with RetrievalService(
         profile=profile,
         cache_bytes=cache_bytes,
         cache_verify=file_knobs.get("cache_verify"),
         workers=workers,
     ) as service:
+        if scheduled:
+            default_bps, per_client = _parse_client_budgets(args.client_budget_bps)
+            from repro.service.scheduler import DEFAULT_MAX_INFLIGHT, RequestScheduler
 
-        def serve_one(request):
-            roi, error_bound, out = request
-            response = service.get(args.input, error_bound=error_bound, roi=roi)
-            if out is not None:
-                save_raw(args.out_dir / out, response.data)
-            return response.trace
-
-        threads = max(1, int(args.threads))
-        if threads == 1 or len(requests) == 1:
-            traces = [serve_one(request) for request in requests]
+            with RequestScheduler(
+                service,
+                max_inflight=args.max_inflight or DEFAULT_MAX_INFLIGHT,
+                budget_bps=default_bps,
+                client_budgets=per_client,
+            ) as scheduler:
+                handles = [
+                    scheduler.submit(
+                        args.input, error_bound=error_bound, roi=roi, client=client
+                    )
+                    for roi, error_bound, _out, client in requests
+                ]
+                traces = []
+                for handle, (_roi, _eb, out, _client) in zip(handles, requests):
+                    response = handle.refined()
+                    if out is not None:
+                        save_raw(args.out_dir / out, response.data)
+                    traces.append(response.trace)
+                stats = {**service.stats(), "scheduler": scheduler.stats()}
         else:
-            with ThreadPoolExecutor(max_workers=threads) as pool:
-                traces = list(pool.map(serve_one, requests))
-        stats = service.stats()
+
+            def serve_one(request):
+                roi, error_bound, out, client = request
+                response = service.get(args.input, error_bound=error_bound, roi=roi)
+                response.trace.client = client
+                if out is not None:
+                    save_raw(args.out_dir / out, response.data)
+                return response.trace
+
+            threads = max(1, int(args.threads))
+            if threads == 1 or len(requests) == 1:
+                traces = [serve_one(request) for request in requests]
+            else:
+                with ThreadPoolExecutor(max_workers=threads) as pool:
+                    traces = list(pool.map(serve_one, requests))
+            stats = service.stats()
     if args.stats_json is not None:
         args.stats_json.write_text(json.dumps(stats, indent=2), encoding="utf-8")
     return traces, stats

@@ -85,6 +85,16 @@ class ShardPlan:
         return sum(op.length for op in self.ops)
 
     @property
+    def predicted_bytes(self) -> int:
+        """This shard's full predicted cost: planned ops plus its header.
+
+        The per-shard version of :attr:`RetrievalPlan.predicted_bytes` —
+        the unit the QoS scheduler debits from a client's byte budget and
+        compares across concurrent plans to find shared shards.
+        """
+        return self.op_bytes + self.header_bytes
+
+    @property
     def n_blocks(self) -> int:
         return sum(len(op.blocks) for op in self.ops)
 
@@ -99,6 +109,7 @@ class ShardPlan:
             "op_bytes": self.op_bytes,
             "blocks": self.n_blocks,
             "header_bytes": self.header_bytes,
+            "predicted_bytes": self.predicted_bytes,
             "target_keep": {str(k): v for k, v in sorted(self.target_keep.items())},
         }
 
@@ -122,6 +133,14 @@ class RetrievalPlan:
     def predicted_bytes(self) -> int:
         """Total bytes the request will touch, headers included."""
         return self.op_bytes + self.header_bytes
+
+    def cost_by_shard(self) -> Dict[Optional[str], int]:
+        """Predicted bytes keyed by shard name — the scheduler's cost map.
+
+        Two concurrent plans sharing a key here are candidates for batching
+        (one physical fetch/decode serves both through the cache tiers).
+        """
+        return {plan.shard: plan.predicted_bytes for plan in self.shards}
 
     @property
     def n_ops(self) -> int:

@@ -31,7 +31,7 @@ consumed trace), so the synchronous path runs the same code.
 from __future__ import annotations
 
 import threading
-from concurrent.futures import Future, ThreadPoolExecutor
+from concurrent.futures import CancelledError, Future, ThreadPoolExecutor
 from typing import List, Optional, Sequence, Tuple
 
 __all__ = ["Prefetcher", "PrefetchSource"]
@@ -52,6 +52,10 @@ class Prefetcher:
 
     def submit(self, fn, *args) -> Future:
         return self._executor.submit(fn, *args)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
 
     def close(self) -> None:
         """Stop issuing new reads; in-flight reads are abandoned to finish."""
@@ -104,16 +108,28 @@ class PrefetchSource:
         already primed, so re-priming — e.g. a speculative rung followed by
         the actual request's plan — never re-reads a byte.  Without a
         prefetcher this is a no-op and reads stay synchronous.
+
+        A prefetcher that has been closed (possibly by another request
+        sharing it, mid-prime) degrades the same way: its executor refuses
+        new futures with ``RuntimeError``, which ends the prime early — the
+        unscheduled ranges simply fall through to direct synchronous reads
+        in :meth:`read_range`, bitwise-identical.
         """
-        if self._prefetcher is None:
+        if self._prefetcher is None or self._prefetcher.closed:
             return 0
         scheduled = 0
         with self._lock:
             for offset, length in ranges:
                 for start, end in self._gaps(offset, offset + length):
-                    future = self._prefetcher.submit(
-                        self._inner.read_range, start, end - start
-                    )
+                    try:
+                        future = self._prefetcher.submit(
+                            self._inner.read_range, start, end - start
+                        )
+                    except RuntimeError:
+                        # Executor shut down between the closed check and
+                        # the submit: stop priming; nothing was charged for
+                        # this range and reads stay synchronous.
+                        return scheduled
                     self._primed.append(_Primed(start, end, future))
                     self.bytes_fetched += end - start
                     scheduled += end - start
@@ -143,10 +159,29 @@ class PrefetchSource:
                 (p for p in self._primed if p.covers(offset, length)), None
             )
         if hit is None:
+            # Charge only after the read succeeds: a raising source must not
+            # inflate the physical-bytes figure with bytes never fetched.
+            data = self._inner.read_range(offset, length)
             with self._lock:
                 self.bytes_fetched += length
-            return self._inner.read_range(offset, length)
-        data = hit.future.result()  # blocks only while the read is in flight
+            return data
+        try:
+            data = hit.future.result()  # blocks only while the read is in flight
+        except CancelledError:
+            # The prefetcher was closed before this primed read started
+            # (shutdown cancels queued futures).  Refund the prime-time
+            # charge — the physical read never ran — drop the dead interval,
+            # and degrade to a direct synchronous read, bitwise-identical.
+            with self._lock:
+                try:
+                    self._primed.remove(hit)
+                    self.bytes_fetched -= hit.end - hit.start
+                except ValueError:  # pragma: no cover - concurrent drop
+                    pass
+            data = self._inner.read_range(offset, length)
+            with self._lock:
+                self.bytes_fetched += length
+            return data
         start = offset - hit.start
         chunk = data[start : start + length]
         with self._lock:

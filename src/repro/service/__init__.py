@@ -7,18 +7,32 @@ Public surface:
   :class:`~repro.retrieval.engine.RetrievalEngine` primitives;
 * :class:`~repro.service.trace.RetrievalTrace` — one request's receipt
   (consumed vs physical bytes, per-tier cache behaviour, plan delta);
-* :class:`~repro.service.cache.TieredCache` — the shared LRU itself.
+* :class:`~repro.service.cache.TieredCache` — the shared LRU itself;
+* :class:`~repro.service.scheduler.RequestScheduler` — multi-tenant QoS
+  in front of the service: admission window, per-client byte-budget token
+  buckets (deficit-round-robin), overlapping-ROI batching, and
+  load-shedding by fidelity degradation with background refinement.
 """
 
 from repro.service.cache import DEFAULT_CACHE_BYTES, TieredCache
-from repro.service.service import RetrievalService, ServiceResponse
+from repro.service.scheduler import RequestScheduler, ScheduledResponse
+from repro.service.service import (
+    RequestCost,
+    RetrievalService,
+    ServiceResponse,
+    file_fingerprint,
+)
 from repro.service.trace import RetrievalTrace, ServiceStats
 
 __all__ = [
     "DEFAULT_CACHE_BYTES",
+    "RequestCost",
+    "RequestScheduler",
     "RetrievalService",
     "RetrievalTrace",
+    "ScheduledResponse",
     "ServiceResponse",
     "ServiceStats",
     "TieredCache",
+    "file_fingerprint",
 ]

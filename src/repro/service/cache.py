@@ -37,13 +37,25 @@ DEFAULT_CACHE_BYTES = 256 << 20
 
 
 class CacheStats:
-    """Mutable per-tier counters (hits / misses / evictions / inserts)."""
+    """Mutable per-tier counters (hits / misses / evictions / inserts).
+
+    Every way an entry can leave the cache has its own counter —
+    ``evictions`` (LRU pressure), ``invalidations`` (poisoned / stale
+    entries dropped via :meth:`TieredCache.invalidate` or
+    :meth:`TieredCache.purge`), ``replacements`` (an existing key re-put,
+    or popped by a rejected oversize re-put) — so residency reconciles as
+    an invariant::
+
+        entries == Σ inserts − Σ evictions − Σ invalidations − Σ replacements
+    """
 
     def __init__(self) -> None:
         self.hits: Dict[str, int] = {}
         self.misses: Dict[str, int] = {}
         self.evictions: Dict[str, int] = {}
         self.inserts: Dict[str, int] = {}
+        self.invalidations: Dict[str, int] = {}
+        self.replacements: Dict[str, int] = {}
         self.rejected = 0
 
     def _bump(self, counter: Dict[str, int], tier: str) -> None:
@@ -55,6 +67,8 @@ class CacheStats:
             "misses": dict(self.misses),
             "evictions": dict(self.evictions),
             "inserts": dict(self.inserts),
+            "invalidations": dict(self.invalidations),
+            "replacements": dict(self.replacements),
             "rejected": self.rejected,
         }
 
@@ -114,6 +128,7 @@ class TieredCache:
             old = self._entries.pop((tier, key), None)
             if old is not None:
                 self.resident_bytes -= old[1]
+                self.stats._bump(self.stats.replacements, tier)
             if nbytes > self.budget_bytes:
                 self.stats.rejected += 1
                 return False
@@ -127,6 +142,20 @@ class TieredCache:
             self.stats._bump(self.stats.inserts, tier)
             return True
 
+    def scan(self, tier: str, predicate: Callable[[Hashable], bool]) -> list:
+        """Snapshot ``(key, value)`` pairs of one tier matching ``predicate``.
+
+        Read-only: no LRU freshening, no hit/miss counting — the degraded
+        serving path uses this to discover *any* resident artifact for a
+        shard without disturbing the cache's replacement order.
+        """
+        with self._lock:
+            return [
+                (key, value)
+                for (entry_tier, key), (value, _nbytes) in self._entries.items()
+                if entry_tier == tier and predicate(key)
+            ]
+
     def invalidate(self, tier: str, key: Hashable) -> bool:
         """Drop one entry (poisoned or stale); True if it was resident."""
         with self._lock:
@@ -134,6 +163,7 @@ class TieredCache:
             if entry is None:
                 return False
             self.resident_bytes -= entry[1]
+            self.stats._bump(self.stats.invalidations, tier)
             return True
 
     def purge(self, predicate: Callable[[str, Hashable], bool]) -> int:
@@ -147,6 +177,7 @@ class TieredCache:
             for tier_key in doomed:
                 _, nbytes = self._entries.pop(tier_key)
                 self.resident_bytes -= nbytes
+                self.stats._bump(self.stats.invalidations, tier_key[0])
             return len(doomed)
 
     def __len__(self) -> int:

@@ -1,0 +1,587 @@
+"""Byte-budget QoS scheduler in front of :class:`RetrievalService`.
+
+The paper's core promise is that fidelity trades against latency *per
+request, mid-flight* — a progressive stream can answer coarse now and
+refine later, which no fixed-rate codec can.  :class:`RequestScheduler`
+turns that property into a multi-tenant serving policy:
+
+* **admission control** — at most ``max_inflight`` requests physically
+  fetch/decode at once; everything else queues (or degrades, below)
+  instead of convoying on the per-shard locks;
+* **byte-budget token buckets** — each client refills at its configured
+  bytes/second and a request is granted only when the bucket holds its
+  full :attr:`~repro.service.service.RequestCost.predicted_bytes` (the
+  planner's stage-1 cost, computed without payload I/O).  Buckets are
+  never overdrawn; a request costlier than one second of budget is still
+  servable because the bucket's burst capacity stretches to the head
+  request's cost — it just waits proportionally longer;
+* **deficit round-robin** — clients take turns accumulating a byte
+  quantum and spend it on their queue heads, so a tenant issuing many
+  small requests cannot starve one issuing few large ones (or vice
+  versa);
+* **overlapping-ROI batching** — a granted request whose plan shares a
+  shard (same dataset, same fidelity target) with one already in flight
+  becomes a *follower*: it waits for that leader to finish and then reads
+  through the slab/rung tiers the leader just populated, one physical
+  fetch/decode serving both;
+* **load-shedding by degradation** — when a request cannot be granted
+  immediately (window full or bucket short), the scheduler first tries
+  :meth:`~repro.service.service.RetrievalService.get_resident`: if every
+  selected shard has *some* resident fidelity, that answer is returned
+  right away with ``degraded=True`` in its trace, and the queued request
+  lives on as a background refine whose final answer —
+  bitwise-identical to a fresh serial read at the requested bound — lands
+  in :meth:`ScheduledResponse.refined`.
+
+Traces gain ``client``, ``queue_wait`` (enqueue→grant seconds),
+``degraded`` and ``budget_debited``; :meth:`RequestScheduler.stats`
+aggregates per-client delivered bytes, wait times and the bucket
+low-water marks the overdraw tests pin.
+
+``clock`` and the pacer are injectable/disablable so tests drive time
+explicitly (:meth:`RequestScheduler.kick` re-runs the grant loop after a
+fake-clock advance).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Set, Tuple, Union
+
+from repro.errors import RetrievalError
+from repro.service.service import RequestCost, RetrievalService, ServiceResponse
+
+__all__ = ["RequestScheduler", "ScheduledResponse"]
+
+#: Default bound on concurrently fetching/decoding requests.
+DEFAULT_MAX_INFLIGHT = 4
+
+#: DRR byte quantum a client accrues per scheduling round.
+DEFAULT_QUANTUM_BYTES = 1 << 20
+
+#: How long a follower waits for its leader before proceeding alone.
+_FOLLOWER_WAIT_S = 60.0
+
+#: Pacer period — how often budgets refill and the grant loop re-runs
+#: without an explicit submit/completion/kick event.
+_PACER_PERIOD_S = 0.05
+
+
+class ScheduledResponse:
+    """Handle for one scheduled request: immediate answer, then the refine.
+
+    :meth:`result` blocks for the *first* answer — the degraded resident
+    serve when the scheduler load-shed, otherwise the final one.
+    :meth:`refined` blocks for the final answer at the requested bound
+    (identical object to :meth:`result` when nothing degraded).  A failed
+    request raises the underlying error from both.
+    """
+
+    def __init__(self, client: str, cost: RequestCost) -> None:
+        self.client = client
+        self.cost = cost
+        self._first = threading.Event()
+        self._final = threading.Event()
+        self._first_resp: Optional[ServiceResponse] = None
+        self._final_resp: Optional[ServiceResponse] = None
+        self._exc: Optional[BaseException] = None
+
+    @property
+    def degraded(self) -> bool:
+        """True once a degraded (resident, coarser) answer was served first."""
+        first = self._first_resp
+        return first is not None and first.trace.degraded
+
+    def result(self, timeout: Optional[float] = None) -> ServiceResponse:
+        """The first available answer (possibly degraded); blocks until one."""
+        if not self._first.wait(timeout):
+            raise TimeoutError("no response within timeout")
+        if self._first_resp is None:
+            assert self._exc is not None
+            raise self._exc
+        return self._first_resp
+
+    def refined(self, timeout: Optional[float] = None) -> ServiceResponse:
+        """The final answer at the requested bound; blocks until served."""
+        if not self._final.wait(timeout):
+            raise TimeoutError("request not refined within timeout")
+        if self._final_resp is None:
+            assert self._exc is not None
+            raise self._exc
+        return self._final_resp
+
+    # ------------------------------------------------- scheduler-side plumbing
+
+    def _serve_first(self, response: ServiceResponse) -> None:
+        if not self._first.is_set():
+            self._first_resp = response
+            self._first.set()
+
+    def _serve_final(self, response: ServiceResponse) -> None:
+        self._final_resp = response
+        self._final.set()
+        self._serve_first(response)
+
+    def _fail(self, exc: BaseException) -> None:
+        self._exc = exc
+        self._final.set()
+        self._first.set()
+
+
+@dataclass
+class _Pending:
+    """One queued request plus its scheduling state."""
+
+    client: str
+    path: Path
+    error_bound: Optional[float]
+    roi: object
+    cost: RequestCost
+    response: ScheduledResponse
+    enqueued_at: float
+    granted: bool = False
+    cancelled: bool = False
+    degraded_served: bool = False
+    queue_wait: float = 0.0
+    leader_done: Optional[threading.Event] = None
+
+
+@dataclass
+class _Inflight:
+    """Registry entry of one physically-executing (leader) request."""
+
+    dataset: str
+    target: float
+    shards: Set[str]
+    done: threading.Event = field(default_factory=threading.Event)
+
+
+class _Client:
+    """Per-tenant queue, DRR deficit, and byte-budget token bucket."""
+
+    def __init__(self, name: str, budget_bps: int, now: float) -> None:
+        self.name = name
+        self.budget_bps = max(0, int(budget_bps))
+        self.queue: List[_Pending] = []
+        self.deficit = 0
+        # A full bucket at birth: a fresh client's first request should not
+        # wait out a cold refill.
+        self.tokens = float(self.budget_bps)
+        self.refilled_at = now
+        self.min_tokens = float(self.budget_bps)
+        self.delivered_bytes = 0
+        self.debited_bytes = 0
+        self.granted = 0
+        self.degraded = 0
+
+    def refill(self, now: float) -> None:
+        if self.budget_bps <= 0:
+            return
+        elapsed = max(0.0, now - self.refilled_at)
+        self.refilled_at = now
+        head_cost = self.queue[0].cost.predicted_bytes if self.queue else 0
+        cap = float(max(self.budget_bps, head_cost))
+        self.tokens = min(cap, self.tokens + elapsed * self.budget_bps)
+
+    def affords(self, cost_bytes: int) -> bool:
+        return self.budget_bps <= 0 or self.tokens >= cost_bytes
+
+    def debit(self, cost_bytes: int) -> None:
+        if self.budget_bps > 0:
+            self.tokens -= cost_bytes
+            self.min_tokens = min(self.min_tokens, self.tokens)
+        self.debited_bytes += cost_bytes
+
+
+class RequestScheduler:
+    """Admission, fair-share and degradation policy over one service.
+
+    ``client_budgets`` maps client name to bytes/second; ``budget_bps`` is
+    the default for clients not listed (0 = unmetered).  ``clock`` must be
+    monotonic; tests inject a fake one and call :meth:`kick` after
+    advancing it (pass ``pacer=False`` to disable the real-time refill
+    thread entirely).
+    """
+
+    def __init__(
+        self,
+        service: RetrievalService,
+        *,
+        max_inflight: int = DEFAULT_MAX_INFLIGHT,
+        budget_bps: int = 0,
+        client_budgets: Optional[Dict[str, int]] = None,
+        quantum_bytes: int = DEFAULT_QUANTUM_BYTES,
+        clock: Callable[[], float] = time.monotonic,
+        pacer: bool = True,
+    ) -> None:
+        self.service = service
+        self.max_inflight = max(1, int(max_inflight))
+        self.default_budget_bps = max(0, int(budget_bps))
+        self.client_budgets = dict(client_budgets or {})
+        self.quantum_bytes = max(1, int(quantum_bytes))
+        self.clock = clock
+        self._lock = threading.Lock()
+        self._cond = threading.Condition(self._lock)
+        self._clients: Dict[str, _Client] = {}
+        self._rotation: List[str] = []
+        self._rr = 0
+        self._inflight: Dict[int, _Inflight] = {}
+        self._inflight_count = 0
+        self._follower_count = 0
+        self._follower_slots = max(4, self.max_inflight)
+        self._next_token = 0
+        self._closed = False
+        self._submitted = 0
+        self._degraded_served = 0
+        self._followers_total = 0
+        self._queue_waits: List[float] = []
+        # Leaders + followers can all block in workers at once.
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.max_inflight + self._follower_slots,
+            thread_name_prefix="repro-sched",
+        )
+        self._pacer: Optional[threading.Thread] = None
+        if pacer:
+            self._pacer = threading.Thread(
+                target=self._pace, name="repro-sched-pacer", daemon=True
+            )
+            self._pacer.start()
+
+    # ----------------------------------------------------------------- submit
+
+    def submit(
+        self,
+        path: Union[str, Path],
+        error_bound: Optional[float] = None,
+        roi=None,
+        *,
+        client: str = "default",
+    ) -> ScheduledResponse:
+        """Enqueue one request; returns immediately with its handle.
+
+        The request is costed (metadata-only planning), queued under its
+        client, and the grant loop runs.  If it cannot start now and a
+        degraded resident answer exists, that answer is served on the
+        handle at once and the queued request becomes its background
+        refine.  A resident answer already *at* the requested bound
+        settles the request for free — nothing queued, nothing debited.
+        """
+        if self._closed:
+            raise RetrievalError("scheduler is closed")
+        cost = self.service.cost(path, error_bound, roi)
+        response = ScheduledResponse(client, cost)
+        pending = _Pending(
+            client=client,
+            path=Path(path),
+            error_bound=error_bound,
+            roi=roi,
+            cost=cost,
+            response=response,
+            enqueued_at=self.clock(),
+        )
+        with self._lock:
+            self._submitted += 1
+            self._client(client).queue.append(pending)
+            self._pump_locked()
+        if not pending.granted:
+            self._try_degrade(pending)
+        return pending.response
+
+    def request(
+        self,
+        path: Union[str, Path],
+        error_bound: Optional[float] = None,
+        roi=None,
+        *,
+        client: str = "default",
+        timeout: Optional[float] = None,
+    ) -> ServiceResponse:
+        """Blocking convenience: submit and wait for the *final* answer."""
+        return self.submit(path, error_bound, roi, client=client).refined(timeout)
+
+    def kick(self) -> None:
+        """Refill budgets against the (possibly fake) clock and re-grant."""
+        with self._lock:
+            self._pump_locked()
+
+    # ------------------------------------------------------------ degradation
+
+    def _try_degrade(self, pending: _Pending) -> None:
+        """Serve a resident coarse answer now; keep the refine queued.
+
+        Runs outside the scheduler lock — ``get_resident`` performs no
+        physical I/O but does take shard-lock tries.  Whatever happens the
+        queued request stands, unless the resident answer already meets
+        the bound, in which case the request settles free of charge.
+        """
+        resident = self.service.get_resident(
+            pending.path, pending.error_bound, pending.roi
+        )
+        if resident is None:
+            return
+        trace = resident.trace
+        trace.client = pending.client
+        # "Satisfied" means *canonical*, not merely inside the bound: every
+        # shard's resident answer must be the exact reconstruction a
+        # from-scratch serve of this request produces (the planned keep,
+        # bit-for-bit).  A finer resident fidelity still meets the bound
+        # but is different bytes — serve it as a degraded first answer
+        # and refine to the canonical bytes in the background.
+        satisfied = trace.canonical
+        with self._lock:
+            if pending.granted or pending.response._first.is_set():
+                return
+            if satisfied:
+                # Full fidelity straight from residency: nothing left to
+                # refine, so the queued request is withdrawn undebited.
+                pending.cancelled = True
+                client = self._clients.get(pending.client)
+                if client is not None and pending in client.queue:
+                    client.queue.remove(pending)
+            else:
+                trace.degraded = True
+                pending.degraded_served = True
+                self._degraded_served += 1
+                self._client(pending.client).degraded += 1
+        if satisfied:
+            pending.response._serve_final(resident)
+        else:
+            pending.response._serve_first(resident)
+
+    def _shed_queued(self) -> None:
+        """Retry load-shedding for requests still waiting in queue.
+
+        Residency changes as requests complete (a finished serve leaves
+        slabs and rungs behind), so a request that found nothing resident
+        at submit time may be shed-servable now.  Candidates are chosen
+        under the lock; the actual degrade attempts run outside it.
+        """
+        with self._lock:
+            waiting = [
+                pending
+                for name in self._rotation
+                for pending in self._clients[name].queue
+                if not pending.granted
+                and not pending.degraded_served
+                and not pending.response._first.is_set()
+            ]
+        for pending in waiting:
+            self._try_degrade(pending)
+
+    # ------------------------------------------------------------- grant loop
+
+    def _client(self, name: str) -> _Client:
+        client = self._clients.get(name)
+        if client is None:
+            budget = self.client_budgets.get(name, self.default_budget_bps)
+            client = _Client(name, budget, self.clock())
+            self._clients[name] = client
+            self._rotation.append(name)
+        return client
+
+    def _find_leader(self, pending: _Pending) -> Optional[_Inflight]:
+        for entry in self._inflight.values():
+            if (
+                entry.dataset == pending.cost.dataset
+                and entry.target == pending.cost.error_bound
+                and entry.shards.intersection(pending.cost.shards)
+            ):
+                return entry
+        return None
+
+    def _pump_locked(self) -> None:
+        """Deficit-round-robin grant loop; runs until no client can proceed."""
+        if self._closed:
+            return
+        now = self.clock()
+        progressed = True
+        while progressed:
+            progressed = False
+            active = [n for n in self._rotation if self._clients[n].queue]
+            if not active:
+                break
+            # Rotate the starting client so ties don't always favour the
+            # same tenant; each client in turn accrues one quantum and
+            # spends it on as many queue heads as it covers.
+            order = active[self._rr % len(active):] + active[: self._rr % len(active)]
+            self._rr += 1
+            for name in order:
+                client = self._clients[name]
+                if not client.queue:
+                    continue
+                client.refill(now)
+                client.deficit = min(
+                    client.deficit + self.quantum_bytes,
+                    max(
+                        self.quantum_bytes,
+                        client.queue[0].cost.predicted_bytes,
+                    ),
+                )
+                while client.queue:
+                    head = client.queue[0]
+                    cost_bytes = head.cost.predicted_bytes
+                    if cost_bytes > client.deficit or not client.affords(cost_bytes):
+                        break
+                    leader = self._find_leader(head)
+                    if leader is not None:
+                        if self._follower_count >= self._follower_slots:
+                            leader = None  # fall through to window rules
+                        else:
+                            head.leader_done = leader.done
+                    if leader is None and self._inflight_count >= self.max_inflight:
+                        break
+                    client.queue.pop(0)
+                    client.deficit -= cost_bytes
+                    client.debit(cost_bytes)
+                    client.granted += 1
+                    self._grant_locked(head, now, follower=leader is not None)
+                    progressed = True
+                if not client.queue:
+                    client.deficit = 0
+
+    def _grant_locked(self, pending: _Pending, now: float, follower: bool) -> None:
+        pending.granted = True
+        pending.queue_wait = max(0.0, now - pending.enqueued_at)
+        self._queue_waits.append(pending.queue_wait)
+        token = self._next_token
+        self._next_token += 1
+        if follower:
+            self._follower_count += 1
+            self._followers_total += 1
+        else:
+            self._inflight_count += 1
+            self._inflight[token] = _Inflight(
+                dataset=pending.cost.dataset,
+                target=pending.cost.error_bound,
+                shards=set(pending.cost.shards),
+            )
+        self._executor.submit(self._run, pending, token, follower)
+
+    def _run(self, pending: _Pending, token: int, follower: bool) -> None:
+        try:
+            if pending.leader_done is not None:
+                # Follower path: let the leader finish populating the
+                # slab/rung tiers, then read through them — one physical
+                # fetch serves every overlapping request.
+                pending.leader_done.wait(_FOLLOWER_WAIT_S)
+            response = self.service.get(
+                pending.path, pending.error_bound, pending.roi
+            )
+            trace = response.trace
+            trace.client = pending.client
+            trace.queue_wait = pending.queue_wait
+            trace.degraded = pending.degraded_served
+            trace.budget_debited = pending.cost.predicted_bytes
+        except BaseException as exc:  # propagate through the handle
+            pending.response._fail(exc)
+        else:
+            pending.response._serve_final(response)
+            with self._lock:
+                client = self._clients.get(pending.client)
+                if client is not None:
+                    client.delivered_bytes += trace.bytes_loaded
+        finally:
+            with self._lock:
+                if follower:
+                    self._follower_count -= 1
+                else:
+                    entry = self._inflight.pop(token, None)
+                    if entry is not None:
+                        entry.done.set()
+                    self._inflight_count -= 1
+                self._pump_locked()
+                self._cond.notify_all()
+            self._shed_queued()
+
+    # ------------------------------------------------------------------ pacer
+
+    def _pace(self) -> None:
+        while True:
+            with self._cond:
+                if self._closed:
+                    return
+                self._cond.wait(_PACER_PERIOD_S)
+                if self._closed:
+                    return
+                self._pump_locked()
+            self._shed_queued()
+
+    # ------------------------------------------------------------------ misc
+
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """Block until no request is queued or in flight; False on timeout."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._cond:
+            while True:
+                idle = (
+                    self._inflight_count == 0
+                    and self._follower_count == 0
+                    and all(not c.queue for c in self._clients.values())
+                )
+                if idle:
+                    return True
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        return False
+                self._cond.wait(
+                    _PACER_PERIOD_S
+                    if remaining is None
+                    else min(_PACER_PERIOD_S, remaining)
+                )
+
+    def stats(self) -> dict:
+        """Scheduler-level aggregates plus per-client QoS accounting."""
+        with self._lock:
+            queued = sum(len(c.queue) for c in self._clients.values())
+            waits = list(self._queue_waits)
+            return {
+                "submitted": self._submitted,
+                "queued": queued,
+                "inflight": self._inflight_count,
+                "followers": self._followers_total,
+                "degraded_served": self._degraded_served,
+                "max_inflight": self.max_inflight,
+                "queue_wait_max": max(waits, default=0.0),
+                "queue_wait_mean": (sum(waits) / len(waits)) if waits else 0.0,
+                "clients": {
+                    name: {
+                        "budget_bps": c.budget_bps,
+                        "granted": c.granted,
+                        "degraded": c.degraded,
+                        "delivered_bytes": c.delivered_bytes,
+                        "debited_bytes": c.debited_bytes,
+                        "tokens": c.tokens,
+                        "min_tokens": c.min_tokens,
+                    }
+                    for name, c in self._clients.items()
+                },
+            }
+
+    def close(self, *, drain: bool = True, timeout: Optional[float] = 60.0) -> None:
+        """Stop admitting; optionally drain, then fail whatever never ran."""
+        with self._lock:
+            if self._closed:
+                return
+        if drain:
+            self.drain(timeout)
+        with self._cond:
+            self._closed = True
+            doomed = [p for c in self._clients.values() for p in c.queue]
+            for c in self._clients.values():
+                c.queue.clear()
+            self._cond.notify_all()
+        for pending in doomed:
+            pending.response._fail(RetrievalError("scheduler closed"))
+        self._executor.shutdown(wait=True)
+
+    def __enter__(self) -> "RequestScheduler":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -8,9 +8,11 @@ request, the service keeps:
 
 * **sessions** — one per dataset file, pinning the open container reader
   and parsing each shard's stream header exactly once.  Sessions are keyed
-  by the file's ``(size, mtime_ns)`` fingerprint, so a rewritten file gets
-  a fresh session and the old session's cache entries are purged, never
-  served against the new bytes;
+  by the file's ``(size, mtime_ns, tail_crc)`` fingerprint
+  (:func:`file_fingerprint`), so a rewritten file — even one rewritten at
+  the same size within the filesystem's mtime granularity — gets a fresh
+  session and the old session's cache entries are purged, never served
+  against the new bytes;
 * **a persistent worker pool** — one :class:`~concurrent.futures.\
   ProcessPoolExecutor` shared by every request's pool-decode stage (lent to
   :func:`~repro.parallel.poolmap.imap_fallback`, which degrades through the
@@ -45,9 +47,10 @@ up to ``retries`` times before propagating; checksum-verified slab entries
 from __future__ import annotations
 
 import threading
+import time
 import zlib
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Tuple, Union
 
@@ -71,12 +74,36 @@ from repro.retrieval.plan import plan_stream_ops
 from repro.service.cache import DEFAULT_CACHE_BYTES, TieredCache
 from repro.service.trace import RetrievalTrace, ServiceStats
 
-__all__ = ["RetrievalService", "ServiceResponse"]
+__all__ = ["RequestCost", "RetrievalService", "ServiceResponse", "file_fingerprint"]
 
 #: Errors that mark a *source* (or a cache entry built from one) as bad —
 #: retried per the fallback ladder.  Configuration mistakes are not in the
 #: tuple: they fail identically on every attempt and belong to the caller.
 _RETRYABLE = (StreamFormatError, RetrievalError, OSError)
+
+#: Tail bytes hashed into the session fingerprint.  The container footer —
+#: directory extents plus the JSON manifest (shard offsets, error bound,
+#: profile) — lives at the end of the file, so any rewrite that changes
+#: *what the bytes mean* lands in this window even when size and mtime do
+#: not move (coarse-mtime filesystems, same-size rewrites in fast tests).
+_WITNESS_TAIL_BYTES = 4096
+
+
+def file_fingerprint(path: Path) -> Tuple[int, int, int]:
+    """Session identity of a dataset file: ``(size, mtime_ns, tail_crc)``.
+
+    ``(st_size, st_mtime_ns)`` alone serves stale cache when a file is
+    rewritten at the same size within the filesystem's mtime granularity;
+    the CRC of the footer/manifest tail is the cheap content witness that
+    catches it (one bounded read, no payload scan).
+    """
+    stat = path.stat()
+    size = int(stat.st_size)
+    with open(path, "rb") as handle:
+        if size > _WITNESS_TAIL_BYTES:
+            handle.seek(size - _WITNESS_TAIL_BYTES)
+        witness = zlib.crc32(handle.read(_WITNESS_TAIL_BYTES))
+    return (size, int(stat.st_mtime_ns), witness)
 
 
 @dataclass
@@ -85,6 +112,30 @@ class ServiceResponse:
 
     data: np.ndarray
     trace: RetrievalTrace
+
+
+@dataclass
+class RequestCost:
+    """Stage-1 cost of a request, computed without touching payload bytes.
+
+    ``predicted_bytes`` is what the planner says a from-scratch read of this
+    request consumes (header + anchor + planned plane blocks, summed over
+    the selected shards) — the costing primitive the scheduler's token
+    buckets debit.  ``shards`` names the selection so the scheduler can
+    detect overlapping in-flight requests without re-planning.
+    ``planned_bound`` is the bound the canonical serve achieves (the same
+    ``plan_error`` of the planned keep that :meth:`RetrievalService.get`
+    reports), so a resident answer can be recognised as bitwise-canonical
+    — not merely bound-satisfying — by exact comparison.
+    """
+
+    dataset: str
+    roi: List[List[int]]
+    error_bound: float
+    shards: List[str]
+    predicted_bytes: int
+    per_shard_bytes: Dict[str, int]
+    planned_bound: float
 
 
 class _TracedSource:
@@ -162,6 +213,7 @@ class _ShardServe:
     physical_bytes: int
     retries: int
     tier: str  # "slab" | "rung" | "cold" | "pool"
+    retry_delays: List[float] = field(default_factory=list)
 
 
 def _validated_target(stored_bound: float, error_bound: Optional[float]) -> float:
@@ -197,8 +249,7 @@ class _Session:
         self.sid = sid
         self.path = path
         self.profile = profile
-        stat = path.stat()
-        self.fingerprint = (int(stat.st_size), int(stat.st_mtime_ns))
+        self.fingerprint = file_fingerprint(path)
         self._meta: Dict[str, _ShardMeta] = {}
         self._meta_lock = threading.Lock()
         self._shard_locks: Dict[str, threading.Lock] = {}
@@ -302,7 +353,12 @@ class RetrievalService:
     ``cache_bytes`` / ``cache_verify`` / ``workers`` default to the
     profile's runtime knobs (:class:`~repro.core.profile.CodecProfile`);
     like ``prefetch`` and ``workers`` everywhere else, none of them changes
-    a reported byte or a decoded bit.  ``source_filter`` is an adapter hook
+    a reported byte or a decoded bit.  Transient-fault retries back off
+    exponentially from ``retry_backoff`` seconds up to
+    ``retry_backoff_cap``, scaled by a deterministic per-(shard, attempt)
+    jitter so concurrent retriers de-synchronise identically across runs;
+    ``sleep`` is injectable so tests assert the schedule without waiting
+    it out.  ``source_filter`` is an adapter hook
     — ``source_filter(shard_name, source) -> source`` — wrapped around every
     cold read's byte-range source; the fault-injection tests use it to make
     sources flaky.  Requests with a filter installed stay in-process (a
@@ -317,6 +373,9 @@ class RetrievalService:
         cache_verify: Optional[bool] = None,
         workers: Optional[int] = None,
         retries: int = 2,
+        retry_backoff: float = 0.05,
+        retry_backoff_cap: float = 1.0,
+        sleep: Callable[[float], None] = time.sleep,
         source_filter: Optional[Callable[[str, object], object]] = None,
     ) -> None:
         self.profile = profile
@@ -330,6 +389,9 @@ class RetrievalService:
             workers = profile.workers if profile is not None else 0
         self.workers = max(0, int(workers or 0))
         self.retries = max(0, int(retries))
+        self.retry_backoff = max(0.0, float(retry_backoff))
+        self.retry_backoff_cap = max(0.0, float(retry_backoff_cap))
+        self._sleep = sleep
         self.source_filter = source_filter
         self.stats_agg = ServiceStats()
         self._sessions: Dict[str, _Session] = {}
@@ -384,9 +446,148 @@ class RetrievalService:
             tier_hits=tier_hits,
             tier_misses=tier_misses,
             retries=sum(served[s.name].retries for s in selected),
+            retry_delays=[
+                d for s in selected for d in served[s.name].retry_delays
+            ],
         )
         self.stats_agg.record(trace)
         return ServiceResponse(data=data, trace=trace)
+
+    def cost(
+        self,
+        path: Union[str, Path],
+        error_bound: Optional[float] = None,
+        roi=None,
+    ) -> RequestCost:
+        """Plan a request's byte cost without serving it (no payload I/O).
+
+        Only metadata is touched: shard headers are parsed on first contact
+        (a bounded physical read, paid once per shard per session) and the
+        planner runs over the pinned extents.  The scheduler prices every
+        admission with this before deciding when — and at what fidelity —
+        to actually call :meth:`get`.
+        """
+        session = self._session(path)
+        roi_slices, selected = session.select(roi)
+        target = _validated_target(session.stored_bound, error_bound)
+        per_shard: Dict[str, int] = {}
+        planned_bounds: List[float] = []
+        for shard in selected:
+            meta, _, _ = session.shard_meta(shard.name)
+            keep = self._plan_keep(meta, target)
+            per_shard[shard.name] = self._planned_bytes(meta, keep)
+            planned_bounds.append(float(meta.loader.plan_error(keep)))
+        return RequestCost(
+            dataset=str(session.path),
+            roi=[[s.start, s.stop] for s in roi_slices],
+            error_bound=target,
+            shards=[s.name for s in selected],
+            predicted_bytes=sum(per_shard.values()),
+            per_shard_bytes=per_shard,
+            planned_bound=max(planned_bounds, default=0.0),
+        )
+
+    def get_resident(
+        self,
+        path: Union[str, Path],
+        error_bound: Optional[float] = None,
+        roi=None,
+    ) -> Optional[ServiceResponse]:
+        """Serve the request from resident tiers only — zero physical reads.
+
+        The load-shedding path: under pressure the scheduler answers with
+        whatever fidelity is already decoded *right now* instead of queueing
+        a fetch.  Per selected shard a resident artifact at exactly the
+        planned fidelity wins (the canonical bytes of a from-scratch serve),
+        else the finest resident one — a slab at any plane selection, or
+        the live rung's current reconstruction (exact by construction: the
+        service only ever runs ``retrieve`` / ``retrieve_rebuilt``);
+        ``trace.canonical`` records which case served.  Returns ``None``
+        when any shard has nothing resident — degradation is
+        all-or-nothing, a partially-fresh answer would splice fidelities
+        within one array.
+
+        The shard lock is only *tried*: if a writer is mid-decode the rung
+        is skipped (its state is live) and immutable slabs alone are
+        considered, so this path never blocks behind a cold read.  The
+        trace reports ``bytes_loaded=0`` / no ranges — nothing was consumed
+        — with ``achieved_bound`` whatever fidelity was actually served,
+        and is not recorded in the service aggregate (the scheduler records
+        the *final* answer).
+        """
+        session = self._session(path)
+        roi_slices, selected = session.select(roi)
+        target = _validated_target(session.stored_bound, error_bound)
+        served: Dict[str, Tuple[np.ndarray, float, bool]] = {}
+        for shard in selected:
+            best = self._best_resident(session, shard.name, target)
+            if best is None:
+                return None
+            served[shard.name] = best
+        pieces = [(shard.slices, served[shard.name][0]) for shard in selected]
+        data = assemble(pieces, roi_slices, session.dtype)
+        trace = RetrievalTrace(
+            dataset=str(session.path),
+            roi=[[s.start, s.stop] for s in roi_slices],
+            error_bound=target,
+            achieved_bound=max(
+                (served[s.name][1] for s in selected), default=0.0
+            ),
+            shards=[s.name for s in selected],
+            ranges=[],
+            bytes_loaded=0,
+            planned_bytes=0,
+            physical_reads=0,
+            physical_bytes=0,
+            canonical=all(served[s.name][2] for s in selected),
+        )
+        return ServiceResponse(data=data, trace=trace)
+
+    def _best_resident(
+        self, session: _Session, name: str, target: float
+    ) -> Optional[Tuple[np.ndarray, float, bool]]:
+        """Best resident ``(data, bound, canonical)`` for one shard.
+
+        ``canonical`` marks the reconstruction a from-scratch serve of
+        ``target`` would produce bit-for-bit (resident bound equals the
+        planned bound).  A canonical candidate wins over a finer one —
+        it lets the caller settle the request outright instead of
+        refining a bound-satisfying-but-different answer.  Returns None
+        when nothing is resident.
+        """
+        sid = session.sid
+        candidates: List[Tuple[np.ndarray, float]] = []
+        lock = session.shard_lock(name)
+        if lock.acquire(blocking=False):
+            try:
+                rung = self.cache.get("rung", (sid, name), count=False)
+                if rung is not None:
+                    output = rung.retriever.current_output
+                    if output is not None:
+                        meta, _, _ = session.shard_meta(name)
+                        bound = meta.loader.plan_error(
+                            rung.retriever.current_keep
+                        )
+                        candidates.append((output, float(bound)))
+            finally:
+                lock.release()
+        # Slabs are immutable once inserted — safe to read lock-free even
+        # while a writer holds the shard lock for a different selection.
+        for _key, entry in self.cache.scan(
+            "slab", lambda k: k[0] == sid and k[1] == name
+        ):
+            candidates.append((entry.data, float(entry.bound)))
+        if not candidates:
+            return None
+        # A resident artifact exists, so this shard has served before and
+        # its header metadata is already parsed: planning is free here.
+        meta, _, _ = session.shard_meta(name)
+        planned = float(meta.loader.plan_error(self._plan_keep(meta, target)))
+        for data, bound in candidates:
+            if bound == planned:
+                return data, bound, True
+        data, bound = min(candidates, key=lambda c: c[1])
+        return data, bound, False
 
     def stats(self) -> dict:
         """Aggregate request statistics plus the cache's live counters."""
@@ -397,6 +598,23 @@ class RetrievalService:
         }
 
     # ------------------------------------------------------------- per shard
+
+    def _backoff_delay(self, name: str, attempt: int) -> float:
+        """Backoff before retry ``attempt`` (1-based) of shard ``name``.
+
+        Capped exponential — ``base · 2^(attempt-1)``, clamped to
+        ``retry_backoff_cap`` — scaled into ``[0.5, 1.0]`` by a jitter
+        derived from a CRC of ``name:attempt``: deterministic (reproducible
+        traces, assertable tests) yet spread across shards so a burst of
+        failures does not retry in lockstep.
+        """
+        if self.retry_backoff <= 0.0:
+            return 0.0
+        raw = min(
+            self.retry_backoff_cap, self.retry_backoff * (2.0 ** (attempt - 1))
+        )
+        seed = zlib.crc32(f"{name}:{attempt}".encode("utf-8")) & 0xFFFF
+        return raw * (0.5 + 0.5 * (seed / 0xFFFF))
 
     def _plan_keep(self, meta: _ShardMeta, target: float) -> Dict[int, int]:
         plan = meta.loader.plan_for_error_bound(target)
@@ -438,6 +656,7 @@ class RetrievalService:
                 self.cache.invalidate("slab", slab_key)
             self.cache.record("slab", hit=False)
             retries = 0
+            delays: List[float] = []
             rung = self.cache.get("rung", rung_key, count=False)
             rung_usable = rung is not None and all(
                 rung.retriever.current_keep.get(level, 0) <= k
@@ -458,8 +677,18 @@ class RetrievalService:
                     retries += 1
                     if retries > self.retries:
                         raise
+                    delays.append(self._backoff_delay(name, retries))
+                    self._sleep(delays[-1])
             serve = self._serve_cold(
-                session, name, meta, target, planned, retries, meta_reads, meta_bytes
+                session,
+                name,
+                meta,
+                target,
+                planned,
+                retries,
+                meta_reads,
+                meta_bytes,
+                delays,
             )
             self._insert_slab(slab_key, serve)
             return serve
@@ -511,6 +740,7 @@ class RetrievalService:
         retries: int,
         meta_reads: int,
         meta_bytes: int,
+        delays: Optional[List[float]] = None,
     ) -> _ShardServe:
         """From-scratch read over a fresh traced source, with the retry ladder.
 
@@ -519,7 +749,11 @@ class RetrievalService:
         handed to the store pre-parsed and *replayed* into the consumed
         trace, so the report matches a serial fresh read (which parses the
         header itself) while the session parses it only once physically.
+        Failed attempts back off (capped exponential, deterministic jitter)
+        instead of hot-spinning against a transient fault; each slept delay
+        lands in the trace's ``retry_delays``.
         """
+        delays = [] if delays is None else delays
         while True:
             source = _TracedSource(self._filtered_source(session, name))
             try:
@@ -533,6 +767,8 @@ class RetrievalService:
                 retries += 1
                 if retries > self.retries:
                     raise
+                delays.append(self._backoff_delay(name, retries))
+                self._sleep(delays[-1])
                 continue
             self.cache.put(
                 "rung",
@@ -549,6 +785,7 @@ class RetrievalService:
                 physical_bytes=meta_bytes + source.physical_bytes,
                 retries=retries,
                 tier="cold",
+                retry_delays=delays,
             )
 
     def _filtered_source(self, session: _Session, name: str):
@@ -654,8 +891,7 @@ class RetrievalService:
             raise RetrievalError("service is closed")
         resolved = Path(path).resolve()
         key = str(resolved)
-        stat = resolved.stat()
-        fingerprint = (int(stat.st_size), int(stat.st_mtime_ns))
+        fingerprint = file_fingerprint(resolved)
         with self._lock:
             session = self._sessions.get(key)
             if session is not None and session.fingerprint == fingerprint:

@@ -14,6 +14,14 @@ It separates the two kinds of byte accounting the repo keeps everywhere:
 ``planned_bytes`` is the stage-1 estimate (header + anchor + planned plane
 blocks) computed without touching payload; ``plan_delta`` is how far the
 actual consumption landed from it (0 for a from-scratch plan-shaped read).
+
+The scheduler (:mod:`repro.service.scheduler`) annotates three more
+fields: ``client`` (the tenant the request was admitted under),
+``queue_wait`` (seconds between enqueue and grant), ``degraded`` (the
+response was served from a coarser resident rung under load, with the
+requested fidelity refined in the background) and ``budget_debited``
+(predicted bytes charged against the client's token bucket).  The retry
+ladder records its per-attempt backoff in ``retry_delays``.
 """
 
 from __future__ import annotations
@@ -42,6 +50,18 @@ class RetrievalTrace:
     tier_hits: Dict[str, int] = field(default_factory=dict)
     tier_misses: Dict[str, int] = field(default_factory=dict)
     retries: int = 0
+    #: Backoff slept before each retry attempt, in order (empty: no retries).
+    retry_delays: List[float] = field(default_factory=list)
+    #: Scheduler annotations (defaults describe a direct, unscheduled get).
+    client: str = ""
+    queue_wait: float = 0.0
+    degraded: bool = False
+    budget_debited: int = 0
+    #: The served bytes are the exact reconstruction a from-scratch serve
+    #: of this request produces.  Always true for ``get``; ``get_resident``
+    #: clears it when any shard was answered at a finer-than-planned
+    #: residency (bound-satisfying, but different bytes).
+    canonical: bool = True
 
     @property
     def plan_delta(self) -> int:
@@ -64,6 +84,12 @@ class RetrievalTrace:
             "tier_hits": dict(self.tier_hits),
             "tier_misses": dict(self.tier_misses),
             "retries": self.retries,
+            "retry_delays": list(self.retry_delays),
+            "client": self.client,
+            "queue_wait": self.queue_wait,
+            "degraded": self.degraded,
+            "budget_debited": self.budget_debited,
+            "canonical": self.canonical,
         }
 
 
@@ -78,6 +104,7 @@ class ServiceStats:
         self.physical_reads = 0
         self.physical_bytes = 0
         self.retries = 0
+        self.degraded = 0
         self.tier_hits: Dict[str, int] = {}
         self.tier_misses: Dict[str, int] = {}
 
@@ -89,6 +116,7 @@ class ServiceStats:
             self.physical_reads += trace.physical_reads
             self.physical_bytes += trace.physical_bytes
             self.retries += trace.retries
+            self.degraded += int(trace.degraded)
             for tier, count in trace.tier_hits.items():
                 self.tier_hits[tier] = self.tier_hits.get(tier, 0) + count
             for tier, count in trace.tier_misses.items():
@@ -103,6 +131,7 @@ class ServiceStats:
                 "physical_reads": self.physical_reads,
                 "physical_bytes": self.physical_bytes,
                 "retries": self.retries,
+                "degraded": self.degraded,
                 "tier_hits": dict(self.tier_hits),
                 "tier_misses": dict(self.tier_misses),
             }

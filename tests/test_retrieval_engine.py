@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import json
 import struct
+import threading
 from pathlib import Path
 
 import numpy as np
@@ -162,6 +163,74 @@ def test_prefetch_source_without_prefetcher_is_passthrough():
     assert source.read_range(10, 5) == payload[10:15]
     assert inner.reads == [(10, 5)]
     assert source.trace == [(10, 5)]
+
+
+def test_prime_on_closed_prefetcher_degrades_to_sync_reads():
+    """Regression: ``prime()`` against a prefetcher another request already
+    closed must not propagate the executor's shutdown ``RuntimeError`` —
+    the source degrades to direct synchronous reads, bitwise-identical."""
+    payload = bytes(range(256)) * 4
+    inner = _CountingSource(payload)
+    prefetcher = Prefetcher(depth=2)
+    prefetcher.close()
+    source = PrefetchSource(inner, prefetcher)
+    assert source.prime([(0, 64), (128, 64)]) == 0  # no crash, nothing primed
+    assert source.read_range(0, 64) == payload[0:64]
+    assert source.read_range(128, 64) == payload[128:192]
+    assert inner.reads == [(0, 64), (128, 64)]
+    # Physical accounting covers exactly the direct reads — no phantom
+    # prime-time charges for ranges that were never scheduled.
+    assert source.bytes_fetched == 128
+
+
+def test_cancelled_primed_read_degrades_to_sync_read():
+    """Regression: a primed range whose future was cancelled by a mid-flight
+    ``Prefetcher.close`` must be re-read directly (bitwise-identical), with
+    the prime-time charge refunded so ``bytes_fetched`` stays honest."""
+    payload = bytes(range(256)) * 4
+    gate = threading.Event()
+    started = threading.Event()
+
+    class _GatedSource:
+        def __init__(self, blob):
+            self._inner = BytesSource(blob)
+            self.size = self._inner.size
+
+        def read_range(self, offset, length):
+            started.set()
+            gate.wait(timeout=30)
+            return self._inner.read_range(offset, length)
+
+    inner = _GatedSource(payload)
+    prefetcher = Prefetcher(depth=1)
+    source = PrefetchSource(inner, prefetcher)
+    # One worker: the first primed read occupies it (blocked on the gate),
+    # the second stays queued and is cancelled by close().
+    assert source.prime([(0, 64), (128, 64)]) == 128
+    assert started.wait(timeout=30)
+    prefetcher.close()
+    gate.set()
+    assert source.read_range(0, 64) == payload[0:64]  # in-flight: completes
+    assert source.read_range(128, 64) == payload[128:192]  # cancelled: direct
+    assert source.trace == [(0, 64), (128, 64)]
+    # 128 primed, 64 refunded for the cancelled interval, 64 re-read direct.
+    assert source.bytes_fetched == 128
+
+
+def test_failed_direct_read_is_not_charged():
+    """Regression: a miss whose direct read raises must not inflate
+    ``bytes_fetched`` — the charge lands only after the read succeeds."""
+
+    class _FailingSource:
+        size = 1024
+
+        def read_range(self, offset, length):
+            raise OSError("injected")
+
+    source = PrefetchSource(_FailingSource(), None)
+    with pytest.raises(OSError):
+        source.read_range(0, 64)
+    assert source.bytes_fetched == 0
 
 
 def test_file_source_range_reads(tmp_path):

@@ -1,0 +1,441 @@
+"""QoS scheduler: admission, budgets, batching, degradation, fairness.
+
+The contract under test, per scheduler feature:
+
+* a scheduled request's final answer is **bitwise-identical** to a direct
+  ``RetrievalService.get`` (itself pinned to the serial oracle);
+* token buckets are **never overdrawn** — a grant happens only when the
+  client's bucket covers the planner's ``predicted_bytes``, and the
+  bucket's recorded low-water mark stays >= 0 under any contention;
+* at most ``max_inflight`` requests fetch/decode concurrently;
+* concurrent overlapping requests batch — one leader fetches, followers
+  read the tiers it populated with zero physical reads;
+* a load-shed (degraded) response serves a *resident* coarser fidelity
+  immediately and its background refine converges to the exact bytes a
+  fresh serial read at the requested bound produces.
+
+Time-dependent paths run on an injected fake clock with the pacer thread
+disabled (``pacer=False``), so refills happen only at explicit
+:meth:`~repro.service.scheduler.RequestScheduler.kick` calls and the tests
+are deterministic.
+
+NB: module-local data only — the conftest ``rng`` fixture is session-scoped
+and shared (use local generators in new tests that need randomness).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro import ChunkedDataset
+from repro.errors import RetrievalError
+from repro.service import RequestScheduler, RetrievalService
+
+SHAPE = (24, 20, 18)
+
+
+def _field(shape=SHAPE, seed=0) -> np.ndarray:
+    rng = np.random.default_rng(55150 + seed)
+    base = rng.normal(size=shape)
+    for axis in range(len(shape)):
+        base = np.cumsum(base, axis=axis)
+    return (base + 0.1 * rng.normal(size=shape)).astype(np.float64)
+
+
+def _make_container(directory: Path) -> Path:
+    path = directory / "field.rprc"
+    ChunkedDataset.write(
+        path, _field(), error_bound=1e-4, relative=True, n_blocks=4, workers=0,
+    )
+    return path
+
+
+def _serial(path: Path, error_bound=None, roi=None):
+    with ChunkedDataset(path) as dataset:
+        return dataset.read(error_bound, roi=roi)
+
+
+def _bounds(path: Path):
+    """(coarse, fine) absolute bounds well apart on the fidelity ladder."""
+    with ChunkedDataset(path) as dataset:
+        stored = dataset.absolute_bound
+    return stored * 64.0, stored * 2.0
+
+
+class _FakeClock:
+    def __init__(self) -> None:
+        self.now = 1000.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class _ConcurrencyProbe:
+    """Service proxy counting how many ``get`` calls overlap in time."""
+
+    def __init__(self, service: RetrievalService, hold: float = 0.05) -> None:
+        self._service = service
+        self._hold = hold
+        self._lock = threading.Lock()
+        self.active = 0
+        self.max_active = 0
+
+    def cost(self, *args, **kwargs):
+        return self._service.cost(*args, **kwargs)
+
+    def get_resident(self, *args, **kwargs):
+        return self._service.get_resident(*args, **kwargs)
+
+    def get(self, *args, **kwargs):
+        with self._lock:
+            self.active += 1
+            self.max_active = max(self.max_active, self.active)
+        try:
+            time.sleep(self._hold)  # stretch the overlap window
+            return self._service.get(*args, **kwargs)
+        finally:
+            with self._lock:
+                self.active -= 1
+
+
+# --------------------------------------------------------------- passthrough
+
+
+def test_uncontended_request_is_direct_and_identical(tmp_path):
+    path = _make_container(tmp_path)
+    coarse, fine = _bounds(path)
+    oracle = _serial(path, fine)
+    with RetrievalService() as service:
+        cost = service.cost(path, fine)
+        with RequestScheduler(service, max_inflight=2) as scheduler:
+            handle = scheduler.submit(path, error_bound=fine, client="alice")
+            final = handle.refined(timeout=60)
+            assert np.array_equal(final.data, oracle.data)
+            assert final.trace.bytes_loaded == oracle.bytes_loaded
+            # Nothing contended: the first answer IS the final answer.
+            assert handle.result(timeout=1) is final
+            assert not handle.degraded
+            assert final.trace.client == "alice"
+            assert final.trace.degraded is False
+            assert final.trace.budget_debited == cost.predicted_bytes
+            assert final.trace.queue_wait >= 0.0
+            stats = scheduler.stats()
+            assert stats["degraded_served"] == 0
+            assert stats["clients"]["alice"]["granted"] == 1
+
+
+def test_blocking_request_convenience_matches_get(tmp_path):
+    path = _make_container(tmp_path)
+    _, fine = _bounds(path)
+    with RetrievalService() as service:
+        direct = service.get(path, error_bound=fine)
+        with RequestScheduler(service) as scheduler:
+            scheduled = scheduler.request(path, error_bound=fine, timeout=60)
+            assert np.array_equal(scheduled.data, direct.data)
+            assert scheduled.trace.bytes_loaded == direct.trace.bytes_loaded
+
+
+def test_submit_after_close_raises(tmp_path):
+    path = _make_container(tmp_path)
+    with RetrievalService() as service:
+        scheduler = RequestScheduler(service)
+        scheduler.close()
+        with pytest.raises(RetrievalError):
+            scheduler.submit(path)
+
+
+# -------------------------------------------------------------- token budget
+
+
+def test_budget_gates_the_grant_until_tokens_accrue(tmp_path):
+    path = _make_container(tmp_path)
+    _, fine = _bounds(path)
+    oracle = _serial(path, fine)
+    clock = _FakeClock()
+    with RetrievalService() as service:
+        cost = service.cost(path, fine).predicted_bytes
+        bps = 1000
+        assert cost > bps  # the request outsizes one second of budget
+        with RequestScheduler(
+            service, budget_bps=bps, clock=clock, pacer=False
+        ) as scheduler:
+            handle = scheduler.submit(path, error_bound=fine, client="slow")
+            # Nothing resident to degrade to and the bucket is short: the
+            # request stays queued, undelivered.
+            with pytest.raises(TimeoutError):
+                handle.result(timeout=0.3)
+            assert scheduler.stats()["queued"] == 1
+            # Accrue just under the cost: still gated (never overdrawn).
+            clock.advance((cost - 1) / bps - 1.0)  # bucket was born full
+            scheduler.kick()
+            with pytest.raises(TimeoutError):
+                handle.result(timeout=0.3)
+            # Cross the cost: granted, refined, bitwise.
+            clock.advance(2.0 / bps + 1.0)
+            scheduler.kick()
+            final = handle.refined(timeout=60)
+            assert np.array_equal(final.data, oracle.data)
+            assert final.trace.budget_debited == cost
+            client = scheduler.stats()["clients"]["slow"]
+            assert client["min_tokens"] >= 0.0
+            assert client["debited_bytes"] == cost
+
+
+def test_budget_never_overdrawn_under_contention(tmp_path):
+    path = _make_container(tmp_path)
+    coarse, fine = _bounds(path)
+    requests = [(None, coarse), ((slice(0, 12),), fine), (None, fine)]
+    budgets = {"a": 3_000, "b": 9_000, "c": 27_000, "d": 0}
+    with RetrievalService() as service:
+        with RequestScheduler(
+            service, max_inflight=2, client_budgets=budgets
+        ) as scheduler:
+            handles = [
+                scheduler.submit(path, error_bound=bound, roi=roi, client=name)
+                for name in budgets
+                for roi, bound in requests
+            ]
+            finals = [h.refined(timeout=120) for h in handles]
+        stats = scheduler.stats()
+    for name in budgets:
+        client = stats["clients"][name]
+        assert client["min_tokens"] >= 0.0, name
+        # Some requests may settle free from residency once another tenant
+        # has loaded the data (never debited); the rest must be granted.
+        assert 0 <= client["granted"] <= len(requests)
+    assert sum(stats["clients"][n]["granted"] for n in budgets) >= 1
+    # No request starved: every one delivered its exact serial answer.
+    for (roi, bound), final in zip(requests * len(budgets), finals):
+        oracle = _serial(path, bound, roi=roi)
+        assert np.array_equal(final.data, oracle.data)
+
+
+# ---------------------------------------------------------------- admission
+
+
+def test_admission_window_bounds_concurrent_decodes(tmp_path):
+    path = _make_container(tmp_path)
+    with ChunkedDataset(path) as dataset:
+        stored = dataset.absolute_bound
+    # Distinct fidelity targets: no request can follow another's fetch.
+    bounds = [stored * (2.0 ** k) for k in range(4, 0, -1)]
+    with RetrievalService() as service:
+        probe = _ConcurrencyProbe(service)
+        with RequestScheduler(probe, max_inflight=1) as scheduler:
+            handles = [
+                scheduler.submit(path, error_bound=bound, client=f"c{i}")
+                for i, bound in enumerate(bounds)
+            ]
+            finals = [handle.refined(timeout=120) for handle in handles]
+        assert probe.max_active == 1
+    for bound, final in zip(bounds, finals):
+        oracle = _serial(path, bound)
+        assert np.array_equal(final.data, oracle.data)
+
+
+def test_overlapping_requests_batch_leader_and_follower(tmp_path):
+    path = _make_container(tmp_path)
+    _, fine = _bounds(path)
+    oracle = _serial(path, fine)
+    gate = threading.Event()
+    gated_once = threading.Event()
+
+    class _GatedSource:
+        """First read blocks until the test releases the gate."""
+
+        def __init__(self, inner):
+            self._inner = inner
+            self.size = inner.size
+
+        def read_range(self, offset, length):
+            if not gated_once.is_set():
+                gated_once.set()
+                gate.wait(timeout=60)
+            return self._inner.read_range(offset, length)
+
+    with RetrievalService(
+        source_filter=lambda name, source: _GatedSource(source)
+    ) as service:
+        with RequestScheduler(service, max_inflight=4) as scheduler:
+            leader = scheduler.submit(path, error_bound=fine, client="lead")
+            assert gated_once.wait(timeout=60)  # leader is mid-fetch
+            follower = scheduler.submit(path, error_bound=fine, client="tail")
+            assert scheduler.stats()["followers"] == 1
+            gate.set()
+            lead_final = leader.refined(timeout=120)
+            tail_final = follower.refined(timeout=120)
+    assert np.array_equal(lead_final.data, oracle.data)
+    assert np.array_equal(tail_final.data, oracle.data)
+    # One physical fetch served both: the follower replayed the leader's
+    # slabs (consumed accounting identical, physical zero).
+    assert tail_final.trace.bytes_loaded == oracle.bytes_loaded
+    assert tail_final.trace.physical_reads == 0
+
+
+# -------------------------------------------------------------- degradation
+
+
+def test_degraded_serve_then_background_refine_is_bitwise(tmp_path):
+    path = _make_container(tmp_path)
+    coarse, fine = _bounds(path)
+    coarse_oracle = _serial(path, coarse)
+    fine_oracle = _serial(path, fine)
+    clock = _FakeClock()
+    with RetrievalService() as service:
+        service.get(path, error_bound=coarse)  # a coarse fidelity is resident
+        cost = service.cost(path, fine).predicted_bytes
+        with RequestScheduler(
+            service, budget_bps=100, clock=clock, pacer=False
+        ) as scheduler:
+            handle = scheduler.submit(path, error_bound=fine, client="shed")
+            # Over budget: the resident coarse answer is served immediately,
+            # marked degraded, with nothing consumed and nothing debited.
+            first = handle.result(timeout=10)
+            assert handle.degraded
+            assert first.trace.degraded is True
+            assert first.trace.client == "shed"
+            assert first.trace.bytes_loaded == 0
+            assert first.trace.physical_reads == 0
+            assert first.trace.budget_debited == 0
+            assert first.trace.achieved_bound == coarse_oracle.error_bound
+            assert np.array_equal(first.data, coarse_oracle.data)
+            assert scheduler.stats()["degraded_served"] == 1
+            # The refine is still queued; fund it and it converges to the
+            # exact fresh-serial answer at the requested bound.
+            clock.advance(cost / 100 + 1.0)
+            scheduler.kick()
+            final = handle.refined(timeout=120)
+            assert np.array_equal(final.data, fine_oracle.data)
+            assert final.trace.bytes_loaded == fine_oracle.bytes_loaded
+            assert final.trace.degraded is True  # the request was load-shed
+            assert final.trace.budget_debited == cost
+
+
+def test_resident_full_fidelity_settles_without_debit(tmp_path):
+    path = _make_container(tmp_path)
+    coarse, fine = _bounds(path)
+    clock = _FakeClock()
+    with RetrievalService() as service:
+        warmed = service.get(path, error_bound=fine)
+        with RequestScheduler(
+            service, budget_bps=100, clock=clock, pacer=False
+        ) as scheduler:
+            # The bucket cannot afford the request, but the resident answer
+            # already meets the bound: served free, nothing queued.
+            handle = scheduler.submit(path, error_bound=fine, client="free")
+            final = handle.refined(timeout=10)
+            assert not handle.degraded
+            assert final.trace.degraded is False
+            assert final.trace.budget_debited == 0
+            assert np.array_equal(final.data, warmed.data)
+            stats = scheduler.stats()
+            assert stats["queued"] == 0
+            assert stats["clients"]["free"]["granted"] == 0
+            assert stats["degraded_served"] == 0
+
+
+def test_finer_residency_is_not_canonical_and_refines_to_serial(tmp_path):
+    """A resident fidelity *finer* than requested meets the bound but is
+    different bytes from the canonical serve — it must be served only as a
+    degraded first answer, with the refine converging to the exact serial
+    reconstruction of the requested bound (never settled for free)."""
+    path = _make_container(tmp_path)
+    coarse, fine = _bounds(path)
+    clock = _FakeClock()
+    with RetrievalService() as service:
+        warmed = service.get(path, error_bound=fine)
+        cost = service.cost(path, error_bound=coarse).predicted_bytes
+        bps = max(1, cost // 4)  # bucket cannot afford the request on arrival
+        with RequestScheduler(
+            service, max_inflight=1, budget_bps=bps, clock=clock, pacer=False
+        ) as scheduler:
+            handle = scheduler.submit(path, error_bound=coarse, client="c")
+            first = handle.result(timeout=10)
+            assert handle.degraded
+            assert first.trace.degraded is True
+            assert first.trace.canonical is False
+            assert first.trace.achieved_bound <= coarse  # inside the bound…
+            assert np.array_equal(first.data, warmed.data)  # …but finer bytes
+            clock.advance(cost / bps + 1.0)
+            scheduler.kick()
+            final = handle.refined(timeout=60)
+            assert final.trace.budget_debited == cost
+    oracle = _serial(path, coarse)
+    assert np.array_equal(final.data, oracle.data)
+    assert not np.array_equal(final.data, warmed.data)
+
+
+# ----------------------------------------------------------------- fairness
+
+
+def test_fair_share_across_threaded_clients(tmp_path):
+    """Four tenants with equal budgets and identical workloads, submitted
+    from racing threads, are debited identical byte totals — no tenant
+    starves or freeloads — through a window smaller than the offered load.
+
+    Each tenant works on its own copy of the container and the workload's
+    bounds strictly tighten, so no request can be satisfied (and silently
+    cancelled) by fidelity already resident — every request is granted and
+    debited its metadata-planned cost, which makes the per-tenant totals
+    exactly comparable regardless of thread interleaving."""
+    source = _make_container(tmp_path)
+    with ChunkedDataset(source) as dataset:
+        stored = dataset.absolute_bound
+    workload = [
+        (None, stored * 64.0),
+        (None, stored * 8.0),
+        ((slice(0, 12),), stored * 2.0),
+    ]
+    clients = [f"tenant-{i}" for i in range(4)]
+    paths = {}
+    for client in clients:
+        copy = tmp_path / f"{client}.rprc"
+        copy.write_bytes(source.read_bytes())
+        paths[client] = copy
+    with RetrievalService() as service:
+        with RequestScheduler(
+            service, max_inflight=2, budget_bps=200_000
+        ) as scheduler:
+            results: dict = {}
+
+            def run(client):
+                handles = [
+                    scheduler.submit(
+                        paths[client], error_bound=bound, roi=roi, client=client
+                    )
+                    for roi, bound in workload
+                ]
+                results[client] = [h.refined(timeout=120) for h in handles]
+
+            threads = [
+                threading.Thread(target=run, args=(client,)) for client in clients
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=180)
+                assert not thread.is_alive()
+        stats = scheduler.stats()
+    debited = {
+        name: stats["clients"][name]["debited_bytes"] for name in clients
+    }
+    # Identical workloads, equal budgets: byte-for-byte equal debits.
+    assert len(set(debited.values())) == 1
+    assert debited[clients[0]] > 0
+    for name in clients:
+        assert stats["clients"][name]["granted"] == len(workload)
+        assert stats["clients"][name]["min_tokens"] >= 0.0
+        assert stats["clients"][name]["delivered_bytes"] > 0
+    for client, finals in results.items():
+        for (roi, bound), final in zip(workload, finals):
+            oracle = _serial(paths[client], bound, roi=roi)
+            assert np.array_equal(final.data, oracle.data)
+            assert final.trace.client == client

@@ -481,3 +481,181 @@ def test_cli_serve_rejects_bad_request_batches(tmp_path, capsys):
     not_obj.write_text("[1, 2]\n")
     assert cli_main(["serve", str(path), "--requests", str(not_obj)]) == 2
     capsys.readouterr()
+
+
+# --------------------------------------------------- fingerprint content witness
+
+
+def test_file_fingerprint_catches_same_size_same_mtime_rewrite(tmp_path):
+    """Regression: ``(st_size, st_mtime_ns)`` alone cannot distinguish a
+    same-size rewrite inside the mtime granularity; the tail-CRC witness
+    folded into :func:`file_fingerprint` must."""
+    from repro.service import file_fingerprint
+
+    path = tmp_path / "blob.bin"
+    path.write_bytes(b"a" * 8000 + b"FOOTER-ONE")
+    stat_a = path.stat()
+    before = file_fingerprint(path)
+    path.write_bytes(b"a" * 8000 + b"FOOTER-TWO")  # same size, new meaning
+    os.utime(path, ns=(stat_a.st_atime_ns, stat_a.st_mtime_ns))
+    stat_b = path.stat()
+    # The legacy 2-tuple is blind to the rewrite (the bug being fixed)...
+    assert (stat_a.st_size, stat_a.st_mtime_ns) == (
+        stat_b.st_size, stat_b.st_mtime_ns
+    )
+    # ...the witnessed fingerprint is not.
+    after = file_fingerprint(path)
+    assert before != after
+    assert before[:2] == after[:2]  # only the witness differs
+
+
+def test_same_size_same_mtime_rewrite_never_serves_stale_cache(tmp_path):
+    """A container rewritten in place — same size, mtime pinned back — must
+    get a fresh session and fresh reads, not the dead session's slabs."""
+    path = _v2_container(tmp_path)
+    with RetrievalService() as service:
+        first = service.get(path)
+        assert service.get(path).trace.physical_reads == 0  # warm baseline
+        stat = path.stat()
+        # Rewrite one manifest digit in place: the byte count is unchanged
+        # and the JSON stays valid, but the stored bound — what the bytes
+        # *mean* — moves.  The edit sits in the trailing manifest/footer
+        # region the fingerprint witnesses.
+        blob = bytearray(path.read_bytes())
+        marker = b'"error_bound":'
+        digit = blob.rindex(marker) + len(marker)
+        assert digit >= len(blob) - 4096  # inside the witness window
+        while not chr(blob[digit]).isdigit():
+            digit += 1
+        blob[digit] = ord("1") if chr(blob[digit]) != "1" else ord("2")
+        path.write_bytes(bytes(blob))
+        os.utime(path, ns=(stat.st_atime_ns, stat.st_mtime_ns))
+        check = path.stat()
+        assert (check.st_size, check.st_mtime_ns) == (
+            stat.st_size, stat.st_mtime_ns
+        )
+        fresh = service.get(path)
+        # New session, cold physical reads — the dead session's slabs were
+        # purged, not replayed against the rewritten file.
+        assert fresh.trace.physical_reads > 0
+        assert fresh.trace.tier_hits == {}
+        oracle = _serial(path, None, None)
+        assert np.array_equal(fresh.data, oracle.data)
+        assert first is not None  # the pre-rewrite serve stays intact
+
+
+# -------------------------------------------------------- cache reconciliation
+
+
+def _reconciles(cache: TieredCache) -> bool:
+    stats = cache.to_json()
+    departed = sum(
+        sum(stats[key].values())
+        for key in ("evictions", "invalidations", "replacements")
+    )
+    return stats["entries"] == sum(stats["inserts"].values()) - departed
+
+
+def test_cache_counters_reconcile_across_every_exit_path():
+    """Regression: ``invalidate``/``purge``/re-put dropped entries without
+    bumping any counter, so ``inserts - evictions`` drifted from
+    ``entries``.  Every exit path now has a counter and the identity
+    ``entries == inserts - evictions - invalidations - replacements``
+    holds at every step."""
+    cache = TieredCache(budget_bytes=1000)
+    assert cache.put("slab", "a", "A", 400)
+    assert cache.put("rung", "b", "B", 400)
+    assert _reconciles(cache)
+    # Re-put (replacement): same key, new size.
+    assert cache.put("slab", "a", "A2", 300)
+    assert _reconciles(cache)
+    # LRU eviction under pressure.
+    assert cache.put("slab", "c", "C", 500)
+    assert sum(cache.stats.evictions.values()) >= 1
+    assert _reconciles(cache)
+    # Explicit invalidation (poisoned entry).
+    assert cache.invalidate("slab", "c")
+    assert not cache.invalidate("slab", "missing")
+    assert _reconciles(cache)
+    # Oversize re-put of an existing key: the old entry is replaced away
+    # and the new value rejected.
+    assert cache.put("slab", "a", "A3", 100)
+    assert _reconciles(cache)
+    assert not cache.put("slab", "a", "huge", 5000)
+    assert cache.stats.rejected == 1
+    assert _reconciles(cache)
+    # Purge by predicate (dead session).
+    cache.put("slab", ("sid", 1), "S", 100)
+    cache.put("rung", ("sid", 2), "R", 100)
+    assert cache.purge(lambda tier, key: isinstance(key, tuple)) == 2
+    assert _reconciles(cache)
+    assert cache.resident_bytes == sum(
+        nbytes for _, nbytes in cache._entries.values()
+    )
+
+
+def test_service_level_purge_reconciles(tmp_path):
+    """The service's session-purge path keeps the cache identity intact."""
+    path = _v2_container(tmp_path)
+    with RetrievalService() as service:
+        service.get(path)
+        # Rewrite the dataset (different content, new fingerprint): the old
+        # session's entries are purged, counted as invalidations.
+        ChunkedDataset.write(
+            path, _field((24, 20, 18), seed=9), error_bound=1e-4,
+            relative=True, n_blocks=4, workers=0,
+        )
+        service.get(path)
+        assert _reconciles(service.cache)
+        assert sum(service.cache.stats.invalidations.values()) >= 1
+
+
+# ------------------------------------------------------------- scheduled serve
+
+
+def test_cli_serve_scheduled_batch_with_budgets(tmp_path, capsys):
+    """`serve --max-inflight --client-budget-bps` routes through the QoS
+    scheduler: finals stay bitwise-identical, traces carry the client and
+    scheduling annotations, stats gain the scheduler section."""
+    path = _v2_container(tmp_path)
+    with ChunkedDataset(path) as dataset:
+        stored = dataset.absolute_bound
+    coarse, fine = stored * 64.0, stored * 4.0
+    requests = tmp_path / "requests.jsonl"
+    requests.write_text(
+        f'{{"error_bound": {coarse}, "client": "warm", "out": "w.raw"}}\n'
+        f'{{"error_bound": {fine}, "client": "alice", "out": "a.raw"}}\n'
+        f'{{"error_bound": {fine}, "client": "bob", "out": "b.raw"}}\n',
+        encoding="utf-8",
+    )
+    out_dir = tmp_path / "out"
+    out_dir.mkdir()
+    stats_json = tmp_path / "stats.json"
+    rc = cli_main([
+        "serve", str(path), "--requests", str(requests),
+        "--out-dir", str(out_dir), "--stats-json", str(stats_json),
+        "--max-inflight", "1",
+        "--client-budget-bps", "1000000",
+        "--client-budget-bps", "bob=500000",
+    ])
+    assert rc == 0
+    lines = [json.loads(l) for l in capsys.readouterr().out.splitlines() if l]
+    assert len(lines) == 3
+    for line, client in zip(lines, ("warm", "alice", "bob")):
+        assert line["client"] == client
+        assert line["queue_wait"] >= 0.0
+        assert line["budget_debited"] > 0
+        assert isinstance(line["degraded"], bool)
+    fine_oracle = _serial(path, fine, None)
+    assert (out_dir / "a.raw").read_bytes() == fine_oracle.data.tobytes()
+    assert (out_dir / "b.raw").read_bytes() == fine_oracle.data.tobytes()
+    coarse_oracle = _serial(path, coarse, None)
+    assert (out_dir / "w.raw").read_bytes() == coarse_oracle.data.tobytes()
+    stats = json.loads(stats_json.read_text())
+    sched = stats["scheduler"]
+    assert sched["submitted"] == 3
+    assert sched["queued"] == 0
+    assert sched["clients"]["bob"]["budget_bps"] == 500000
+    assert sched["clients"]["alice"]["budget_bps"] == 1000000
+    for client in sched["clients"].values():
+        assert client["min_tokens"] >= 0.0

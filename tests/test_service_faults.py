@@ -220,6 +220,67 @@ def test_cache_verify_off_is_what_disables_the_checksum(tmp_path):
         assert not np.array_equal(response.data, oracle.data)
 
 
+# ------------------------------------------------------------- retry backoff
+
+
+def test_retry_backoff_is_capped_jittered_and_recorded(tmp_path):
+    """Retries pace themselves: each failed attempt sleeps a capped
+    exponential delay with deterministic per-(shard, attempt) jitter, the
+    exact slept values land in ``trace.retry_delays``, and an identical run
+    reproduces them bit-for-bit (no hot-spinning, no flaky traces)."""
+    path = _make_container(tmp_path)
+    oracle = _serial(path)
+    base, cap = 0.05, 0.06  # cap < base·2: attempt 2 exercises the clamp
+
+    def run():
+        counter = [0]
+        slept = []
+
+        def flaky(name, source):
+            return _FlakySource(source, counter, lambda n: n <= 2)
+
+        with RetrievalService(
+            source_filter=flaky, retries=3, retry_backoff=base,
+            retry_backoff_cap=cap, sleep=slept.append,
+        ) as service:
+            return service.get(path), slept
+
+    response, slept = run()
+    assert np.array_equal(response.data, oracle.data)
+    delays = response.trace.retry_delays
+    assert response.trace.retries == 2
+    assert delays == slept  # every recorded delay was actually slept
+    assert len(delays) == 2
+    for attempt, delay in enumerate(delays, start=1):
+        raw = min(cap, base * 2.0 ** (attempt - 1))
+        assert 0.5 * raw <= delay <= raw
+    # Uncapped, attempt 2 would wait base·2 = 0.1s; the cap clamps it.
+    assert delays[1] <= cap
+    # Deterministic jitter: an identical service reproduces the run exactly.
+    again, slept_again = run()
+    assert again.trace.retry_delays == delays
+    assert slept_again == slept
+
+
+def test_zero_backoff_disables_pacing(tmp_path):
+    path = _make_container(tmp_path)
+    oracle = _serial(path)
+    counter = [0]
+    slept = []
+
+    def flaky(name, source):
+        return _FlakySource(source, counter, lambda n: n == 1)
+
+    with RetrievalService(
+        source_filter=flaky, retries=2, retry_backoff=0.0, sleep=slept.append,
+    ) as service:
+        response = service.get(path)
+    assert np.array_equal(response.data, oracle.data)
+    assert response.trace.retries == 1
+    assert all(delay == 0.0 for delay in slept)
+    assert all(delay == 0.0 for delay in response.trace.retry_delays)
+
+
 # --------------------------------------------------------------- broken pool
 
 
