@@ -32,7 +32,12 @@ Quickstart::
 from __future__ import annotations
 
 from repro.core.compressor import IPComp, IPCompConfig
-from repro.core.kernels import available_kernels, get_kernel, register_kernel
+from repro.core.kernels import (
+    available_kernels,
+    get_kernel,
+    register_kernel,
+    resolve_auto_kernel,
+)
 from repro.core.profile import CodecProfile
 from repro.core.progressive import ProgressiveRetriever, RetrievalResult
 from repro.core.optimizer import LoadingPlan, OptimizedLoader
@@ -56,5 +61,6 @@ __all__ = [
     "available_kernels",
     "get_kernel",
     "register_kernel",
+    "resolve_auto_kernel",
     "__version__",
 ]

@@ -116,7 +116,9 @@ def _add_profile_arguments(subparser: argparse.ArgumentParser, full: bool = True
         "--kernel",
         choices=available_kernels(),
         default=None,
-        help=f"bit-level kernel implementation (default: {DEFAULT_KERNEL})",
+        help=f"bit-level kernel implementation (default: {DEFAULT_KERNEL}; "
+        "'auto' picks the fastest available backend, 'compiled' needs the "
+        "[compiled] extra)",
     )
     if not full:
         return

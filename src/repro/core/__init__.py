@@ -16,7 +16,13 @@ from __future__ import annotations
 
 from repro.core.compressor import IPComp, IPCompConfig
 from repro.core.interpolation import InterpolationPredictor
-from repro.core.kernels import Kernel, available_kernels, get_kernel, register_kernel
+from repro.core.kernels import (
+    Kernel,
+    available_kernels,
+    get_kernel,
+    register_kernel,
+    resolve_auto_kernel,
+)
 from repro.core.optimizer import LoadingPlan, OptimizedLoader
 from repro.core.profile import CodecProfile
 from repro.core.progressive import ProgressiveRetriever
@@ -38,4 +44,5 @@ __all__ = [
     "available_kernels",
     "get_kernel",
     "register_kernel",
+    "resolve_auto_kernel",
 ]

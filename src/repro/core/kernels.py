@@ -26,15 +26,28 @@ registry, mirroring the pluggable lossless-backend registry of
   are zero on both sides), so prediction runs on the 8×-smaller packed
   rows and the whole level needs a single ``np.packbits`` call.  Output
   bytes are asserted identical to both other kernels.
+* ``"compiled"`` (optional, the ``[compiled]`` pip extra) is the numba
+  ``@njit(parallel=True)`` port of the fused sweep
+  (:mod:`repro.core.kernels_compiled`): the same carry-free 8×8 bit-block
+  transpose, compiled to machine code with the independent byte columns
+  parallelised across cores.  It is registered behind a lazy import — on
+  a machine without numba, requesting it raises a
+  :class:`~repro.errors.ConfigurationError` naming the extra.
+* ``"auto"`` resolves, at first use, to the fastest backend available on
+  the machine — ``compiled`` > ``fused`` > ``vectorized`` (see
+  :func:`resolve_auto_kernel`) — so profiles and CLI invocations can opt
+  into the best kernel without knowing what is installed.
 
-The simple kernels are stateless and the fused kernel's arena is pure
-per-thread scratch; :func:`get_kernel` caches one instance per registered
-name.  New
-kernels (e.g. a future C/Cython or GPU backend) are added with
-:func:`register_kernel` and become selectable everywhere a ``kernel=``
-argument is threaded through — :class:`repro.IPComp`,
-:class:`repro.ProgressiveRetriever`, the predictive coder, the Huffman
-coder, and the ``ipcomp`` CLI.
+The simple kernels are stateless and the arena-backed kernels (fused,
+compiled) keep their grow-only scratch *per thread*
+(:class:`ArenaKernel`); :func:`get_kernel` caches one instance per
+registered name, and that shared instance is decoded on concurrently by
+``RetrievalService --threads``, so per-thread scratch is a correctness
+requirement, not an optimisation.  New kernels (e.g. a future C/Cython or
+GPU backend) are added with :func:`register_kernel` and become selectable
+everywhere a ``kernel=`` argument is threaded through —
+:class:`repro.IPComp`, :class:`repro.ProgressiveRetriever`, the predictive
+coder, the Huffman coder, and the ``ipcomp`` CLI.
 """
 
 from __future__ import annotations
@@ -489,6 +502,30 @@ class _BufferArena:
         return buf[:needed].reshape(shape)
 
 
+class ArenaKernel(VectorizedKernel):
+    """Base for kernels that sweep over grow-only scratch buffers.
+
+    :func:`get_kernel` caches **one** instance per registered name and the
+    serving layer (``RetrievalService --threads``) decodes concurrently on
+    that shared instance, so arena state must be per thread: two threads
+    sweeping the same buffers would silently corrupt each other's streams.
+    Subclasses reach their scratch exclusively through :attr:`_arena`,
+    which lazily creates one :class:`_BufferArena` per thread; nothing a
+    subclass returns may alias an arena buffer (materialise block bytes
+    with ``tobytes`` and decoded arrays with a copying conversion).
+    """
+
+    def __init__(self) -> None:
+        self._thread_state = threading.local()
+
+    @property
+    def _arena(self) -> _BufferArena:
+        arena = getattr(self._thread_state, "arena", None)
+        if arena is None:
+            arena = self._thread_state.arena = _BufferArena()
+        return arena
+
+
 #: Per-byte LSB mask / bit-gather multiplier of the 8×8 bit-block
 #: transpose (Hacker's Delight ``transpose8``): with ``t`` holding one
 #: 0/1 bit in every byte's LSB, ``(t * _TRANSPOSE_MAGIC) >> 56`` packs
@@ -499,7 +536,7 @@ _TRANSPOSE_MAGIC = np.uint64(0x0102040810204080)
 _U64_SHIFTS = [np.uint64(s) for s in range(64)]
 
 
-class FusedKernel(VectorizedKernel):
+class FusedKernel(ArenaKernel):
     """Single-sweep plane pipeline over a reusable buffer arena.
 
     The primitive operations are inherited from :class:`VectorizedKernel`
@@ -530,19 +567,6 @@ class FusedKernel(VectorizedKernel):
     """
 
     name = "fused"
-
-    def __init__(self) -> None:
-        # One arena per thread: the registry hands every caller the same
-        # cached instance, and shared scratch across threads would be a
-        # silent stream corruptor.
-        self._thread_state = threading.local()
-
-    @property
-    def _arena(self) -> _BufferArena:
-        arena = getattr(self._thread_state, "arena", None)
-        if arena is None:
-            arena = self._thread_state.arena = _BufferArena()
-        return arena
 
     # ------------------------------------------------------- fused pipelines
 
@@ -680,6 +704,54 @@ def get_kernel(kernel: Optional[Union[str, Kernel]] = None) -> Kernel:
     return _INSTANCES[name]
 
 
+def _compiled_factory() -> Kernel:
+    """Lazy-import factory for the optional numba backend.
+
+    The import (and therefore the hard numba dependency) only happens when
+    ``kernel="compiled"`` is actually requested; without numba installed,
+    :class:`~repro.core.kernels_compiled.CompiledKernel` raises a
+    :class:`~repro.errors.ConfigurationError` naming the ``[compiled]``
+    extra, and nothing is cached — installing numba later in the same
+    process makes the next request succeed.
+    """
+    from repro.core.kernels_compiled import CompiledKernel
+
+    return CompiledKernel()
+
+
+#: Name of the self-resolving kernel: the fastest available backend.
+AUTO_KERNEL = "auto"
+
+#: Auto-selection preference, fastest first.  The last entry is the
+#: unconditional fallback (always constructible).
+_AUTO_PREFERENCE = ("compiled", "fused", "vectorized")
+
+
+def resolve_auto_kernel() -> str:
+    """The name ``kernel="auto"`` resolves to on this machine.
+
+    Tries the preference order ``compiled`` > ``fused`` > ``vectorized``
+    and returns the first backend that actually constructs — a missing
+    optional dependency (numba) degrades to the next-best backend instead
+    of failing, so ``auto`` never raises.
+    """
+    for name in _AUTO_PREFERENCE[:-1]:
+        if name not in _REGISTRY:
+            continue
+        try:
+            get_kernel(name)
+        except ConfigurationError:
+            continue
+        return name
+    return _AUTO_PREFERENCE[-1]
+
+
+def _auto_factory() -> Kernel:
+    return get_kernel(resolve_auto_kernel())
+
+
 register_kernel("vectorized", VectorizedKernel)
 register_kernel("reference", ReferenceKernel)
 register_kernel("fused", FusedKernel)
+register_kernel("compiled", _compiled_factory)
+register_kernel(AUTO_KERNEL, _auto_factory)

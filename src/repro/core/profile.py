@@ -89,6 +89,11 @@ class CodecProfile:
     kernel:
         Registered bit-level kernel name (:mod:`repro.core.kernels`).  A pure
         runtime choice — every kernel reads and writes identical bytes.
+        ``"auto"`` resolves at first use to the fastest backend available
+        on the machine (``compiled`` > ``fused`` > ``vectorized``);
+        ``"compiled"`` requires the optional ``[compiled]`` extra (numba)
+        and raises :class:`~repro.errors.ConfigurationError` with the
+        install hint when it is missing.
     anchor_coder:
         Registered lossless coder used for the (small, always fully loaded)
         anchor block.

@@ -26,6 +26,7 @@ import pytest
 
 from repro.core.compressor import IPComp
 from repro.core.kernels import available_kernels, get_kernel
+from repro.core.kernels_compiled import numba_available
 from repro.core.predictive_coder import negotiate_encode
 from repro.core.profile import (
     DEFAULT_NEGOTIATION_SAMPLE,
@@ -36,6 +37,16 @@ from repro.core.progressive import ProgressiveRetriever
 from repro.errors import ConfigurationError
 
 KERNELS = ("reference", "vectorized", "fused")
+#: The optional JIT backend joins every identity matrix when its dependency
+#: is importable; without numba it is absent here and covered instead by the
+#: always-on pure-Python sweep tests in ``test_kernels_compiled.py``.
+ALL_KERNELS = KERNELS + (("compiled",) if numba_available() else ())
+COMPILED_PARAM = pytest.param(
+    "compiled",
+    marks=pytest.mark.skipif(
+        not numba_available(), reason="numba not installed (the [compiled] extra)"
+    ),
+)
 WIDE_CODERS = ("zlib", "huffman", "rle", "raw")
 
 
@@ -68,7 +79,7 @@ def test_kernel_negotiation_stream_identity_matrix(shape, negotiation):
     )
     field = _field(rng, shape)
     streams = {}
-    for kernel in KERNELS:
+    for kernel in ALL_KERNELS:
         profile = CodecProfile(
             error_bound=1e-4,
             relative=True,
@@ -78,10 +89,10 @@ def test_kernel_negotiation_stream_identity_matrix(shape, negotiation):
             negotiation_sample=512,
         )
         streams[kernel] = IPComp(profile=profile).compress(field)
-    assert streams["fused"] == streams["vectorized"] == streams["reference"]
+    assert len(set(streams.values())) == 1, sorted(streams)
 
 
-@pytest.mark.parametrize("kernel", KERNELS)
+@pytest.mark.parametrize("kernel", [*KERNELS, COMPILED_PARAM, "auto"])
 def test_any_kernel_decodes_any_stream(kernel):
     """Kernels are a runtime choice on the decode side too."""
     rng = _local_rng(3)
@@ -95,21 +106,22 @@ def test_any_kernel_decodes_any_stream(kernel):
 
 def test_encode_planes_hook_parity_across_kernels():
     rng = _local_rng(5)
-    kernels = [get_kernel(name) for name in KERNELS]
+    kernels = [get_kernel(name) for name in ALL_KERNELS]
     for n in (0, 1, 7, 64, 65, 1000):
         for spread in (1, 900, 2**40):
             codes = rng.integers(-spread, spread + 1, size=n, dtype=np.int64)
             for prefix_bits in range(4):
                 outs = [k.encode_planes(codes, prefix_bits) for k in kernels]
-                assert outs[0] == outs[1] == outs[2], (n, spread, prefix_bits)
+                for other in outs[1:]:
+                    assert other == outs[0], (n, spread, prefix_bits)
                 nbits, blocks = outs[0]
                 for keep in {0, 1, nbits // 2, nbits}:
                     decoded = [
                         k.decode_planes(blocks[:keep], n, nbits, prefix_bits)
                         for k in kernels
                     ]
-                    assert np.array_equal(decoded[0], decoded[1])
-                    assert np.array_equal(decoded[1], decoded[2])
+                    for other in decoded[1:]:
+                        assert np.array_equal(decoded[0], other)
                     if keep == nbits:
                         assert np.array_equal(decoded[0], codes)
 

@@ -21,6 +21,7 @@ from repro.core.kernels import (
     get_kernel,
     register_kernel,
 )
+from repro.core.kernels_compiled import numba_available
 from repro.core.progressive import ProgressiveRetriever
 from repro.core.quantizer import LinearQuantizer
 from repro.datasets import load_dataset
@@ -48,6 +49,7 @@ def _codes(rng, n=300, width=12):
 def test_registry_lists_builtin_kernels():
     names = available_kernels()
     assert "reference" in names and "vectorized" in names
+    assert "fused" in names and "compiled" in names and "auto" in names
     assert DEFAULT_KERNEL == "vectorized"
 
 
@@ -207,6 +209,27 @@ def test_huffman_streams_byte_identical(rng):
 
 
 # ------------------------------------------------------------------ end to end
+
+
+@pytest.mark.parametrize(
+    "kernel",
+    [
+        "fused",
+        "auto",
+        pytest.param(
+            "compiled",
+            marks=pytest.mark.skipif(
+                not numba_available(),
+                reason="numba not installed (the [compiled] extra)",
+            ),
+        ),
+    ],
+)
+def test_extended_kernels_match_the_oracle_stream(kernel):
+    """The arena/JIT/auto kernels emit the reference oracle's exact bytes."""
+    field = load_dataset("density", shape=(11, 13, 17)).astype(np.float64)
+    oracle = IPComp(error_bound=1e-4, relative=True, kernel="reference").compress(field)
+    assert IPComp(error_bound=1e-4, relative=True, kernel=kernel).compress(field) == oracle
 
 
 @pytest.mark.parametrize(

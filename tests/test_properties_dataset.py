@@ -34,8 +34,28 @@ CASES = [
     ("3d-f64-rel-vec", np.float64, (14, 9, 11), 5, True, 1e-5, "vectorized"),
     ("3d-f32-rel-ref", np.float32, (10, 8, 6), 2, True, 1e-3, "reference"),
     ("3d-overdecomposed", np.float64, (5, 6, 7), 16, True, 1e-4, "vectorized"),
+    ("2d-f64-rel-fused", np.float64, (17, 15), 3, True, 1e-4, "fused"),
 ]
 IDS = [case[0] for case in CASES]
+
+# The optional JIT backend joins the sweep only with numba installed (the
+# [compiled] extra); the skip carries the reason so the gap is visible.
+from repro.core.kernels_compiled import numba_available  # noqa: E402
+
+_SWEEP_CASES = [case[1:] for case in CASES] + [
+    pytest.param(
+        np.float64,
+        (13, 9, 11),
+        3,
+        True,
+        1e-4,
+        "compiled",
+        marks=pytest.mark.skipif(
+            not numba_available(), reason="numba not installed (the [compiled] extra)"
+        ),
+    ),
+]
+_SWEEP_IDS = IDS + ["3d-f64-rel-compiled"]
 
 
 def _field(shape, dtype, seed):
@@ -60,8 +80,8 @@ def _random_roi(shape, seed):
 
 @pytest.mark.parametrize(
     "dtype,shape,n_blocks,relative,error_bound,kernel",
-    [case[1:] for case in CASES],
-    ids=IDS,
+    _SWEEP_CASES,
+    ids=_SWEEP_IDS,
 )
 def test_roundtrip_bound_and_roi_slab(
     tmp_path, dtype, shape, n_blocks, relative, error_bound, kernel
@@ -104,7 +124,20 @@ def test_roundtrip_bound_and_roi_slab(
         assert set(part.shards) <= set(reference.shards)
 
 
-@pytest.mark.parametrize("kernel", ["reference", "vectorized"])
+@pytest.mark.parametrize(
+    "kernel",
+    [
+        "reference",
+        "vectorized",
+        pytest.param(
+            "compiled",
+            marks=pytest.mark.skipif(
+                not numba_available(),
+                reason="numba not installed (the [compiled] extra)",
+            ),
+        ),
+    ],
+)
 def test_refine_is_monotone_additive_and_never_rereads(tmp_path, kernel):
     field = _field((20, 12, 10), np.float64, seed=90125)
     path = tmp_path / "field.rprc"
