@@ -15,6 +15,11 @@ and emits **`BENCH_retrieval.json`** at the repo root:
    synchronous ladder (hard-gated; this is the accounting contract).
 4. **Single-stream decode** — the bare ``.ipc`` file path through
    ``open_stream_source`` with and without prefetch.
+5. **Loopback HTTP** — the same container served by
+   :class:`repro.io.rangeserver.RangeServer` and read through the
+   resilient remote stack: MB/s and the remote/local latency ratio are
+   recorded; byte identity and a retry-free clean run are hard-gated
+   (a healthy loopback read that needs retries is a client bug).
 
 Correctness is hard-gated (bitwise identity across every path); speed is
 recorded and gated only where the hardware can honour it: the checked-in
@@ -35,6 +40,8 @@ import pytest
 from benchmarks.conftest import BENCH_SCALE, REPO_ROOT, print_table, write_csv
 from repro import ChunkedDataset, CodecProfile, IPComp, ProgressiveRetriever
 from repro.core.kernels_compiled import numba_available
+from repro.io.rangeserver import RangeServer
+from repro.io.remote import open_remote_source
 from repro.retrieval.engine import open_stream_source
 
 BENCH_JSON = REPO_ROOT / "BENCH_retrieval.json"
@@ -215,6 +222,40 @@ def _run_stream(tmp_path, field):
     }
 
 
+def _run_remote(path, field, sync_seconds):
+    """Loopback-HTTP leg: the container through the resilient remote stack.
+
+    A clean loopback run is the stack's fixed-overhead measurement: the
+    bytes are identical to the local read (hard gate elsewhere), zero
+    retries happen (ditto), and the remote/local latency ratio is the
+    per-request cost of HTTP framing — recorded, never gated, since it is
+    pure hardware/loopback noise.
+    """
+    mb = field.nbytes / 1e6
+    with RangeServer(path.parent) as server:
+        url = server.url_for(path.name)
+
+        def read():
+            stack = open_remote_source(url)
+            with ChunkedDataset(url, source=stack) as dataset:
+                return dataset.read(), stack.stats()
+
+        local = _read_once(path)
+        result, stats = read()  # identity + accounting pass (untimed)
+        seconds = _best_seconds(lambda: read(), 3)
+    return {
+        "mbps": round(mb / seconds, 3),
+        "seconds": round(seconds, 4),
+        "latency_ratio_vs_sync": round(seconds / sync_seconds, 3),
+        "requests": stats.get("requests", 0),
+        "egress_bytes": stats.get("egress_bytes", 0),
+        "retries": stats.get("retries", 0),
+        "crc_verified": stats.get("crc_verified", 0),
+        "identical": result.data.tobytes() == local.data.tobytes()
+        and result.bytes_loaded == local.bytes_loaded,
+    }
+
+
 def _check_floor(payload) -> list:
     """Regression gate against the checked-in floor (>30 % drop fails)."""
     if not FLOOR_FILE.exists():
@@ -252,6 +293,7 @@ def test_retrieval_e2e(benchmark, results_dir, tmp_path):
     )
 
     def _run():
+        full_read = _run_full_reads(path, field)
         return {
             "schema": "bench-retrieval-e2e/v1",
             "scale": BENCH_SCALE,
@@ -259,11 +301,14 @@ def test_retrieval_e2e(benchmark, results_dir, tmp_path):
             "field_mb": round(field.nbytes / 1e6, 3),
             "n_blocks": N_BLOCKS,
             "prefetch_depth": _PREFETCH_DEPTH,
-            "full_read": _run_full_reads(path, field),
+            "full_read": full_read,
             "compiled_kernel": _run_compiled_kernel(path, field),
             "roi": _run_roi(path, field),
             "refine_ladder": _run_refine_ladder(path),
             "single_stream": _run_stream(tmp_path, field),
+            "remote_http": _run_remote(
+                path, field, full_read["modes"]["sync"]["seconds"]
+            ),
         }
 
     payload = benchmark.pedantic(_run, rounds=1, iterations=1)
@@ -275,9 +320,14 @@ def test_retrieval_e2e(benchmark, results_dir, tmp_path):
     ] + [
         [f"pool/workers={w}", cell["mbps"]]
         for w, cell in payload["full_read"]["pool"].items()
-    ]
+    ] + [["loopback-http", payload["remote_http"]["mbps"]]]
     print_table("Retrieval e2e: full-field read", header, rows)
     write_csv(results_dir / "retrieval_e2e.csv", header, rows)
+    remote = payload["remote_http"]
+    print(
+        f"loopback http: {remote['mbps']} MB/s over {remote['requests']} "
+        f"ranged GETs ({remote['latency_ratio_vs_sync']}x local sync latency)"
+    )
     print(
         f"roi: {payload['roi']['roi_volume_fraction']:.3f} of the volume → "
         f"{payload['roi']['bytes_fraction']:.3f} of the bytes; "
@@ -299,6 +349,9 @@ def test_retrieval_e2e(benchmark, results_dir, tmp_path):
     # A ≤ 1/4-volume ROI must touch well under half the full-read bytes.
     assert payload["roi"]["roi_volume_fraction"] <= 0.25
     assert payload["roi"]["bytes_fraction"] < 0.5, payload["roi"]
+    # Loopback HTTP: identical bytes, and a clean run never retries.
+    assert payload["remote_http"]["identical"], payload["remote_http"]
+    assert payload["remote_http"]["retries"] == 0, payload["remote_http"]
 
     # Perf gates: floor-file driven; pool floors only on multi-core boxes.
     floor_failures = _check_floor(payload)

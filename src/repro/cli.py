@@ -16,6 +16,9 @@ Subcommands::
     ipcomp serve      OUT.rprc --requests REQS.jsonl --max-inflight 2 \
                       --client-budget-bps 1000000 --client-budget-bps vip=8000000
     ipcomp stats      OUT.rprc --requests REQS.jsonl  # aggregate only
+    ipcomp retrieve   http://host:8123/OUT.rprc -o ROI.raw --roi 0:16,:,: \
+                      --error-bound 1e-3 --mirror http://replica:8123/OUT.rprc
+    ipcomp serve      http://host:8123/OUT.rprc --requests REQS.jsonl
     ipcomp datasets                       # print the Table 3 inventory
     ipcomp demo       --dataset density   # synthetic end-to-end demo + metrics
 
@@ -44,6 +47,18 @@ byte-budgeted per client, with overload answered from resident fidelity
 (``"degraded": true`` in the trace) and refined in the background — the
 written outputs are always the final refined answers.
 
+``retrieve``, ``info``, ``serve`` and ``stats`` also accept ``http(s)://``
+URLs served with byte-range support (``python -m repro.io.rangeserver PATH``
+publishes a directory): reads go through the resilient remote stack of
+:mod:`repro.io.remote` — retries with jittered backoff, per-endpoint
+circuit breakers, CRC verification, and with ``--mirror`` replica failover
+— and stay bitwise-identical to a local read.  ``--inject-faults PLAN.json``
+(a :mod:`repro.io.faults` plan) deterministically injects failures:
+client-side below CRC verification for ``retrieve`` URLs, or around every
+cold read's source for ``serve``/``stats``, exercising the healing paths
+end-to-end.  ``retrieve --trace-json FILE`` writes a receipt with the
+remote stack's request/egress/retry/breaker statistics.
+
 Configuration is one :class:`~repro.core.profile.CodecProfile`:
 ``--profile FILE.json`` loads a profile, and the individual flags (``--eb``,
 ``--abs``, ``--method``, ``--kernel``, ``--coders``, ``--negotiation``)
@@ -65,9 +80,18 @@ from repro.core.stream import IPCompStream
 from repro.datasets import dataset_table, load_dataset, load_raw, save_raw
 from repro.errors import ConfigurationError, ReproError
 from repro.io import is_container
+from repro.io.container import sniff_container
+from repro.io.faults import FaultInjector, FaultPlan
+from repro.io.remote import is_url, open_remote_source
 from repro.retrieval.engine import open_stream_source
 from repro.retrieval.prefetch import DEFAULT_PREFETCH_DEPTH
 from repro.service import RetrievalService
+
+
+def _input_path(text: str):
+    """Input argument type: a local path, or an ``http(s)://`` URL kept as
+    a verbatim string (``Path`` would collapse the ``//``)."""
+    return text if is_url(text) else Path(text)
 
 
 def _parse_shape(text: str) -> tuple:
@@ -231,8 +255,37 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_profile_arguments(decompress, full=False)
 
     retrieve = sub.add_parser("retrieve", help="partial retrieval at a fidelity target")
-    retrieve.add_argument("input", type=Path)
+    retrieve.add_argument(
+        "input",
+        type=_input_path,
+        help="stream/container file, or an http(s):// URL served with "
+        "Range support (e.g. by python -m repro.io.rangeserver)",
+    )
     retrieve.add_argument("-o", "--output", type=Path, required=True)
+    retrieve.add_argument(
+        "--mirror",
+        action="append",
+        default=None,
+        metavar="URL",
+        help="replica URL of the same bytes (repeatable; URL inputs only) "
+        "— reads fail over between mirrors by health",
+    )
+    retrieve.add_argument(
+        "--inject-faults",
+        type=Path,
+        default=None,
+        metavar="PLAN.json",
+        help="deterministic fault plan (repro.io.faults JSON) injected "
+        "client-side below CRC verification (URL inputs only)",
+    )
+    retrieve.add_argument(
+        "--trace-json",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="write a retrieval receipt JSON (bytes, and for URL inputs "
+        "the remote stack's requests/egress/retries/breaker stats)",
+    )
     group = retrieve.add_mutually_exclusive_group(required=True)
     group.add_argument("--error-bound", type=float)
     group.add_argument("--bitrate", type=float)
@@ -272,7 +325,7 @@ def _build_parser() -> argparse.ArgumentParser:
     info = sub.add_parser(
         "info", help="print the parsed stream header / dataset manifest"
     )
-    info.add_argument("input", type=Path)
+    info.add_argument("input", type=_input_path)
     info.add_argument(
         "--roi",
         type=_parse_roi,
@@ -290,7 +343,29 @@ def _build_parser() -> argparse.ArgumentParser:
     )
 
     def _add_serve_arguments(subparser: argparse.ArgumentParser) -> None:
-        subparser.add_argument("input", type=Path)
+        subparser.add_argument(
+            "input",
+            type=_input_path,
+            help="container/stream file, or an http(s):// URL (served "
+            "through the resilient remote stack)",
+        )
+        subparser.add_argument(
+            "--mirror",
+            action="append",
+            default=None,
+            metavar="URL",
+            help="replica URL for URL inputs (repeatable): reads fail "
+            "over between mirrors by health",
+        )
+        subparser.add_argument(
+            "--inject-faults",
+            type=Path,
+            default=None,
+            metavar="PLAN.json",
+            help="deterministic fault plan (repro.io.faults JSON) wrapped "
+            "around every cold read's source — the service's retry "
+            "ladder must heal the injected failures",
+        )
         subparser.add_argument(
             "--requests",
             type=Path,
@@ -451,11 +526,101 @@ def _retrieve_prefetch_depth(args, file_knobs: dict) -> int:
     return int(file_knobs.get("prefetch", DEFAULT_PREFETCH_DEPTH))
 
 
+def _fault_injector_from_args(args) -> "FaultInjector | None":
+    if getattr(args, "inject_faults", None) is None:
+        return None
+    return FaultInjector(FaultPlan.from_file(args.inject_faults))
+
+
+def _write_retrieve_trace(args, result, remote_stats) -> None:
+    """``retrieve --trace-json``: one receipt object, remote stats included."""
+    if args.trace_json is None:
+        return
+    receipt = {
+        "input": str(args.input),
+        "error_bound": result.error_bound,
+        "bytes_loaded": result.bytes_loaded,
+        "bitrate": result.bitrate(),
+        "remote": remote_stats,
+    }
+    args.trace_json.write_text(json.dumps(receipt, indent=2), encoding="utf-8")
+
+
+def _cmd_retrieve_remote(args, profile, prefetch, workers) -> int:
+    """``retrieve`` over an ``http(s)://`` URL: the resilient remote stack
+    (retries, CRC, optional mirrors / injected faults) feeds the same
+    plan → prefetch → decode pipeline; output is bitwise-identical to a
+    local read of the same file."""
+    injector = _fault_injector_from_args(args)
+    stack = open_remote_source(
+        args.input,
+        tuple(args.mirror or ()),
+        tamper=injector.tamper if injector is not None else None,
+    )
+    if sniff_container(stack):
+        if args.bitrate is not None:
+            stack.close()
+            raise ConfigurationError(
+                "container retrieval targets an error bound, not a bitrate"
+            )
+        # The dataset's reader owns (and closes) the stack.
+        with ChunkedDataset(
+            args.input, profile=profile, prefetch=prefetch,
+            workers=workers, source=stack,
+        ) as dataset:
+            result = dataset.read(error_bound=args.error_bound, roi=args.roi)
+            save_raw(args.output, result.data)
+            file_bytes = dataset.file_bytes
+            n_shards = dataset.n_shards
+        stats = stack.stats()
+        print(
+            f"retrieved {result.bytes_loaded} B of {file_bytes} B over HTTP "
+            f"({len(result.shards)}/{n_shards} shards, "
+            f"{stats['egress_bytes']} B egress, {stats.get('retries', 0)} retries), "
+            f"guaranteed error <= {result.error_bound:.3e}"
+        )
+    else:
+        if args.roi is not None:
+            stack.close()
+            raise ConfigurationError(
+                "--roi requires a chunked container (compress with --blocks)"
+            )
+        source = open_stream_source(args.input, prefetch=prefetch, source=stack)
+        try:
+            retriever = ProgressiveRetriever(source, profile=profile)
+            result = retriever.retrieve(
+                error_bound=args.error_bound, bitrate=args.bitrate
+            )
+        finally:
+            close = getattr(source, "close", None)
+            if close is not None:
+                close()
+        save_raw(args.output, result.data)
+        stats = stack.stats()
+        print(
+            f"retrieved {result.bytes_loaded} B over HTTP "
+            f"({stats['egress_bytes']} B egress, {stats.get('retries', 0)} "
+            f"retries, {result.bitrate():.3f} bits/value), "
+            f"guaranteed error <= {result.error_bound:.3e}"
+        )
+    if injector is not None:
+        stats = {**stats, "faults": injector.stats()}
+    _write_retrieve_trace(args, result, stats)
+    return 0
+
+
 def _cmd_retrieve(args) -> int:
     profile = _decode_profile_from_args(args)
     file_knobs = _runtime_knobs_from_profile_file(args)
     prefetch = _retrieve_prefetch_depth(args, file_knobs)
     workers = args.workers if args.workers is not None else file_knobs.get("workers")
+    if is_url(args.input):
+        return _cmd_retrieve_remote(args, profile, prefetch, workers)
+    if args.mirror or args.inject_faults is not None:
+        raise ConfigurationError(
+            "--mirror and --inject-faults apply to http(s):// inputs "
+            "(use 'serve --inject-faults' for local files)"
+        )
     if is_container(args.input):
         if args.bitrate is not None:
             raise ConfigurationError(
@@ -472,6 +637,7 @@ def _cmd_retrieve(args) -> int:
                 f"{result.bitrate():.3f} bits/value), "
                 f"guaranteed error <= {result.error_bound:.3e}"
             )
+        _write_retrieve_trace(args, result, None)
         return 0
     if args.roi is not None:
         raise ConfigurationError(
@@ -494,6 +660,7 @@ def _cmd_retrieve(args) -> int:
         f"retrieved {result.bytes_loaded} B "
         f"({result.bitrate():.3f} bits/value), guaranteed error <= {result.error_bound:.3e}"
     )
+    _write_retrieve_trace(args, result, None)
     return 0
 
 
@@ -512,30 +679,25 @@ def _header_summary(header) -> dict:
     return summary
 
 
-def _cmd_info(args) -> int:
-    if is_container(args.input):
-        with ChunkedDataset(args.input) as dataset:
-            report = dict(dataset.manifest)
-            report["file_bytes"] = dataset.file_bytes
-            shard_headers = {}
-            for shard in sorted(dataset.shards, key=lambda s: s.name):
-                header, _ = IPCompStream.parse_header_source(
-                    dataset.shard_source(shard.name)
-                )
-                shard_headers[shard.name] = _header_summary(header)
-            report["shard_headers"] = shard_headers
-            if args.roi is not None or args.error_bound is not None:
-                # Stage-1 planning only: the fetch ops, coalesced ranges and
-                # predicted bytes a stateless read of this region would run.
-                plan = dataset.plan(error_bound=args.error_bound, roi=args.roi)
-                report["retrieval_plan"] = plan.to_json()
-        print(json.dumps(report, indent=2))
-        return 0
-    if args.roi is not None:
-        raise ConfigurationError(
-            "--roi requires a chunked container (compress with --blocks)"
+def _container_info(dataset, args) -> dict:
+    report = dict(dataset.manifest)
+    report["file_bytes"] = dataset.file_bytes
+    shard_headers = {}
+    for shard in sorted(dataset.shards, key=lambda s: s.name):
+        header, _ = IPCompStream.parse_header_source(
+            dataset.shard_source(shard.name)
         )
-    blob = args.input.read_bytes()
+        shard_headers[shard.name] = _header_summary(header)
+    report["shard_headers"] = shard_headers
+    if args.roi is not None or args.error_bound is not None:
+        # Stage-1 planning only: the fetch ops, coalesced ranges and
+        # predicted bytes a stateless read of this region would run.
+        plan = dataset.plan(error_bound=args.error_bound, roi=args.roi)
+        report["retrieval_plan"] = plan.to_json()
+    return report
+
+
+def _stream_info(blob: bytes, args) -> dict:
     header, _ = IPCompStream.parse_header(blob)
     summary = _header_summary(header)
     if args.error_bound is not None:
@@ -556,7 +718,38 @@ def _cmd_info(args) -> int:
             )
         ])
         summary["retrieval_plan"] = plan.to_json()
-    print(json.dumps(summary, indent=2))
+    return summary
+
+
+def _cmd_info(args) -> int:
+    if is_url(args.input):
+        stack = open_remote_source(args.input)
+        if sniff_container(stack):
+            with ChunkedDataset(args.input, source=stack) as dataset:
+                report = _container_info(dataset, args)
+        else:
+            try:
+                if args.roi is not None:
+                    raise ConfigurationError(
+                        "--roi requires a chunked container "
+                        "(compress with --blocks)"
+                    )
+                blob = stack.read_range(0, stack.size)
+            finally:
+                stack.close()
+            report = _stream_info(blob, args)
+        print(json.dumps(report, indent=2))
+        return 0
+    if is_container(args.input):
+        with ChunkedDataset(args.input) as dataset:
+            report = _container_info(dataset, args)
+        print(json.dumps(report, indent=2))
+        return 0
+    if args.roi is not None:
+        raise ConfigurationError(
+            "--roi requires a chunked container (compress with --blocks)"
+        )
+    print(json.dumps(_stream_info(args.input.read_bytes(), args), indent=2))
     return 0
 
 
@@ -641,11 +834,15 @@ def _serve_batch(args) -> tuple:
     )
     requests = _load_requests(args.requests)
     scheduled = args.max_inflight is not None or args.client_budget_bps
+    injector = _fault_injector_from_args(args)
+    remote_options = {"mirrors": tuple(args.mirror)} if args.mirror else {}
     with RetrievalService(
         profile=profile,
         cache_bytes=cache_bytes,
         cache_verify=file_knobs.get("cache_verify"),
         workers=workers,
+        source_filter=injector.source_filter if injector is not None else None,
+        remote_options=remote_options,
     ) as service:
         if scheduled:
             default_bps, per_client = _parse_client_budgets(args.client_budget_bps)
@@ -687,6 +884,8 @@ def _serve_batch(args) -> tuple:
                 with ThreadPoolExecutor(max_workers=threads) as pool:
                     traces = list(pool.map(serve_one, requests))
             stats = service.stats()
+    if injector is not None:
+        stats = {**stats, "faults": injector.stats()}
     if args.stats_json is not None:
         args.stats_json.write_text(json.dumps(stats, indent=2), encoding="utf-8")
     return traces, stats

@@ -30,5 +30,28 @@ class RetrievalError(ReproError, RuntimeError):
     """
 
 
+class RemoteSourceError(ReproError, OSError):
+    """A remote byte-range backend failed at the transport level.
+
+    Covers connection failures, unexpected HTTP statuses, ``Content-Range``
+    mismatches, open circuit breakers, and exceeded retry deadlines.
+    Subclasses :class:`OSError` so every existing retry ladder (the
+    service's, :class:`~repro.io.remote.RetryingSource`'s) already treats
+    it as transient, while staying distinct from
+    :class:`StreamFormatError` — the *stream* may be fine, the *network*
+    was not.
+    """
+
+
+class RemoteIntegrityError(RemoteSourceError):
+    """A fetched payload failed its per-fetch checksum.
+
+    The bytes arrived but do not match the checksum the server declared
+    for the range — in-flight corruption, a mid-rewrite mirror, a broken
+    proxy.  Retryable (a re-fetch usually heals it) and deliberately *not*
+    a :class:`StreamFormatError`: the stored stream is presumed intact.
+    """
+
+
 class NotCompressedError(ReproError, RuntimeError):
     """An operation that requires a compressed stream was called too early."""

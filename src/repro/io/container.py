@@ -53,6 +53,18 @@ def is_container(path: Union[str, Path]) -> bool:
         return False
 
 
+def sniff_container(source) -> bool:
+    """Tail-magic sniff over any byte-range source (remote ``is_container``).
+
+    One 4-byte ranged read — the cheapest way to decide whether an
+    ``http(s)://`` object is a block container or a bare stream.
+    """
+    size = int(source.size)
+    if size < _TAIL:
+        return False
+    return source.read_range(size - 4, 4) == MAGIC
+
+
 class BlockContainerWriter:
     """Append named blocks to a container file."""
 
@@ -100,18 +112,36 @@ class BlockContainerWriter:
 
 
 class BlockContainerReader:
-    """Random access to the blocks of a container file with byte accounting."""
+    """Random access to the blocks of a container with byte accounting.
 
-    def __init__(self, path: Union[str, Path]) -> None:
-        self.path = Path(path)
-        self._handle = open(self.path, "rb")
+    Opens either a local path or any **byte-range source** (``size`` +
+    ``read_range(offset, length)``) — in particular the resilient remote
+    stacks built by :func:`repro.io.remote.open_remote_source`, which is
+    how a container served over HTTP is read without any layer above this
+    one knowing about networking.  A reader built from a source owns it:
+    :meth:`close` closes the source too.
+    """
+
+    def __init__(self, source: Union[str, Path, object]) -> None:
+        if hasattr(source, "read_range") and hasattr(source, "size"):
+            self.path: Optional[Path] = None
+            self._source = source
+            self._handle = None
+            self._file_size = int(source.size)
+        else:
+            self.path = Path(source)
+            self._source = None
+            self._handle = open(self.path, "rb")
+            self._handle.seek(0, 2)
+            self._file_size = self._handle.tell()
         # Range reads may arrive from prefetch threads concurrently with the
         # decoding thread's cache misses; seek+read must stay atomic.
         self._lock = threading.Lock()
         try:
             self._parse_footer()
         except BaseException:
-            self._handle.close()
+            if self._handle is not None:
+                self._handle.close()
             raise
         self.bytes_read = 0
         #: Number of physical ``read_range`` calls served (the serving-layer
@@ -119,22 +149,41 @@ class BlockContainerReader:
         self.n_reads = 0
         self._closed = False
 
+    def _read_at(self, offset: int, length: int, context: str) -> bytes:
+        """Read ``length`` bytes at absolute ``offset``, or fail loud.
+
+        The single physical-read primitive of the reader: backed by the
+        locked file handle or the byte-range source, and always validated
+        — a short read raises a :class:`StreamFormatError` naming the
+        offset instead of handing truncated bytes to the decoder.
+        """
+        if self._source is not None:
+            data = self._source.read_range(offset, length)
+        else:
+            with self._lock:
+                self._handle.seek(offset)
+                data = self._handle.read(length)
+        if len(data) != length:
+            raise StreamFormatError(
+                f"{context}: wanted {length} B at offset {offset}, "
+                f"got {len(data)}"
+            )
+        return data
+
     def _parse_footer(self) -> None:
-        self._handle.seek(0, 2)
-        file_size = self._handle.tell()
+        file_size = self._file_size
         if file_size < _TAIL:
             raise StreamFormatError("container too small")
-        self._handle.seek(file_size - _TAIL)
-        tail = self._handle.read(_TAIL)
+        tail = self._read_at(file_size - _TAIL, _TAIL, "container tail")
         footer_len = struct.unpack("<Q", tail[:8])[0]
         if tail[8:] != MAGIC:
             raise StreamFormatError("not a repro block container")
         if footer_len > file_size - _TAIL:
             raise StreamFormatError("truncated container footer")
         payload_end = file_size - _TAIL - footer_len
-        self._handle.seek(payload_end)
+        footer_bytes = self._read_at(payload_end, footer_len, "container footer")
         try:
-            footer = json.loads(self._handle.read(footer_len).decode("utf-8"))
+            footer = json.loads(footer_bytes.decode("utf-8"))
             blocks = footer["blocks"]
         except (ValueError, UnicodeDecodeError, KeyError, TypeError) as exc:
             raise StreamFormatError(f"corrupted container footer: {exc}") from None
@@ -168,6 +217,11 @@ class BlockContainerReader:
                 raise StreamFormatError(
                     f"blocks {name_a!r} and {name_b!r} overlap in the container"
                 )
+
+    @property
+    def file_size(self) -> int:
+        """Total size of the backing file or remote object in bytes."""
+        return self._file_size
 
     def block_names(self) -> List[str]:
         return list(self.directory)
@@ -204,13 +258,14 @@ class BlockContainerReader:
                 f"range [{offset}, {offset + length}) outside block "
                 f"{name!r} of {size} bytes"
             )
+        data = self._read_at(
+            int(entry["offset"]) + offset,
+            length,
+            f"container truncated inside block {name!r} (block offset {offset})",
+        )
         with self._lock:
-            self._handle.seek(int(entry["offset"]) + offset)
-            data = self._handle.read(length)
             self.bytes_read += length
             self.n_reads += 1
-        if len(data) != length:
-            raise StreamFormatError(f"container truncated inside block {name!r}")
         return data
 
     def source(self, name: str) -> "BlockSource":
@@ -220,7 +275,12 @@ class BlockContainerReader:
     def close(self) -> None:
         with self._lock:
             self._closed = True
-            self._handle.close()
+            if self._handle is not None:
+                self._handle.close()
+            elif self._source is not None:
+                closer = getattr(self._source, "close", None)
+                if closer is not None:
+                    closer()
 
     def __enter__(self) -> "BlockContainerReader":
         return self
@@ -260,7 +320,10 @@ class FileSource:
             self.bytes_read += length
             self.n_reads += 1
         if len(data) != length:
-            raise StreamFormatError(f"stream file truncated at offset {offset}")
+            raise StreamFormatError(
+                f"stream file truncated at offset {offset}: "
+                f"wanted {length} B, got {len(data)}"
+            )
         return data
 
     def close(self) -> None:

@@ -59,6 +59,7 @@ from repro.io.container import (
     BlockSource,
     is_container,
 )
+from repro.io.remote import is_url, open_remote_source
 from repro.parallel.executor import BlockParallelCompressor, shard_name
 from repro.parallel.partition import (
     SliceTuple,
@@ -126,10 +127,19 @@ class ChunkedDataset:
         prefetch: Optional[int] = None,
         workers: Optional[int] = None,
         executor=None,
+        source=None,
     ) -> None:
-        self.path = Path(path)
+        # ``path`` may be an ``http(s)://`` URL: the container is then read
+        # through a resilient remote stack (default one, or the caller's
+        # pre-built ``source`` — e.g. with mirrors / fault injection).
+        self.is_remote = source is not None or is_url(path)
+        if source is None and self.is_remote:
+            source = open_remote_source(str(path))
+        self.path: Union[str, Path] = str(path) if self.is_remote else Path(path)
         self.profile = profile
-        self._reader = BlockContainerReader(self.path)
+        self._reader = BlockContainerReader(
+            source if source is not None else self.path
+        )
         if MANIFEST_BLOCK not in self._reader.directory:
             self._reader.close()
             raise StreamFormatError(f"{self.path} is not a chunked dataset (no manifest)")
@@ -177,7 +187,11 @@ class ChunkedDataset:
             profile=profile,
             prefetch=prefetch,
             workers=workers,
-            path=self.path,
+            # Pool workers re-open the container by path in their own
+            # process; a remote dataset has no local path, so pool decode
+            # is disabled and requests run serial/prefetch (bitwise-
+            # identical by construction).
+            path=None if self.is_remote else self.path,
             executor=executor,
         )
         self._write_profile: Optional[CodecProfile] = None
@@ -397,12 +411,18 @@ class ChunkedDataset:
         The serving layer keys its per-dataset sessions on this: a rewrite
         of the file changes the fingerprint, so pinned readers and cached
         slabs for the old bytes are never served against the new ones.
+        Remote objects expose no mtime; their identity is the size alone
+        here (the serving layer strengthens it with a tail CRC).
         """
+        if self.is_remote:
+            return (self._reader.file_size, 0)
         stat = self.path.stat()
         return (int(stat.st_size), int(stat.st_mtime_ns))
 
     @property
     def file_bytes(self) -> int:
+        if self.is_remote:
+            return self._reader.file_size
         return self.path.stat().st_size
 
     def current_keep(self) -> Dict[str, Dict[int, int]]:

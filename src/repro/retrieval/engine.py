@@ -345,18 +345,28 @@ class RetrievalEngine:
             self._prefetcher = None
 
 
-def open_stream_source(path, prefetch: int = 0):
-    """A byte-range source over a bare ``.ipc`` stream file.
+def open_stream_source(path, prefetch: int = 0, *, source=None):
+    """A byte-range source over a bare ``.ipc`` stream file or URL.
 
-    With ``prefetch > 0`` the source owns a private :class:`Prefetcher`
-    and a :class:`~repro.core.progressive.ProgressiveRetriever` reading
-    through it will overlap its planned range reads with decoding (the
-    retriever primes its own pending ops).  ``source.close()`` releases
-    the file handle and the prefetcher.
+    ``path`` may be a local file or an ``http(s)://`` URL — the latter is
+    read through a resilient remote stack
+    (:func:`repro.io.remote.open_remote_source`, or a pre-built ``source``
+    with mirrors / fault injection).  With ``prefetch > 0`` the source
+    owns a private :class:`Prefetcher` and a
+    :class:`~repro.core.progressive.ProgressiveRetriever` reading through
+    it will overlap its planned range reads with decoding (the retriever
+    primes its own pending ops).  ``source.close()`` releases the backing
+    handle/connection and the prefetcher.
     """
     from repro.io.container import FileSource
+    from repro.io.remote import is_url, open_remote_source
 
-    inner = FileSource(path)
+    if source is not None:
+        inner = source
+    elif is_url(path):
+        inner = open_remote_source(str(path))
+    else:
+        inner = FileSource(path)
     if prefetch <= 0:
         return inner
     prefetcher = Prefetcher(depth=prefetch)

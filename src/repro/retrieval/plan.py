@@ -131,7 +131,14 @@ class RetrievalPlan:
 
     @property
     def predicted_bytes(self) -> int:
-        """Total bytes the request will touch, headers included."""
+        """Total bytes the request will touch, headers included.
+
+        For remote datasets this doubles as the egress estimate: fetch ops
+        map 1:1 onto ranged GETs (:mod:`repro.io.remote`), so a clean run's
+        network bytes equal the plan's — over-fetch only appears as
+        retries, hedges or failed attempts, visible in the trace's
+        ``egress_bytes`` delta.
+        """
         return self.op_bytes + self.header_bytes
 
     def cost_by_shard(self) -> Dict[Optional[str], int]:

@@ -73,13 +73,16 @@ class Prefetcher:
 class _Primed:
     """One primed interval: ``[start, end)`` plus its (pending) bytes."""
 
-    __slots__ = ("start", "end", "future", "consumed")
+    __slots__ = ("start", "end", "future", "consumed", "refunded")
 
     def __init__(self, start: int, end: int, future: Future) -> None:
         self.start = start
         self.end = end
         self.future = future
         self.consumed = 0
+        # A failed prime's charge is refunded exactly once, even though the
+        # done-callback and a concurrent read_range miss both try.
+        self.refunded = False
 
     def covers(self, offset: int, length: int) -> bool:
         return self.start <= offset and offset + length <= self.end
@@ -118,8 +121,12 @@ class PrefetchSource:
         if self._prefetcher is None or self._prefetcher.closed:
             return 0
         scheduled = 0
+        submitted: List[_Primed] = []
+        shut_down = False
         with self._lock:
             for offset, length in ranges:
+                if shut_down:
+                    break
                 for start, end in self._gaps(offset, offset + length):
                     try:
                         future = self._prefetcher.submit(
@@ -129,10 +136,19 @@ class PrefetchSource:
                         # Executor shut down between the closed check and
                         # the submit: stop priming; nothing was charged for
                         # this range and reads stay synchronous.
-                        return scheduled
-                    self._primed.append(_Primed(start, end, future))
+                        shut_down = True
+                        break
+                    primed = _Primed(start, end, future)
+                    self._primed.append(primed)
                     self.bytes_fetched += end - start
                     scheduled += end - start
+                    submitted.append(primed)
+        # Callbacks attach outside the lock: an already-finished future runs
+        # its callback inline, and _refund_if_failed takes the lock itself.
+        for primed in submitted:
+            primed.future.add_done_callback(
+                lambda _future, p=primed: self._refund_if_failed(p)
+            )
         return scheduled
 
     def _gaps(self, start: int, end: int) -> List[Tuple[int, int]]:
@@ -148,6 +164,28 @@ class PrefetchSource:
         if cursor < end:
             gaps.append((cursor, end))
         return gaps
+
+    def _refund_if_failed(self, primed: _Primed) -> None:
+        """Refund a prime whose read never produced bytes (once, ever).
+
+        Runs as a future done-callback *and* from a consuming read that hit
+        the failure — whichever comes first wins.  A cancelled future never
+        ran; a raising future fetched nothing usable; both give back the
+        prime-time ``bytes_fetched`` charge and drop the dead interval so a
+        re-prime (or a later direct read) may try the range again.
+        """
+        future = primed.future
+        if not future.cancelled() and future.exception() is None:
+            return
+        with self._lock:
+            if primed.refunded:
+                return
+            primed.refunded = True
+            self.bytes_fetched -= primed.end - primed.start
+            try:
+                self._primed.remove(primed)
+            except ValueError:  # pragma: no cover - already dropped
+                pass
 
     # ------------------------------------------------------------------ reads
 
@@ -167,17 +205,15 @@ class PrefetchSource:
             return data
         try:
             data = hit.future.result()  # blocks only while the read is in flight
-        except CancelledError:
-            # The prefetcher was closed before this primed read started
-            # (shutdown cancels queued futures).  Refund the prime-time
-            # charge — the physical read never ran — drop the dead interval,
-            # and degrade to a direct synchronous read, bitwise-identical.
-            with self._lock:
-                try:
-                    self._primed.remove(hit)
-                    self.bytes_fetched -= hit.end - hit.start
-                except ValueError:  # pragma: no cover - concurrent drop
-                    pass
+        except (CancelledError, Exception):
+            # A speculative prime is never fatal.  Either the prefetcher was
+            # closed before the read started (shutdown cancels queued
+            # futures) or the background read itself failed — e.g. a remote
+            # source out of retries.  Refund the prime-time charge, drop the
+            # dead interval, and degrade to a direct synchronous read (which
+            # runs the source's own resilience again); only *that* read's
+            # failure may propagate.
+            self._refund_if_failed(hit)
             data = self._inner.read_range(offset, length)
             with self._lock:
                 self.bytes_fetched += length

@@ -53,6 +53,7 @@ from pathlib import Path
 from typing import Callable, Dict, List, Optional, Set, Tuple, Union
 
 from repro.errors import RetrievalError
+from repro.io.remote import is_url
 from repro.service.service import RequestCost, RetrievalService, ServiceResponse
 
 __all__ = ["RequestScheduler", "ScheduledResponse"]
@@ -137,12 +138,13 @@ class _Pending:
     """One queued request plus its scheduling state."""
 
     client: str
-    path: Path
+    path: Union[str, Path]  # a local path, or an http(s):// URL verbatim
     error_bound: Optional[float]
     roi: object
     cost: RequestCost
     response: ScheduledResponse
     enqueued_at: float
+    deadline: Optional[float] = None
     granted: bool = False
     cancelled: bool = False
     degraded_served: bool = False
@@ -260,6 +262,7 @@ class RequestScheduler:
         roi=None,
         *,
         client: str = "default",
+        timeout: Optional[float] = None,
     ) -> ScheduledResponse:
         """Enqueue one request; returns immediately with its handle.
 
@@ -269,6 +272,13 @@ class RequestScheduler:
         handle at once and the queued request becomes its background
         refine.  A resident answer already *at* the requested bound
         settles the request for free — nothing queued, nothing debited.
+
+        ``path`` may be an ``http(s)://`` URL (served through the
+        service's resilient remote stack).  ``timeout`` seconds, when
+        given, become the request's whole-lifetime deadline: once crossed,
+        retry ladders — the service's and any remote stack's — stop
+        sleeping into further attempts, and an exhausted request degrades
+        to resident fidelity (or fails) instead of hanging.
         """
         if self._closed:
             raise RetrievalError("scheduler is closed")
@@ -276,12 +286,17 @@ class RequestScheduler:
         response = ScheduledResponse(client, cost)
         pending = _Pending(
             client=client,
-            path=Path(path),
+            # Path() would mangle "http://h/x" (collapsed slashes): URLs
+            # pass through verbatim.
+            path=str(path) if is_url(path) else Path(path),
             error_bound=error_bound,
             roi=roi,
             cost=cost,
             response=response,
             enqueued_at=self.clock(),
+            deadline=(
+                None if timeout is None else time.monotonic() + float(timeout)
+            ),
         )
         with self._lock:
             self._submitted += 1
@@ -300,8 +315,14 @@ class RequestScheduler:
         client: str = "default",
         timeout: Optional[float] = None,
     ) -> ServiceResponse:
-        """Blocking convenience: submit and wait for the *final* answer."""
-        return self.submit(path, error_bound, roi, client=client).refined(timeout)
+        """Blocking convenience: submit and wait for the *final* answer.
+
+        ``timeout`` doubles as the request's lifetime deadline (retry
+        ladders stop at it) and as the wait bound on the final answer.
+        """
+        return self.submit(
+            path, error_bound, roi, client=client, timeout=timeout
+        ).refined(timeout)
 
     def kick(self) -> None:
         """Refill budgets against the (possibly fake) clock and re-grant."""
@@ -469,7 +490,10 @@ class RequestScheduler:
                 # fetch serves every overlapping request.
                 pending.leader_done.wait(_FOLLOWER_WAIT_S)
             response = self.service.get(
-                pending.path, pending.error_bound, pending.roi
+                pending.path,
+                pending.error_bound,
+                pending.roi,
+                deadline=pending.deadline,
             )
             trace = response.trace
             trace.client = pending.client

@@ -41,7 +41,23 @@ Failures degrade along the existing ladder: a faulty source
 (:class:`~repro.errors.StreamFormatError`, short read, ``OSError``) costs
 the poisoned tier entry its residency and the read is retried from scratch
 up to ``retries`` times before propagating; checksum-verified slab entries
-(``cache_verify``) are invalidated on mismatch, never served.
+(``cache_verify``) are invalidated on mismatch, never served.  When even
+the ladder is exhausted — e.g. a remote backend died mid-refine — the
+service falls back to the load-shed path (:meth:`~RetrievalService.\
+get_resident`): an already-resident coarser fidelity is returned with
+``trace.degraded`` set instead of erroring, and only a request with
+*nothing* resident propagates the failure (``degrade_on_failure=False``
+restores strict propagation).
+
+Sessions also open over ``http(s)://`` URLs: the container (or bare
+stream) is read through the resilient remote stack of
+:mod:`repro.io.remote` — retries, circuit breakers, optional mirrors and
+hedged reads (``remote_options`` passes knobs to
+:func:`~repro.io.remote.open_remote_source`).  Remote sessions are keyed
+by a ``(size, 0, tail_crc)`` fingerprint probed over the stack, traces
+carry per-request remote deltas (egress bytes, absorbed retries, hedges,
+failovers, breaker states), and every answer stays bitwise-identical to
+the local serial read of the same file.
 """
 
 from __future__ import annotations
@@ -61,8 +77,14 @@ from repro.core.profile import CodecProfile
 from repro.core.progressive import ProgressiveRetriever
 from repro.core.stream import CompressedStore, StreamHeader
 from repro.errors import ConfigurationError, RetrievalError, StreamFormatError
-from repro.io.container import FileSource, is_container
+from repro.io.container import FileSource, is_container, sniff_container
 from repro.io.dataset import ChunkedDataset, DatasetShard
+from repro.io.remote import (
+    is_url,
+    jittered_backoff,
+    open_remote_source,
+    remote_fingerprint,
+)
 from repro.parallel.partition import (
     SliceTuple,
     normalize_roi,
@@ -243,31 +265,54 @@ def _cold_shard_worker(payload):
 
 
 class _Session:
-    """Per-file pinned state: reader, manifest/header, lazy shard metadata."""
+    """Per-file pinned state: reader, manifest/header, lazy shard metadata.
 
-    def __init__(self, sid: int, path: Path, profile: Optional[CodecProfile]) -> None:
+    ``path`` is a local :class:`~pathlib.Path` or an ``http(s)://`` URL;
+    for a URL the caller hands in the already-built ``remote_source``
+    stack, which the session owns (closed with it) and whose ``stats()``
+    the service harvests per request.
+    """
+
+    def __init__(
+        self,
+        sid: int,
+        path: Union[str, Path],
+        profile: Optional[CodecProfile],
+        remote_source=None,
+    ) -> None:
         self.sid = sid
         self.path = path
         self.profile = profile
-        self.fingerprint = file_fingerprint(path)
+        self.remote_source = remote_source
+        self.is_remote = remote_source is not None
+        self.fingerprint = (
+            remote_fingerprint(remote_source)
+            if self.is_remote
+            else file_fingerprint(path)
+        )
         self._meta: Dict[str, _ShardMeta] = {}
         self._meta_lock = threading.Lock()
         self._shard_locks: Dict[str, threading.Lock] = {}
-        if is_container(path):
+        container = (
+            sniff_container(remote_source) if self.is_remote else is_container(path)
+        )
+        if container:
             self.kind = "container"
             self.dataset: Optional[ChunkedDataset] = ChunkedDataset(
-                path, profile=profile, prefetch=0, workers=0
+                path, profile=profile, prefetch=0, workers=0, source=remote_source
             )
             self.shape = self.dataset.shape
             self.dtype = self.dataset.dtype
             self.stored_bound = self.dataset.absolute_bound
             self.shards = list(self.dataset.shards)
-            self._stream_source: Optional[FileSource] = None
+            self._stream_source = None
         else:
             # A bare ``.ipc`` stream: one pseudo-shard covering the domain.
             self.kind = "stream"
             self.dataset = None
-            self._stream_source = FileSource(path)
+            self._stream_source = (
+                remote_source if self.is_remote else FileSource(path)
+            )
             meta = self._build_meta("stream")
             self._meta["stream"] = meta
             self.shape = tuple(int(s) for s in meta.header.shape)
@@ -276,6 +321,19 @@ class _Session:
             self.shards = [
                 DatasetShard("stream", tuple(slice(0, s) for s in self.shape))
             ]
+
+    def remote_stats(self) -> Optional[dict]:
+        """Current cumulative stats of the remote stack (None when local)."""
+        if not self.is_remote:
+            return None
+        return self.remote_source.stats()
+
+    def set_deadline(self, deadline: Optional[float]) -> None:
+        """Propagate a whole-request monotonic deadline into the stack."""
+        if self.is_remote:
+            setter = getattr(self.remote_source, "set_deadline", None)
+            if setter is not None:
+                setter(deadline)
 
     # ------------------------------------------------------------- selection
 
@@ -377,6 +435,8 @@ class RetrievalService:
         retry_backoff_cap: float = 1.0,
         sleep: Callable[[float], None] = time.sleep,
         source_filter: Optional[Callable[[str, object], object]] = None,
+        degrade_on_failure: bool = True,
+        remote_options: Optional[dict] = None,
     ) -> None:
         self.profile = profile
         if cache_bytes is None:
@@ -393,6 +453,17 @@ class RetrievalService:
         self.retry_backoff_cap = max(0.0, float(retry_backoff_cap))
         self._sleep = sleep
         self.source_filter = source_filter
+        #: Exhausted retries degrade to resident fidelity (the scheduler's
+        #: shed path) instead of erroring; only a request with nothing
+        #: resident still propagates the failure.
+        self.degrade_on_failure = bool(degrade_on_failure)
+        #: Keyword arguments for :func:`~repro.io.remote.open_remote_source`
+        #: when a session opens over an ``http(s)://`` URL (mirrors,
+        #: retry/breaker knobs, a fault-injecting ``tamper`` hook...).
+        self.remote_options = dict(remote_options or {})
+        #: Per-request deadline (monotonic timestamp), thread-local so
+        #: concurrent requests don't share one.
+        self._deadlines = threading.local()
         self.stats_agg = ServiceStats()
         self._sessions: Dict[str, _Session] = {}
         self._lock = threading.Lock()
@@ -408,9 +479,54 @@ class RetrievalService:
         path: Union[str, Path],
         error_bound: Optional[float] = None,
         roi=None,
+        *,
+        deadline: Optional[float] = None,
     ) -> ServiceResponse:
-        """Serve one request; bitwise-identical to a fresh serial ``read``."""
+        """Serve one request; bitwise-identical to a fresh serial ``read``.
+
+        ``deadline`` (monotonic timestamp, e.g. ``time.monotonic() + 0.5``)
+        bounds the retry budget: once crossed, neither the service's ladder
+        nor a remote stack underneath sleeps into another attempt — the
+        underlying failure propagates (or degrades, see below) instead.
+
+        When the ladder is exhausted and ``degrade_on_failure`` is on, the
+        request is answered from resident tiers at whatever fidelity is
+        already decoded (``trace.degraded=True``) — the same shed path the
+        scheduler uses under load — so a remote backend dying mid-refine
+        costs fidelity, not availability.
+        """
         session = self._session(path)
+        remote_before = session.remote_stats()
+        session.set_deadline(deadline)
+        self._deadlines.value = deadline
+        try:
+            try:
+                response = self._get_fresh(session, error_bound, roi)
+            except ConfigurationError:
+                raise
+            except _RETRYABLE:
+                if not self.degrade_on_failure:
+                    raise
+                resident = self.get_resident(path, error_bound, roi)
+                if resident is None:
+                    raise
+                resident.trace.degraded = True
+                self._annotate_remote(resident.trace, session, remote_before)
+                self.stats_agg.record(resident.trace)
+                return resident
+        finally:
+            session.set_deadline(None)
+            self._deadlines.value = None
+        self._annotate_remote(response.trace, session, remote_before)
+        self.stats_agg.record(response.trace)
+        return response
+
+    def _get_fresh(
+        self,
+        session: "_Session",
+        error_bound: Optional[float],
+        roi,
+    ) -> ServiceResponse:
         roi_slices, selected = session.select(roi)
         target = _validated_target(session.stored_bound, error_bound)
         served: Dict[str, _ShardServe] = {}
@@ -450,8 +566,34 @@ class RetrievalService:
                 d for s in selected for d in served[s.name].retry_delays
             ],
         )
-        self.stats_agg.record(trace)
         return ServiceResponse(data=data, trace=trace)
+
+    def _annotate_remote(
+        self, trace: RetrievalTrace, session: "_Session", before: Optional[dict]
+    ) -> None:
+        """Fold the remote stack's per-request stat deltas into a trace.
+
+        Counters are cumulative and monotonic, so per-trace deltas always
+        sum to the stack totals — under concurrent requests on one session
+        a delta may attribute a neighbour's bytes, but nothing is double-
+        counted or lost.  Remote retries absorbed below the service's own
+        ladder land in ``trace.retries``: the trace reports request
+        flakiness regardless of which layer healed it.
+        """
+        if before is None or not session.is_remote:
+            return
+        after = session.remote_stats() or {}
+
+        def delta(key: str) -> int:
+            return int(after.get(key, 0)) - int(before.get(key, 0))
+
+        trace.remote = True
+        trace.egress_bytes = delta("egress_bytes")
+        trace.retries += delta("retries")
+        trace.hedges = delta("hedges")
+        trace.hedge_wasted_bytes = delta("hedge_wasted_bytes")
+        trace.failovers = delta("failovers")
+        trace.breaker_states = dict(after.get("breaker", {}))
 
     def cost(
         self,
@@ -602,19 +744,23 @@ class RetrievalService:
     def _backoff_delay(self, name: str, attempt: int) -> float:
         """Backoff before retry ``attempt`` (1-based) of shard ``name``.
 
-        Capped exponential — ``base · 2^(attempt-1)``, clamped to
+        The shared scheme (:func:`repro.io.remote.jittered_backoff`):
+        capped exponential — ``base · 2^(attempt-1)``, clamped to
         ``retry_backoff_cap`` — scaled into ``[0.5, 1.0]`` by a jitter
         derived from a CRC of ``name:attempt``: deterministic (reproducible
         traces, assertable tests) yet spread across shards so a burst of
         failures does not retry in lockstep.
         """
-        if self.retry_backoff <= 0.0:
-            return 0.0
-        raw = min(
-            self.retry_backoff_cap, self.retry_backoff * (2.0 ** (attempt - 1))
+        return jittered_backoff(
+            name, attempt, self.retry_backoff, self.retry_backoff_cap
         )
-        seed = zlib.crc32(f"{name}:{attempt}".encode("utf-8")) & 0xFFFF
-        return raw * (0.5 + 0.5 * (seed / 0xFFFF))
+
+    def _retry_permitted(self, delay: float) -> bool:
+        """False when sleeping ``delay`` would cross the request deadline."""
+        deadline = getattr(self._deadlines, "value", None)
+        if deadline is None:
+            return True
+        return time.monotonic() + delay < deadline
 
     def _plan_keep(self, meta: _ShardMeta, target: float) -> Dict[int, int]:
         plan = meta.loader.plan_for_error_bound(target)
@@ -675,10 +821,11 @@ class RetrievalService:
                     # state is unusable — drop it and rebuild from scratch.
                     self.cache.invalidate("rung", rung_key)
                     retries += 1
-                    if retries > self.retries:
+                    delay = self._backoff_delay(name, retries)
+                    if retries > self.retries or not self._retry_permitted(delay):
                         raise
-                    delays.append(self._backoff_delay(name, retries))
-                    self._sleep(delays[-1])
+                    delays.append(delay)
+                    self._sleep(delay)
             serve = self._serve_cold(
                 session,
                 name,
@@ -765,10 +912,14 @@ class RetrievalService:
                 result = retriever.retrieve(error_bound=target)
             except _RETRYABLE:
                 retries += 1
-                if retries > self.retries:
+                delay = self._backoff_delay(name, retries)
+                # An expired (or about-to-expire) request deadline ends the
+                # ladder early: propagate the real failure rather than
+                # sleeping past the time the caller stops caring.
+                if retries > self.retries or not self._retry_permitted(delay):
                     raise
-                delays.append(self._backoff_delay(name, retries))
-                self._sleep(delays[-1])
+                delays.append(delay)
+                self._sleep(delay)
                 continue
             self.cache.put(
                 "rung",
@@ -807,9 +958,12 @@ class RetrievalService:
     # ----------------------------------------------------------- pooled path
 
     def _pool_eligible(self, session: _Session, selected) -> bool:
+        # Remote sessions stay in-process: pool workers re-open the
+        # container by local path, which a URL-backed session lacks.
         return (
             self.workers > 1
             and session.kind == "container"
+            and not session.is_remote
             and self.source_filter is None
             and len(selected) > 1
         )
@@ -889,6 +1043,8 @@ class RetrievalService:
     def _session(self, path: Union[str, Path]) -> _Session:
         if self._closed:
             raise RetrievalError("service is closed")
+        if is_url(path):
+            return self._remote_session(str(path))
         resolved = Path(path).resolve()
         key = str(resolved)
         fingerprint = file_fingerprint(resolved)
@@ -905,6 +1061,39 @@ class RetrievalService:
             session = _Session(self._next_sid, resolved, self.profile)
             self._next_sid += 1
             self._sessions[key] = session
+            return session
+
+    def _remote_session(self, url: str) -> _Session:
+        """Session keyed by URL, fingerprinted through the live stack.
+
+        The freshness probe is one bounded ranged GET (size + tail CRC)
+        over the *existing* session's stack; a changed remote object purges
+        the dead session's cache entries exactly like a rewritten local
+        file.  Only a missing or stale session pays a new stack build.
+        """
+        with self._lock:
+            session = self._sessions.get(url)
+            if session is not None:
+                try:
+                    fresh = session.fingerprint == remote_fingerprint(
+                        session.remote_source
+                    )
+                except _RETRYABLE:
+                    # The probe itself failed: freshness is unknowable right
+                    # now.  Keep the session — the request's own reads run
+                    # the full resilience (and degrade) machinery anyway.
+                    fresh = True
+                if fresh:
+                    return session
+                dead = session.sid
+                self.cache.purge(lambda tier, k: k[0] == dead)
+                session.close()
+            stack = open_remote_source(url, **self.remote_options)
+            session = _Session(
+                self._next_sid, url, self.profile, remote_source=stack
+            )
+            self._next_sid += 1
+            self._sessions[url] = session
             return session
 
     def close(self) -> None:

@@ -22,6 +22,18 @@ response was served from a coarser resident rung under load, with the
 requested fidelity refined in the background) and ``budget_debited``
 (predicted bytes charged against the client's token bucket).  The retry
 ladder records its per-attempt backoff in ``retry_delays``.
+
+Remote datasets add a fourth group, harvested as per-request deltas from
+the resilient source stack (:mod:`repro.io.remote`): ``remote`` (the
+request was served over HTTP), ``egress_bytes`` (body bytes received off
+the network, over-fetch and failed attempts included), ``hedges`` /
+``hedge_wasted_bytes`` (duplicate tail-latency reads fired at a second
+mirror, and the loser payloads' cost), ``failovers`` (reads moved to a
+replica after the preferred mirror failed) and ``breaker_states`` (each
+endpoint's circuit-breaker state when the request finished).  Remote
+retries absorbed *below* the service's own ladder are folded into
+``retries`` — the trace answers "how flaky was this request" regardless
+of which layer healed it.
 """
 
 from __future__ import annotations
@@ -62,6 +74,13 @@ class RetrievalTrace:
     #: clears it when any shard was answered at a finer-than-planned
     #: residency (bound-satisfying, but different bytes).
     canonical: bool = True
+    #: Remote-source annotations (all zero/empty for local datasets).
+    remote: bool = False
+    egress_bytes: int = 0
+    hedges: int = 0
+    hedge_wasted_bytes: int = 0
+    failovers: int = 0
+    breaker_states: Dict[str, str] = field(default_factory=dict)
 
     @property
     def plan_delta(self) -> int:
@@ -90,6 +109,12 @@ class RetrievalTrace:
             "degraded": self.degraded,
             "budget_debited": self.budget_debited,
             "canonical": self.canonical,
+            "remote": self.remote,
+            "egress_bytes": self.egress_bytes,
+            "hedges": self.hedges,
+            "hedge_wasted_bytes": self.hedge_wasted_bytes,
+            "failovers": self.failovers,
+            "breaker_states": dict(self.breaker_states),
         }
 
 
@@ -105,6 +130,11 @@ class ServiceStats:
         self.physical_bytes = 0
         self.retries = 0
         self.degraded = 0
+        self.remote_requests = 0
+        self.egress_bytes = 0
+        self.hedges = 0
+        self.hedge_wasted_bytes = 0
+        self.failovers = 0
         self.tier_hits: Dict[str, int] = {}
         self.tier_misses: Dict[str, int] = {}
 
@@ -117,6 +147,11 @@ class ServiceStats:
             self.physical_bytes += trace.physical_bytes
             self.retries += trace.retries
             self.degraded += int(trace.degraded)
+            self.remote_requests += int(trace.remote)
+            self.egress_bytes += trace.egress_bytes
+            self.hedges += trace.hedges
+            self.hedge_wasted_bytes += trace.hedge_wasted_bytes
+            self.failovers += trace.failovers
             for tier, count in trace.tier_hits.items():
                 self.tier_hits[tier] = self.tier_hits.get(tier, 0) + count
             for tier, count in trace.tier_misses.items():
@@ -132,6 +167,11 @@ class ServiceStats:
                 "physical_bytes": self.physical_bytes,
                 "retries": self.retries,
                 "degraded": self.degraded,
+                "remote_requests": self.remote_requests,
+                "egress_bytes": self.egress_bytes,
+                "hedges": self.hedges,
+                "hedge_wasted_bytes": self.hedge_wasted_bytes,
+                "failovers": self.failovers,
                 "tier_hits": dict(self.tier_hits),
                 "tier_misses": dict(self.tier_misses),
             }

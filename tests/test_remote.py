@@ -1,0 +1,782 @@
+"""Resilient remote byte-range sources: transport, retries, mirrors, faults.
+
+Four invariant families pin the remote layer (`repro.io.remote` +
+`repro.io.faults` + `repro.io.rangeserver`):
+
+* **transport** — ranged GETs over a loopback Range server return exactly
+  the requested window (206 validated, Range-ignoring 200 sliced), size
+  probing works, and CRC mismatches surface as
+  :class:`~repro.errors.RemoteIntegrityError`, never as stream corruption;
+* **resilience units** — circuit-breaker transitions, retry budgets,
+  deadline expiry mid-retry, mirror health ranking and hedged-read
+  accounting, each driven by fake clocks/sleeps (no real waiting);
+* **fault plans** — deterministic, JSON-round-trippable schedules that
+  reproduce the old hand-rolled flaky-source idioms exactly;
+* **byte identity** — {v1, v2} × {stream, container} retrieved over
+  {clean HTTP, HTTP with ≥20% faulted reads, mirror failover} is
+  bitwise-identical to the local serial read, with the healing visible in
+  the stack's stats.
+
+NB: module-local data only — the conftest ``rng`` fixture is session-scoped
+and shared (use ``local_rng`` in new tests that need randomness).
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+import threading
+import time
+import zlib
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro import ChunkedDataset, IPComp, ProgressiveRetriever
+from repro.errors import (
+    ConfigurationError,
+    RemoteIntegrityError,
+    RemoteSourceError,
+    StreamFormatError,
+)
+from repro.io import BlockContainerWriter
+from repro.io.container import BlockContainerReader, FileSource
+from repro.io.faults import FaultInjectingSource, FaultInjector, FaultPlan
+from repro.io.rangeserver import RangeServer
+from repro.io.remote import (
+    CircuitBreaker,
+    HTTPRangeSource,
+    MirrorSource,
+    RetryingSource,
+    VerifyingSource,
+    find_remote_source,
+    is_url,
+    jittered_backoff,
+    open_remote_source,
+    remote_fingerprint,
+)
+from repro.retrieval.prefetch import Prefetcher, PrefetchSource
+from repro.service import RetrievalService
+
+DATA = Path(__file__).parent / "data"
+
+#: Fault-leg stacks never sleep for real and never run out of ladder.
+_PATIENT = dict(retries=8, retry_budget=10_000, backoff=0.0)
+
+
+def _field(shape, seed=0) -> np.ndarray:
+    rng = np.random.default_rng(90210 + seed)
+    base = rng.normal(size=shape)
+    for axis in range(len(shape)):
+        base = np.cumsum(base, axis=axis)
+    return (base + 0.1 * rng.normal(size=shape)).astype(np.float64)
+
+
+@pytest.fixture(scope="module")
+def served_dir(tmp_path_factory) -> Path:
+    """One directory holding the {v1, v2} × {stream, container} fixtures."""
+    root = tmp_path_factory.mktemp("served")
+    v1_blob = (DATA / "v1_stream.ipc").read_bytes()
+    (root / "v1.ipc").write_bytes(v1_blob)
+    v2_blob = IPComp(error_bound=1e-5, relative=True).compress(_field((20, 18), 3))
+    (root / "v2.ipc").write_bytes(v2_blob)
+    ChunkedDataset.write(
+        root / "v2.rprc", _field((24, 14, 10), 4), error_bound=1e-5,
+        relative=True, n_blocks=4, workers=0,
+    )
+    header_shape = np.load(DATA / "v1_expected.npy").shape
+    n0 = header_shape[0]
+    manifest = {
+        "format": "repro-chunked-dataset",
+        "version": 1,
+        "shape": [2 * n0, header_shape[1]],
+        "dtype": "float64",
+        "error_bound": 3.292730916654546e-05,
+        "method": "cubic",
+        "prefix_bits": 2,
+        "backend": "zlib",
+        "shards": [
+            {"name": "shard-0000", "slices": [[0, n0], [0, header_shape[1]]]},
+            {"name": "shard-0001", "slices": [[n0, 2 * n0], [0, header_shape[1]]]},
+        ],
+    }
+    with BlockContainerWriter(root / "v1.rprc") as writer:
+        writer.add_block("shard-0000", v1_blob)
+        writer.add_block("shard-0001", v1_blob)
+        writer.add_block("manifest", json.dumps(manifest).encode())
+    return root
+
+
+@pytest.fixture(scope="module")
+def server(served_dir) -> RangeServer:
+    with RangeServer(served_dir) as srv:
+        yield srv
+
+
+@pytest.fixture(scope="module")
+def replica(served_dir) -> RangeServer:
+    """A second endpoint over the same bytes (the mirror-failover target)."""
+    with RangeServer(served_dir) as srv:
+        yield srv
+
+
+# ----------------------------------------------------------------- transport
+
+
+def test_is_url():
+    assert is_url("http://host/x") and is_url("https://host/x")
+    assert not is_url("/tmp/x.rprc") and not is_url(Path("http://host/x"))
+
+
+def test_http_range_source_reads_exact_windows(served_dir, server):
+    blob = (served_dir / "v2.rprc").read_bytes()
+    with HTTPRangeSource(server.url_for("v2.rprc")) as source:
+        assert source.size == len(blob)
+        data = source.read_range(10, 33)
+        assert data == blob[10:43]
+        assert source.last_crc == zlib.crc32(data)
+        # Zero-length reads never touch the network.
+        before = source.n_requests
+        assert source.read_range(5, 0) == b""
+        assert source.n_requests == before
+        with pytest.raises(StreamFormatError, match="past remote object end"):
+            source.read_range(len(blob) - 2, 5)
+        stats = source.stats()
+        assert stats["egress_bytes"] >= 33
+        assert stats["breaker"] == {source.endpoint: "closed"}
+
+
+def test_http_range_source_handles_range_ignoring_server(served_dir):
+    """A 200 full-body response is honoured by slicing (counted as egress)."""
+    blob = (served_dir / "v2.ipc").read_bytes()
+    with RangeServer(served_dir, ignore_range=True) as plain:
+        with HTTPRangeSource(plain.url_for("v2.ipc")) as source:
+            assert source.size == len(blob)
+            assert source.read_range(7, 21) == blob[7:28]
+            assert source.last_crc is None  # full-body CRC covers the body
+            assert source.egress_bytes >= len(blob)
+
+
+def test_http_range_source_missing_object_errors(server):
+    with pytest.raises(RemoteSourceError):
+        HTTPRangeSource(server.url_for("no-such-file"))
+
+
+def test_verifying_source_classifies_corruption():
+    class _Inner:
+        size = 5
+        last_crc = None
+
+        def read_range(self, offset, length):
+            return b"hello"[offset : offset + length]
+
+    inner = _Inner()
+    verifying = VerifyingSource(inner)
+    inner.last_crc = zlib.crc32(b"hello")
+    assert verifying.read_range(0, 5) == b"hello"
+    assert verifying.verified == 1
+    inner.last_crc = zlib.crc32(b"other")
+    with pytest.raises(RemoteIntegrityError) as excinfo:
+        verifying.read_range(0, 5)
+    # Retryable (an OSError), and NOT stream corruption.
+    assert isinstance(excinfo.value, OSError)
+    assert not isinstance(excinfo.value, StreamFormatError)
+    inner.last_crc = None
+    assert verifying.read_range(0, 5) == b"hello"
+    assert verifying.unverified == 1
+    assert verifying.stats()["crc_mismatches"] == 1
+
+
+# ----------------------------------------------------------- resilience units
+
+
+def test_circuit_breaker_transitions():
+    clock = {"t": 0.0}
+    breaker = CircuitBreaker(threshold=3, cooldown=5.0, clock=lambda: clock["t"])
+    assert breaker.state == "closed" and breaker.allow()
+    breaker.record_failure()
+    breaker.record_failure()
+    assert breaker.state == "closed"
+    breaker.record_failure()  # threshold reached
+    assert breaker.state == "open"
+    assert not breaker.allow()
+    clock["t"] = 5.0  # cooldown elapsed: exactly one probe allowed
+    assert breaker.allow()
+    assert breaker.state == "half-open"
+    assert not breaker.allow()  # second caller during the probe: rejected
+    breaker.record_failure()  # failed probe re-opens
+    assert breaker.state == "open" and not breaker.allow()
+    clock["t"] = 10.0
+    assert breaker.allow()
+    breaker.record_success()
+    assert breaker.state == "closed" and breaker.allow()
+
+
+def test_jittered_backoff_is_capped_deterministic():
+    for attempt in (1, 2, 3):
+        raw = min(1.0, 0.05 * 2.0 ** (attempt - 1))
+        delay = jittered_backoff("k", attempt, 0.05, 1.0)
+        assert 0.5 * raw <= delay <= raw
+        assert delay == jittered_backoff("k", attempt, 0.05, 1.0)
+    assert jittered_backoff("k", 1, 0.0, 1.0) == 0.0
+    assert jittered_backoff("a", 2, 0.05, 1.0) != jittered_backoff("b", 2, 0.05, 1.0)
+
+
+class _FailingSource:
+    """Fails the first ``failures`` reads, then serves ``payload``."""
+
+    def __init__(self, failures=10**9, payload=b"x" * 8):
+        self.size = len(payload)
+        self.payload = payload
+        self.failures = failures
+        self.calls = 0
+
+    def read_range(self, offset, length):
+        self.calls += 1
+        if self.calls <= self.failures:
+            raise RemoteSourceError(f"injected failure #{self.calls}")
+        return self.payload[offset : offset + length]
+
+
+def test_retrying_source_heals_and_records_delays():
+    inner = _FailingSource(failures=2)
+    slept = []
+    source = RetryingSource(
+        inner, retries=3, backoff=0.05, backoff_cap=1.0, label="L",
+        sleep=slept.append,
+    )
+    assert source.read_range(0, 8) == inner.payload
+    assert inner.calls == 3 and source.retries_used == 2
+    assert slept == source.retry_delays
+    for attempt, delay in enumerate(source.retry_delays, start=1):
+        assert delay == jittered_backoff("L@0", attempt, 0.05, 1.0)
+    assert source.stats()["retries"] == 2
+
+
+def test_retry_budget_exhaustion_fails_fast():
+    inner = _FailingSource()
+    source = RetryingSource(inner, retries=5, retry_budget=2, backoff=0.0)
+    with pytest.raises(RemoteSourceError):
+        source.read_range(0, 4)
+    assert inner.calls == 3  # initial + the 2 budgeted retries
+    with pytest.raises(RemoteSourceError):
+        source.read_range(0, 4)
+    assert inner.calls == 4  # budget empty: a single fail-fast attempt
+    assert source.stats()["retry_budget_left"] == 0
+
+
+def test_deadline_expiry_mid_retry():
+    clock = {"t": 0.0}
+
+    def fake_sleep(seconds):
+        clock["t"] += seconds
+
+    inner = _FailingSource()
+    source = RetryingSource(
+        inner, retries=5, backoff=0.05, label="x",
+        sleep=fake_sleep, clock=lambda: clock["t"],
+    )
+    # Expired before the read starts: fail fast, the backend is never hit.
+    source.set_deadline(0.0)
+    with pytest.raises(RemoteSourceError, match="deadline exceeded"):
+        source.read_range(0, 4)
+    assert inner.calls == 0
+    # Mid-ladder: a backoff that would cross the deadline re-raises the
+    # *underlying* error instead of sleeping past the deadline.
+    source.set_deadline(0.06)
+    with pytest.raises(RemoteSourceError, match="injected failure"):
+        source.read_range(0, 4)
+    # Attempt 1 backs off (< 0.06); attempt 2's delay >= 0.05 would cross.
+    assert inner.calls == 2
+    assert clock["t"] < 0.06
+
+
+class _ScriptedMirror:
+    """Serves ``payload``; raises while ``failing`` is set; optional gate."""
+
+    def __init__(self, payload, failing=False, gate=None):
+        self.size = len(payload)
+        self.payload = payload
+        self.failing = failing
+        self.gate = gate
+        self.calls = 0
+
+    def read_range(self, offset, length):
+        self.calls += 1
+        if self.gate is not None:
+            assert self.gate.wait(5.0)
+        if self.failing:
+            raise RemoteSourceError("mirror down")
+        return self.payload[offset : offset + length]
+
+
+def test_mirror_failover_and_health_ranking():
+    payload = bytes(range(64))
+    primary = _ScriptedMirror(payload, failing=True)
+    backup = _ScriptedMirror(payload)
+    mirror = MirrorSource([primary, backup])
+    assert mirror.read_range(3, 9) == payload[3:12]
+    assert mirror.failovers == 1
+    # The failure re-ranks: the next read goes straight to the backup.
+    assert mirror.read_range(0, 4) == payload[0:4]
+    assert primary.calls == 1 and backup.calls == 2
+    # Recovery: once the backup fails too, the (healed) primary serves.
+    primary.failing = False
+    backup.failing = True
+    assert mirror.read_range(0, 4) == payload[0:4]
+    assert mirror.stats()["failovers"] >= 1
+    with pytest.raises(RemoteSourceError, match="disagree on object size"):
+        MirrorSource([_ScriptedMirror(b"abc"), _ScriptedMirror(b"abcd")])
+    with pytest.raises(ConfigurationError):
+        MirrorSource([])
+
+
+def test_hedged_read_fires_and_accounts_the_loser():
+    payload = bytes(range(32))
+    gate = threading.Event()
+    slow_primary = _ScriptedMirror(payload, gate=gate)
+    backup = _ScriptedMirror(payload)
+    mirror = MirrorSource([slow_primary, backup], hedge_delay=0.01)
+    try:
+        data = mirror.read_range(4, 16)
+        assert data == payload[4:20]
+        assert mirror.hedges == 1 and mirror.hedge_wins == 1
+        gate.set()  # let the losing primary finish on the wire
+        mirror.drain()
+        assert mirror.hedge_wasted_bytes == 16
+        stats = mirror.stats()
+        assert stats["hedges"] == 1 and stats["hedge_wasted_bytes"] == 16
+    finally:
+        gate.set()
+        mirror.drain()
+
+
+def test_remote_fingerprint_is_size_and_tail_crc():
+    class _Bytes:
+        def __init__(self, blob):
+            self.blob = blob
+            self.size = len(blob)
+
+        def read_range(self, offset, length):
+            return self.blob[offset : offset + length]
+
+    small = _Bytes(b"abcdef")
+    assert remote_fingerprint(small) == (6, 0, zlib.crc32(b"abcdef"))
+    big = _Bytes(bytes(5000))
+    assert remote_fingerprint(big) == (5000, 0, zlib.crc32(bytes(4096)))
+    assert remote_fingerprint(_Bytes(b"abcdeg")) != remote_fingerprint(small)
+
+
+def test_find_remote_source_walks_wrapper_chains(served_dir, server):
+    stack = open_remote_source(server.url_for("v2.rprc"))
+    try:
+        assert find_remote_source(stack) is stack
+        prefetch = PrefetchSource(stack)
+        assert find_remote_source(prefetch) is stack
+        reader = BlockContainerReader(stack)
+        assert find_remote_source(reader) is stack
+        assert find_remote_source(object()) is None
+    finally:
+        stack.close()
+
+
+# -------------------------------------------------------------- fault plans
+
+
+def test_fault_plan_rules_fire_deterministically():
+    assert FaultPlan.never().fault_for(1) is None
+    every = FaultPlan.every(3, kind="short")
+    assert [n for n in range(1, 10) if every.fault_for(n)] == [3, 6, 9]
+    first = FaultPlan.first(2, kind="stall", seconds=0.5)
+    assert first.fault_for(2).seconds == 0.5 and first.fault_for(3) is None
+    assert FaultPlan.always().fault_for(10**6).kind == "raise"
+    # First matching rule wins across composed plans.
+    combo = FaultPlan.every(2, kind="raise") + FaultPlan.always(kind="corrupt")
+    assert combo.fault_for(2).kind == "raise"
+    assert combo.fault_for(3).kind == "corrupt"
+
+
+def test_fault_plan_at_keeps_the_set_by_reference():
+    poison = set()
+    plan = FaultPlan.at(poison)
+    assert plan.fault_for(7) is None
+    poison.add(7)
+    assert plan.fault_for(7).kind == "raise"
+
+
+def test_fault_plan_seeded_rates_are_reproducible_and_calibrated():
+    plan = FaultPlan.seeded("seed-x", {"raise": 0.3})
+    fired = [n for n in range(1, 2001) if plan.fault_for(n)]
+    assert 0.25 < len(fired) / 2000 < 0.35
+    again = FaultPlan.seeded("seed-x", {"raise": 0.3})
+    assert [n for n in range(1, 2001) if again.fault_for(n)] == fired
+    # A different seed draws a different schedule.
+    other = FaultPlan.seeded("seed-y", {"raise": 0.3})
+    assert [n for n in range(1, 2001) if other.fault_for(n)] != fired
+    with pytest.raises(ConfigurationError):
+        FaultPlan.seeded("s", {"raise": 1.5})
+
+
+def test_fault_plan_json_round_trip(tmp_path):
+    plan = (
+        FaultPlan.every(3, kind="short")
+        + FaultPlan.at({2, 9}, kind="corrupt")
+        + FaultPlan.first(1, kind="stall", seconds=0.25)
+        + FaultPlan.seeded("s", {"raise": 0.1, "latency": 0.05}, seconds=0.01)
+    )
+    rt = FaultPlan.from_json(plan.to_json())
+    path = tmp_path / "plan.json"
+    plan.to_file(path)
+    ft = FaultPlan.from_file(path)
+    for n in range(1, 300):
+        expected = plan.fault_for(n)
+        for other in (rt, ft):
+            got = other.fault_for(n)
+            if expected is None:
+                assert got is None
+            else:
+                assert (got.kind, got.seconds) == (expected.kind, expected.seconds)
+    with pytest.raises(ConfigurationError):
+        FaultPlan.from_file(tmp_path / "missing.json")
+
+
+def test_fault_injector_counts_globally_across_sources():
+    class _Bytes:
+        size = 8
+
+        def read_range(self, offset, length):
+            return b"\x01" * length
+
+    slept = []
+    injector = FaultInjector(
+        FaultPlan.at({2}, kind="latency", seconds=0.5), sleep=slept.append
+    )
+    a = injector.wrap(_Bytes(), name="a")
+    b = injector.wrap(_Bytes(), name="b")
+    a.read_range(0, 4)  # global read 1: clean
+    b.read_range(0, 4)  # global read 2: latency fault (on source b)
+    assert injector.total_reads == 2 and injector.faults_injected == 1
+    assert slept == [0.5]
+    assert (a.reads, b.reads) == (1, 1)
+    assert injector.stats() == {
+        "total_reads": 2, "faults_injected": 1, "injected": {"latency": 1},
+    }
+
+
+def test_fault_injecting_source_applies_each_kind():
+    class _Bytes:
+        size = 4
+        last_crc = 7
+
+        def read_range(self, offset, length):
+            return b"abcd"[offset : offset + length]
+
+    def one(kind, seconds=0.0, sleep=None):
+        injector = FaultInjector(
+            FaultPlan.always(kind=kind, seconds=seconds),
+            sleep=sleep if sleep is not None else time.sleep,
+        )
+        return injector.wrap(_Bytes())
+
+    with pytest.raises(RemoteSourceError, match="injected failure"):
+        one("raise").read_range(0, 4)
+    slept = []
+    with pytest.raises(RemoteSourceError, match="stall timed out"):
+        one("stall", seconds=0.3, sleep=slept.append).read_range(0, 4)
+    assert slept == [0.3]
+    assert one("short").read_range(0, 4) == b"abc"
+    assert one("corrupt").read_range(0, 4) == bytes([ord("a") ^ 0xFF]) + b"bcd"
+    slept = []
+    assert one("latency", seconds=0.2, sleep=slept.append).read_range(0, 4) == b"abcd"
+    assert slept == [0.2]
+    # Transparent delegation (the VerifyingSource contract).
+    assert one("short").last_crc == 7
+
+
+# ------------------------------------------------- the byte-identity matrix
+
+
+def _retrieve_stream(source_or_blob):
+    retriever = ProgressiveRetriever(source_or_blob)
+    return retriever.retrieve(error_bound=retriever.header.error_bound)
+
+
+def _oracle(served_dir, version, kind):
+    if kind == "stream":
+        return _retrieve_stream((served_dir / f"{version}.ipc").read_bytes())
+    with ChunkedDataset(served_dir / f"{version}.rprc") as dataset:
+        return dataset.read()
+
+
+def _remote_read(url, stack, kind):
+    if kind == "stream":
+        try:
+            return _retrieve_stream(stack)
+        finally:
+            stack.close()
+    with ChunkedDataset(url, source=stack) as dataset:
+        return dataset.read()
+
+
+@pytest.mark.parametrize("version", ["v1", "v2"])
+@pytest.mark.parametrize("kind", ["stream", "container"])
+def test_identity_matrix_over_http(served_dir, server, replica, version, kind):
+    """{v1, v2} × {stream, container} × {clean, ≥20% faulted, failover}
+    retrieved over loopback HTTP is bitwise-identical to the local read."""
+    name = f"{version}.ipc" if kind == "stream" else f"{version}.rprc"
+    url, mirror_url = server.url_for(name), replica.url_for(name)
+    expected = _oracle(served_dir, version, kind)
+
+    # Clean: zero retries, byte and consumed-range identical.
+    stack = open_remote_source(url)
+    result = _remote_read(url, stack, kind)
+    assert result.data.tobytes() == expected.data.tobytes()
+    assert result.bytes_loaded == expected.bytes_loaded
+    assert stack.stats()["retries"] == 0
+
+    # Faulted: raise + short + corrupt on >= 20% of reads, injected below
+    # CRC verification; the retry ladder heals every one.
+    injector = FaultInjector(
+        FaultPlan.every(3, kind="raise")
+        + FaultPlan.every(5, kind="short")
+        + FaultPlan.every(7, kind="corrupt")
+    )
+    stack = open_remote_source(url, tamper=injector.tamper, **_PATIENT)
+    result = _remote_read(url, stack, kind)
+    assert result.data.tobytes() == expected.data.tobytes()
+    assert result.bytes_loaded == expected.bytes_loaded
+    stats = stack.stats()
+    assert stats["retries"] >= 1
+    assert injector.faults_injected >= 1
+    assert injector.faults_injected / injector.total_reads >= 0.2
+    assert stats["crc_mismatches"] >= 1  # short/corrupt caught by the CRC gate
+
+    # Failover: the primary endpoint always fails; the replica serves all.
+    injector = FaultInjector(FaultPlan.always(kind="raise"))
+
+    def tamper_primary(endpoint_url, source):
+        return injector.wrap(source) if endpoint_url == url else source
+
+    stack = open_remote_source(
+        url, [mirror_url], tamper=tamper_primary, retries=0, backoff=0.0
+    )
+    result = _remote_read(url, stack, kind)
+    assert result.data.tobytes() == expected.data.tobytes()
+    assert result.bytes_loaded == expected.bytes_loaded
+    stats = stack.stats()
+    assert stats["failovers"] >= 1
+    assert len(stats["breaker"]) == 2
+
+
+def test_dead_primary_at_open_fails_over_to_mirror(served_dir, server):
+    """An endpoint that is down when the stack is built is dropped; only
+    every endpoint failing propagates."""
+    blob = (served_dir / "v2.rprc").read_bytes()
+    dead = "http://127.0.0.1:1/v2.rprc"
+    stack = open_remote_source(dead, [server.url_for("v2.rprc")])
+    try:
+        assert stack.read_range(0, 16) == blob[:16]
+    finally:
+        stack.close()
+    with pytest.raises((RemoteSourceError, OSError)):
+        open_remote_source(dead, ["http://127.0.0.1:1/other"])
+
+
+def test_server_side_fault_plan_is_healed_by_the_client(served_dir):
+    """Faults injected by the *server* (500s, short bodies, corruption after
+    the CRC is stamped) heal exactly like client-side ones."""
+    blob = (served_dir / "v2.rprc").read_bytes()
+    plan = (
+        FaultPlan.every(4, kind="raise")
+        + FaultPlan.every(5, kind="short")
+        + FaultPlan.every(7, kind="corrupt")
+    )
+    with RangeServer(served_dir, plan=plan) as faulty:
+        stack = open_remote_source(faulty.url_for("v2.rprc"), **_PATIENT)
+        try:
+            # Chunked reads so the server's per-range fault counter sweeps
+            # past the every-4/5/7 marks (one whole-object read would be a
+            # single range request and could dodge every rule).
+            step = max(1, stack.size // 16)
+            got = b"".join(
+                stack.read_range(offset, min(step, stack.size - offset))
+                for offset in range(0, stack.size, step)
+            )
+            assert got == blob
+            assert stack.stats()["retries"] >= 1
+            assert faulty.faults_served >= 1
+        finally:
+            stack.close()
+
+
+# --------------------------------------------------------- service over HTTP
+
+
+def test_service_over_url_warm_repeat_and_remote_trace(served_dir, server):
+    url = server.url_for("v2.rprc")
+    with ChunkedDataset(served_dir / "v2.rprc") as dataset:
+        oracle = dataset.read()
+    with RetrievalService() as service:
+        response = service.get(url)
+        assert np.array_equal(response.data, oracle.data)
+        assert response.trace.bytes_loaded == oracle.bytes_loaded
+        assert response.trace.remote and response.trace.egress_bytes > 0
+        assert response.trace.breaker_states  # endpoint state snapshot
+        warm = service.get(url)
+        assert np.array_equal(warm.data, oracle.data)
+        assert warm.trace.physical_reads == 0
+        stats = service.stats()
+        assert stats["remote_requests"] == 2
+        assert stats["egress_bytes"] >= response.trace.egress_bytes
+
+
+def test_service_remote_failure_degrades_to_resident(served_dir, server):
+    url = server.url_for("v2.rprc")
+    poison = set()
+    injector = FaultInjector(FaultPlan.at(poison))
+    options = dict(tamper=injector.tamper, retries=0, backoff=0.0)
+    with RetrievalService(retries=0, remote_options=options) as service:
+        with ChunkedDataset(served_dir / "v2.rprc") as dataset:
+            stored = dataset.absolute_bound
+        coarse = service.get(url, error_bound=stored * 16)
+        assert not coarse.trace.degraded
+        # Every future remote read fails: the finer request cannot refine,
+        # so it degrades to the resident coarse rung instead of erroring.
+        injector.plan.rules.extend(FaultPlan.always(kind="raise").rules)
+        refined = service.get(url, error_bound=stored)
+        assert refined.trace.degraded
+        assert refined.trace.achieved_bound <= stored * 16
+        assert service.stats()["degraded"] == 1
+
+
+def test_service_remote_fingerprint_change_purges_session(tmp_path):
+    path = tmp_path / "data.rprc"
+    ChunkedDataset.write(
+        path, _field((12, 10, 8), 5), error_bound=1e-4, relative=True,
+        n_blocks=2, workers=0,
+    )
+    with RangeServer(tmp_path) as srv, RetrievalService() as service:
+        url = srv.url_for("data.rprc")
+        first = service.get(url)
+        # Replace the served object in place: same URL, different bytes.
+        ChunkedDataset.write(
+            path, _field((12, 10, 8), 6), error_bound=1e-4, relative=True,
+            n_blocks=2, workers=0,
+        )
+        with ChunkedDataset(path) as dataset:
+            oracle = dataset.read()
+        fresh = service.get(url)
+        assert np.array_equal(fresh.data, oracle.data)
+        assert not np.array_equal(fresh.data, first.data)
+        assert fresh.trace.physical_reads > 0
+
+
+def test_scheduler_serves_urls_with_deadlines(served_dir, server):
+    from repro.service.scheduler import RequestScheduler
+
+    url = server.url_for("v2.rprc")
+    with ChunkedDataset(served_dir / "v2.rprc") as dataset:
+        oracle = dataset.read()
+    with RetrievalService() as service:
+        with RequestScheduler(service, max_inflight=2) as scheduler:
+            handle = scheduler.submit(url, timeout=30.0)
+            response = handle.refined(timeout=30.0)
+            assert np.array_equal(response.data, oracle.data)
+            assert response.trace.remote
+
+
+# ------------------------------------------------------ prefetch interaction
+
+
+def test_failed_prime_is_refunded_and_never_fatal():
+    payload = bytes(range(200))
+    gate = threading.Event()
+    lock = threading.Lock()
+
+    class _FirstReadDies:
+        size = len(payload)
+
+        def __init__(self):
+            self.calls = 0
+
+        def read_range(self, offset, length):
+            with lock:
+                self.calls += 1
+                first = self.calls == 1
+            if first:
+                assert gate.wait(5.0)
+                raise RemoteSourceError("speculative prime dies")
+            return payload[offset : offset + length]
+
+    inner = _FirstReadDies()
+    with Prefetcher(depth=2) as prefetcher:
+        source = PrefetchSource(inner, prefetcher)
+        assert source.prime([(0, 50)]) == 50
+        assert source.bytes_fetched == 50  # charged at prime time
+        threading.Timer(0.02, gate.set).start()
+        # The consuming read hits the failed prime, refunds it, and
+        # degrades to a direct synchronous read — never fatal.
+        assert source.read_range(0, 50) == payload[:50]
+        assert source.bytes_fetched == 50  # prime refunded, direct charged
+        assert inner.calls == 2
+
+
+def test_failed_prime_refunds_via_done_callback_too():
+    inner = _FailingSource(failures=1, payload=bytes(64))
+    with Prefetcher(depth=1) as prefetcher:
+        source = PrefetchSource(inner, prefetcher)
+        source.prime([(0, 32)])
+        deadline = time.monotonic() + 5.0
+        while source.bytes_fetched != 0 and time.monotonic() < deadline:
+            time.sleep(0.005)
+        assert source.bytes_fetched == 0  # refunded without any consumer
+        assert source.read_range(0, 32) == bytes(32)
+        assert source.bytes_fetched == 32
+
+
+# ------------------------------------------------------ short-read hardening
+
+
+def test_file_source_truncation_names_the_offset(tmp_path):
+    path = tmp_path / "stream.bin"
+    path.write_bytes(bytes(100))
+    with FileSource(path) as source:
+        path.write_bytes(bytes(60))  # truncate behind the open handle
+        with pytest.raises(
+            StreamFormatError,
+            match=r"truncated at offset 50: wanted 30 B, got 10",
+        ):
+            source.read_range(50, 30)
+
+
+def test_container_truncation_names_the_offset(tmp_path):
+    path = tmp_path / "c.rprc"
+    with BlockContainerWriter(path) as writer:
+        writer.add_block("blk", bytes(range(100)))
+    blob = path.read_bytes()
+
+    class _Truncated:
+        """Claims the full size but cannot serve the tail."""
+
+        def __init__(self, cut):
+            self.blob = blob[:cut]
+            self.size = len(blob)
+
+        def read_range(self, offset, length):
+            return self.blob[offset : offset + length]
+
+    with pytest.raises(StreamFormatError, match=r"wanted \d+ B at offset \d+"):
+        BlockContainerReader(_Truncated(len(blob) - 4))
+    # Truncation inside a block names the block and the in-block offset.
+    reader = BlockContainerReader(path)
+    try:
+        reader._file_size = len(blob)  # footer parsed; now starve the data
+        reader._source = _Truncated(40)
+        reader._handle.close()
+        reader._handle = None
+        with pytest.raises(StreamFormatError, match=r"truncated inside block 'blk'"):
+            reader.read_range("blk", 30, 40)
+    finally:
+        reader._source = None
+        reader.close()

@@ -1,6 +1,7 @@
 """Fault injection against the serving layer's degradation ladder.
 
-Injected failures — flaky byte-range sources (raising or short-reading),
+Injected failures — flaky byte-range sources (:mod:`repro.io.faults`
+plans raising or short-reading on scheduled global read numbers),
 poisoned cache entries, a broken persistent pool — must degrade exactly
 along the ladder the rest of the repo uses:
 
@@ -27,6 +28,7 @@ import pytest
 
 from repro import ChunkedDataset, IPComp
 from repro.errors import ConfigurationError
+from repro.io.faults import FaultInjector, FaultPlan
 from repro.parallel.poolmap import imap_fallback
 from repro.service import RetrievalService
 
@@ -53,62 +55,31 @@ def _serial(path: Path, error_bound=None, roi=None):
         return dataset.read(error_bound, roi=roi)
 
 
-class _FlakySource:
-    """Byte-range source that fails on chosen global read numbers.
-
-    ``counter`` is a shared single-element list so one policy spans every
-    source the service wraps; ``fail`` decides, per 1-based global read
-    number, whether to inject.  ``mode="raise"`` raises :class:`OSError`;
-    ``mode="short"`` returns a truncated payload (which the service's
-    traced source converts into a ``StreamFormatError``) — both are rungs
-    of the same retry ladder.
-    """
-
-    def __init__(self, inner, counter, fail, mode="raise"):
-        self._inner = inner
-        self.size = inner.size
-        self._counter = counter
-        self._fail = fail
-        self._mode = mode
-
-    def read_range(self, offset: int, length: int) -> bytes:
-        self._counter[0] += 1
-        if self._fail(self._counter[0]):
-            if self._mode == "raise":
-                raise OSError(f"injected failure on read #{self._counter[0]}")
-            return self._inner.read_range(offset, length)[: max(0, length - 1)]
-        return self._inner.read_range(offset, length)
-
-
 # ------------------------------------------------------------- flaky sources
 
 
 @pytest.mark.parametrize("mode", ["raise", "short"])
 def test_every_kth_read_fails_but_answers_stay_identical(tmp_path, mode):
     """A source failing every k-th ``read_range`` is retried per shard; the
-    final answer and its consumed receipt match the serial oracle exactly."""
+    final answer and its consumed receipt match the serial oracle exactly.
+
+    ``raise`` surfaces an :class:`OSError`; ``short`` returns a truncated
+    payload (which the service's traced source converts into a
+    ``StreamFormatError``) — both are rungs of the same retry ladder.
+    """
     path = _make_container(tmp_path)
     oracle = _serial(path)
     # Calibrate k to one more than the longest per-shard read run, so any
     # single attempt trips the injector at most once and every retry (which
     # starts a fresh run right after a failure) completes before the next
     # k-th read comes due.
-    per_source_counts = []
-
-    def counting(name, source):
-        counter = [0]
-        per_source_counts.append(counter)
-        return _FlakySource(source, counter, lambda n: False)
-
-    with RetrievalService(source_filter=counting) as service:
+    probe = FaultInjector(FaultPlan.never())
+    with RetrievalService(source_filter=probe.source_filter) as service:
         service.get(path)
-    k = max(c[0] for c in per_source_counts) + 1
-    counter = [0]
+    k = max(source.reads for source in probe.sources) + 1
+    injector = FaultInjector(FaultPlan.every(k, kind=mode))
 
-    def flaky(name, source):
-        return _FlakySource(source, counter, lambda n: n % k == 0, mode=mode)
-
-    with RetrievalService(source_filter=flaky, retries=2) as service:
+    with RetrievalService(source_filter=injector.source_filter, retries=2) as service:
         response = service.get(path)
         assert np.array_equal(response.data, oracle.data)
         assert response.trace.bytes_loaded == oracle.bytes_loaded
@@ -125,20 +96,17 @@ def test_every_kth_read_fails_but_answers_stay_identical(tmp_path, mode):
 
 def test_exhausted_retries_propagate(tmp_path):
     path = _make_container(tmp_path)
-    counter = [0]
-
-    def always_bad(name, source):
-        return _FlakySource(source, counter, lambda n: True)
-
-    with RetrievalService(source_filter=always_bad, retries=1) as service:
+    injector = FaultInjector(FaultPlan.always())
+    with RetrievalService(source_filter=injector.source_filter, retries=1) as service:
         with pytest.raises(OSError):
             service.get(path)
+    assert injector.faults_injected == injector.total_reads > 0
     # Configuration mistakes are not retried: the source is never touched.
-    counter[0] = 0
-    with RetrievalService(source_filter=always_bad, retries=5) as service:
+    injector = FaultInjector(FaultPlan.always())
+    with RetrievalService(source_filter=injector.source_filter, retries=5) as service:
         with pytest.raises(ConfigurationError):
             service.get(path, error_bound=-1.0)
-        assert counter[0] == 0
+        assert injector.total_reads == 0
 
 
 def test_rung_failure_falls_back_to_cold_rebuild(tmp_path):
@@ -153,18 +121,16 @@ def test_rung_failure_falls_back_to_cold_rebuild(tmp_path):
     stored = ProgressiveRetriever(path.read_bytes()).header.error_bound
     coarse, fine = stored * 64.0, stored
     fine_oracle = ProgressiveRetriever(path.read_bytes()).retrieve(error_bound=fine)
-    counter = [0]
-    fail_reads = set()
+    fail_reads: set = set()
+    # FaultPlan.at keeps the set by reference, so poisoning it mid-run works.
+    injector = FaultInjector(FaultPlan.at(fail_reads))
 
-    def flaky(name, source):
-        return _FlakySource(source, counter, lambda n: n in fail_reads)
-
-    with RetrievalService(source_filter=flaky, retries=2) as service:
+    with RetrievalService(source_filter=injector.source_filter, retries=2) as service:
         service.get(path, error_bound=coarse)
         # Poison exactly the refine's first delta read: the resident rung's
         # next touch fails, forcing invalidation + a cold rebuild (whose own
         # reads, starting one later, all succeed).
-        fail_reads.add(counter[0] + 1)
+        fail_reads.add(injector.total_reads + 1)
         refined = service.get(path, error_bound=fine)
         assert np.array_equal(refined.data, fine_oracle.data)
         assert refined.trace.bytes_loaded == fine_oracle.bytes_loaded
@@ -233,14 +199,10 @@ def test_retry_backoff_is_capped_jittered_and_recorded(tmp_path):
     base, cap = 0.05, 0.06  # cap < base·2: attempt 2 exercises the clamp
 
     def run():
-        counter = [0]
+        injector = FaultInjector(FaultPlan.first(2))
         slept = []
-
-        def flaky(name, source):
-            return _FlakySource(source, counter, lambda n: n <= 2)
-
         with RetrievalService(
-            source_filter=flaky, retries=3, retry_backoff=base,
+            source_filter=injector.source_filter, retries=3, retry_backoff=base,
             retry_backoff_cap=cap, sleep=slept.append,
         ) as service:
             return service.get(path), slept
@@ -265,14 +227,12 @@ def test_retry_backoff_is_capped_jittered_and_recorded(tmp_path):
 def test_zero_backoff_disables_pacing(tmp_path):
     path = _make_container(tmp_path)
     oracle = _serial(path)
-    counter = [0]
+    injector = FaultInjector(FaultPlan.at({1}))
     slept = []
 
-    def flaky(name, source):
-        return _FlakySource(source, counter, lambda n: n == 1)
-
     with RetrievalService(
-        source_filter=flaky, retries=2, retry_backoff=0.0, sleep=slept.append,
+        source_filter=injector.source_filter, retries=2, retry_backoff=0.0,
+        sleep=slept.append,
     ) as service:
         response = service.get(path)
     assert np.array_equal(response.data, oracle.data)
