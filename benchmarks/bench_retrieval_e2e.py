@@ -17,9 +17,13 @@ and emits **`BENCH_retrieval.json`** at the repo root:
    ``open_stream_source`` with and without prefetch.
 5. **Loopback HTTP** — the same container served by
    :class:`repro.io.rangeserver.RangeServer` and read through the
-   resilient remote stack: MB/s and the remote/local latency ratio are
-   recorded; byte identity and a retry-free clean run are hard-gated
-   (a healthy loopback read that needs retries is a client bug).
+   resilient remote stack, one leg per I/O backend (``threads`` vs the
+   multiplexed ``async`` event loop) × server condition (clean vs a
+   20 ms/read latency plan): MB/s per leg is recorded with its
+   ``io_backend`` and ``latency_plan``; byte identity on every leg, a
+   retry-free clean run, and **async ≥ 2× the single-connection thread
+   path under latency** are hard-gated (the latency legs are
+   network-bound, so the speedup gate is valid even on one core).
 
 Correctness is hard-gated (bitwise identity across every path); speed is
 recorded and gated only where the hardware can honour it: the checked-in
@@ -40,6 +44,8 @@ import pytest
 from benchmarks.conftest import BENCH_SCALE, REPO_ROOT, print_table, write_csv
 from repro import ChunkedDataset, CodecProfile, IPComp, ProgressiveRetriever
 from repro.core.kernels_compiled import numba_available
+from repro.io.aio import open_async_source
+from repro.io.faults import FaultPlan
 from repro.io.rangeserver import RangeServer
 from repro.io.remote import open_remote_source
 from repro.retrieval.engine import open_stream_source
@@ -51,6 +57,11 @@ BOUND = 1e-5
 N_BLOCKS = 8
 _POOL_WORKERS = (0, 2, 4)
 _PREFETCH_DEPTH = 4
+#: Server-side injected latency per ranged read for the latency legs.
+_REMOTE_LATENCY_S = 0.02
+#: Hard gate: async multiplexing must beat the single-connection thread
+#: path by at least this factor when reads cost _REMOTE_LATENCY_S each.
+_ASYNC_LATENCY_SPEEDUP_MIN = 2.0
 
 _SHAPES = {
     "tiny": (24, 28, 32),
@@ -223,36 +234,72 @@ def _run_stream(tmp_path, field):
 
 
 def _run_remote(path, field, sync_seconds):
-    """Loopback-HTTP leg: the container through the resilient remote stack.
+    """Loopback-HTTP legs: backend × server condition through the stack.
 
-    A clean loopback run is the stack's fixed-overhead measurement: the
-    bytes are identical to the local read (hard gate elsewhere), zero
-    retries happen (ditto), and the remote/local latency ratio is the
-    per-request cost of HTTP framing — recorded, never gated, since it is
-    pure hardware/loopback noise.
+    Clean legs are the stack's fixed-overhead measurement: bytes identical
+    to the local read (hard gate elsewhere), zero retries (ditto), and the
+    remote/local latency ratio is the per-request cost of HTTP framing —
+    recorded, never gated, since it is pure hardware/loopback noise.  The
+    20 ms/read latency legs isolate request concurrency: the thread path
+    serialises on its single connection while the async backend multiplexes
+    a connection pool, so its speedup there is network-bound and gated
+    even on a 1-core box.
     """
     mb = field.nbytes / 1e6
-    with RangeServer(path.parent) as server:
-        url = server.url_for(path.name)
+    local = _read_once(path)
 
-        def read():
-            stack = open_remote_source(url)
-            with ChunkedDataset(url, source=stack) as dataset:
-                return dataset.read(), stack.stats()
+    def leg(backend, plan):
+        with RangeServer(path.parent, plan=plan) as server:
+            url = server.url_for(path.name)
 
-        local = _read_once(path)
-        result, stats = read()  # identity + accounting pass (untimed)
-        seconds = _best_seconds(lambda: read(), 3)
+            def read():
+                stack = (
+                    open_async_source(url)
+                    if backend == "async"
+                    else open_remote_source(url)
+                )
+                with ChunkedDataset(
+                    url, source=stack, io_backend=backend,
+                    prefetch=_PREFETCH_DEPTH,
+                ) as dataset:
+                    return dataset.read(), stack.stats()
+
+            result, stats = read()  # identity + accounting pass (untimed)
+            seconds = _best_seconds(lambda: read(), 2 if plan else 3)
+        return {
+            "io_backend": backend,
+            "latency_plan": (
+                {"kind": "latency", "seconds": _REMOTE_LATENCY_S}
+                if plan is not None
+                else None
+            ),
+            "mbps": round(mb / seconds, 3),
+            "seconds": round(seconds, 4),
+            "requests": stats.get("requests", 0),
+            "egress_bytes": stats.get("egress_bytes", 0),
+            "retries": stats.get("retries", 0),
+            "crc_verified": stats.get("crc_verified", 0),
+            "inflight_max": stats.get("inflight_max", 0),
+            "identical": result.data.tobytes() == local.data.tobytes()
+            and result.bytes_loaded == local.bytes_loaded,
+        }
+
+    latency_plan = FaultPlan.always("latency", seconds=_REMOTE_LATENCY_S)
+    legs = {}
+    for backend in ("threads", "async"):
+        legs[f"{backend}/clean"] = leg(backend, None)
+        legs[f"{backend}/latency"] = leg(backend, latency_plan)
     return {
-        "mbps": round(mb / seconds, 3),
-        "seconds": round(seconds, 4),
-        "latency_ratio_vs_sync": round(seconds / sync_seconds, 3),
-        "requests": stats.get("requests", 0),
-        "egress_bytes": stats.get("egress_bytes", 0),
-        "retries": stats.get("retries", 0),
-        "crc_verified": stats.get("crc_verified", 0),
-        "identical": result.data.tobytes() == local.data.tobytes()
-        and result.bytes_loaded == local.bytes_loaded,
+        "latency_seconds_per_read": _REMOTE_LATENCY_S,
+        "legs": legs,
+        "latency_ratio_vs_sync": round(
+            legs["threads/clean"]["seconds"] / sync_seconds, 3
+        ),
+        "async_latency_speedup": round(
+            legs["threads/latency"]["seconds"]
+            / legs["async/latency"]["seconds"],
+            3,
+        ),
     }
 
 
@@ -269,6 +316,17 @@ def _check_floor(payload) -> list:
         if measured is not None and measured < minimum * 0.7:
             failures.append(
                 f"retrieval {mode}: {measured} MB/s < 70% of floor {minimum} MB/s"
+            )
+    # Remote floors arm per leg (io_backend × condition): a regression in
+    # one backend cannot hide behind the other's healthy number.
+    for leg_label, minimum in floor.get("remote_mbps", {}).items():
+        measured = (
+            payload["remote_http"]["legs"].get(leg_label, {}).get("mbps")
+        )
+        if measured is not None and measured < minimum * 0.7:
+            failures.append(
+                f"remote {leg_label}: {measured} MB/s < 70% of floor "
+                f"{minimum} MB/s"
             )
     # Pool scaling only means anything with ≥ 2 cores under the pool.
     pool_floor = floor.get("retrieval_pool_speedup_min")
@@ -295,7 +353,7 @@ def test_retrieval_e2e(benchmark, results_dir, tmp_path):
     def _run():
         full_read = _run_full_reads(path, field)
         return {
-            "schema": "bench-retrieval-e2e/v1",
+            "schema": "bench-retrieval-e2e/v2",
             "scale": BENCH_SCALE,
             "shape": list(shape),
             "field_mb": round(field.nbytes / 1e6, 3),
@@ -320,13 +378,21 @@ def test_retrieval_e2e(benchmark, results_dir, tmp_path):
     ] + [
         [f"pool/workers={w}", cell["mbps"]]
         for w, cell in payload["full_read"]["pool"].items()
-    ] + [["loopback-http", payload["remote_http"]["mbps"]]]
+    ] + [
+        [f"http/{label}", leg["mbps"]]
+        for label, leg in payload["remote_http"]["legs"].items()
+    ]
     print_table("Retrieval e2e: full-field read", header, rows)
     write_csv(results_dir / "retrieval_e2e.csv", header, rows)
     remote = payload["remote_http"]
+    clean = remote["legs"]["threads/clean"]
     print(
-        f"loopback http: {remote['mbps']} MB/s over {remote['requests']} "
-        f"ranged GETs ({remote['latency_ratio_vs_sync']}x local sync latency)"
+        f"loopback http (threads/clean): {clean['mbps']} MB/s over "
+        f"{clean['requests']} ranged GETs "
+        f"({remote['latency_ratio_vs_sync']}x local sync latency); "
+        f"async beats the thread path "
+        f"{remote['async_latency_speedup']}x under "
+        f"{int(remote['latency_seconds_per_read'] * 1000)} ms/read latency"
     )
     print(
         f"roi: {payload['roi']['roi_volume_fraction']:.3f} of the volume → "
@@ -349,9 +415,20 @@ def test_retrieval_e2e(benchmark, results_dir, tmp_path):
     # A ≤ 1/4-volume ROI must touch well under half the full-read bytes.
     assert payload["roi"]["roi_volume_fraction"] <= 0.25
     assert payload["roi"]["bytes_fraction"] < 0.5, payload["roi"]
-    # Loopback HTTP: identical bytes, and a clean run never retries.
-    assert payload["remote_http"]["identical"], payload["remote_http"]
-    assert payload["remote_http"]["retries"] == 0, payload["remote_http"]
+    # Loopback HTTP: identical bytes on every backend × condition leg,
+    # clean runs never retry, and the async backend genuinely multiplexes
+    # (window > 1 on the wire) and beats the single-connection thread path
+    # by ≥ 2x when each read costs 20 ms — network-bound, so valid on any
+    # core count.
+    for label, leg in payload["remote_http"]["legs"].items():
+        assert leg["identical"], (label, leg)
+        if leg["latency_plan"] is None:
+            assert leg["retries"] == 0, (label, leg)
+    assert payload["remote_http"]["legs"]["async/latency"]["inflight_max"] > 1
+    assert (
+        payload["remote_http"]["async_latency_speedup"]
+        >= _ASYNC_LATENCY_SPEEDUP_MIN
+    ), payload["remote_http"]
 
     # Perf gates: floor-file driven; pool floors only on multi-core boxes.
     floor_failures = _check_floor(payload)

@@ -82,6 +82,7 @@ from repro.errors import ConfigurationError, ReproError
 from repro.io import is_container
 from repro.io.container import sniff_container
 from repro.io.faults import FaultInjector, FaultPlan
+from repro.io.aio import IO_BACKENDS, open_async_source, resolve_io_backend
 from repro.io.remote import is_url, open_remote_source
 from repro.retrieval.engine import open_stream_source
 from repro.retrieval.prefetch import DEFAULT_PREFETCH_DEPTH
@@ -320,6 +321,16 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="read every planned range synchronously",
     )
+    retrieve.add_argument(
+        "--io",
+        choices=IO_BACKENDS,
+        default=None,
+        metavar="BACKEND",
+        help="range-I/O backend: auto (default; async event loop for "
+        "http(s) URLs, threads otherwise), async (multiplexed connection "
+        "pool), threads (thread-pool prefetcher), or sync (serial reads, "
+        "prefetch off) — every backend is bitwise-identical",
+    )
     _add_profile_arguments(retrieve, full=False)
 
     info = sub.add_parser(
@@ -430,6 +441,14 @@ def _build_parser() -> argparse.ArgumentParser:
             metavar="FILE",
             help="also write the aggregate service stats to FILE",
         )
+        subparser.add_argument(
+            "--io",
+            choices=IO_BACKENDS,
+            default=None,
+            metavar="BACKEND",
+            help="remote range-I/O backend for URL inputs: auto (default), "
+            "async, threads, or sync",
+        )
         _add_profile_arguments(subparser, full=False)
 
     serve = sub.add_parser(
@@ -510,7 +529,7 @@ def _runtime_knobs_from_profile_file(args) -> dict:
         raise ConfigurationError("codec profile JSON must be an object")
     return {
         k: obj[k]
-        for k in ("prefetch", "workers", "cache_bytes", "cache_verify")
+        for k in ("prefetch", "workers", "cache_bytes", "cache_verify", "io_backend")
         if k in obj
     }
 
@@ -526,13 +545,20 @@ def _retrieve_prefetch_depth(args, file_knobs: dict) -> int:
     return int(file_knobs.get("prefetch", DEFAULT_PREFETCH_DEPTH))
 
 
+def _retrieve_io_choice(args, file_knobs: dict) -> str:
+    """Effective ``--io`` choice: flag > profile file > auto."""
+    if getattr(args, "io", None) is not None:
+        return args.io
+    return str(file_knobs.get("io_backend", "auto"))
+
+
 def _fault_injector_from_args(args) -> "FaultInjector | None":
     if getattr(args, "inject_faults", None) is None:
         return None
     return FaultInjector(FaultPlan.from_file(args.inject_faults))
 
 
-def _write_retrieve_trace(args, result, remote_stats) -> None:
+def _write_retrieve_trace(args, result, remote_stats, io_backend=None) -> None:
     """``retrieve --trace-json``: one receipt object, remote stats included."""
     if args.trace_json is None:
         return
@@ -541,22 +567,30 @@ def _write_retrieve_trace(args, result, remote_stats) -> None:
         "error_bound": result.error_bound,
         "bytes_loaded": result.bytes_loaded,
         "bitrate": result.bitrate(),
+        "io_backend": io_backend,
         "remote": remote_stats,
     }
     args.trace_json.write_text(json.dumps(receipt, indent=2), encoding="utf-8")
 
 
-def _cmd_retrieve_remote(args, profile, prefetch, workers) -> int:
+def _cmd_retrieve_remote(args, profile, prefetch, workers, io_choice) -> int:
     """``retrieve`` over an ``http(s)://`` URL: the resilient remote stack
     (retries, CRC, optional mirrors / injected faults) feeds the same
     plan → prefetch → decode pipeline; output is bitwise-identical to a
     local read of the same file."""
     injector = _fault_injector_from_args(args)
-    stack = open_remote_source(
-        args.input,
-        tuple(args.mirror or ()),
-        tamper=injector.tamper if injector is not None else None,
-    )
+    backend = resolve_io_backend(io_choice, args.input)
+    if backend == "sync":
+        prefetch = 0
+    tamper = injector.tamper if injector is not None else None
+    if backend == "async":
+        stack = open_async_source(
+            args.input, tuple(args.mirror or ()), tamper=tamper
+        )
+    else:
+        stack = open_remote_source(
+            args.input, tuple(args.mirror or ()), tamper=tamper
+        )
     if sniff_container(stack):
         if args.bitrate is not None:
             stack.close()
@@ -566,7 +600,7 @@ def _cmd_retrieve_remote(args, profile, prefetch, workers) -> int:
         # The dataset's reader owns (and closes) the stack.
         with ChunkedDataset(
             args.input, profile=profile, prefetch=prefetch,
-            workers=workers, source=stack,
+            workers=workers, source=stack, io_backend=backend,
         ) as dataset:
             result = dataset.read(error_bound=args.error_bound, roi=args.roi)
             save_raw(args.output, result.data)
@@ -585,7 +619,9 @@ def _cmd_retrieve_remote(args, profile, prefetch, workers) -> int:
             raise ConfigurationError(
                 "--roi requires a chunked container (compress with --blocks)"
             )
-        source = open_stream_source(args.input, prefetch=prefetch, source=stack)
+        source = open_stream_source(
+            args.input, prefetch=prefetch, source=stack, io_backend=backend
+        )
         try:
             retriever = ProgressiveRetriever(source, profile=profile)
             result = retriever.retrieve(
@@ -605,7 +641,7 @@ def _cmd_retrieve_remote(args, profile, prefetch, workers) -> int:
         )
     if injector is not None:
         stats = {**stats, "faults": injector.stats()}
-    _write_retrieve_trace(args, result, stats)
+    _write_retrieve_trace(args, result, stats, io_backend=backend)
     return 0
 
 
@@ -614,8 +650,16 @@ def _cmd_retrieve(args) -> int:
     file_knobs = _runtime_knobs_from_profile_file(args)
     prefetch = _retrieve_prefetch_depth(args, file_knobs)
     workers = args.workers if args.workers is not None else file_knobs.get("workers")
+    io_choice = _retrieve_io_choice(args, file_knobs)
     if is_url(args.input):
-        return _cmd_retrieve_remote(args, profile, prefetch, workers)
+        return _cmd_retrieve_remote(args, profile, prefetch, workers, io_choice)
+    if io_choice == "async":
+        raise ConfigurationError(
+            "--io async requires an http(s):// input (local files use "
+            "threads or sync)"
+        )
+    if io_choice == "sync":
+        prefetch = 0
     if args.mirror or args.inject_faults is not None:
         raise ConfigurationError(
             "--mirror and --inject-faults apply to http(s):// inputs "
@@ -637,7 +681,10 @@ def _cmd_retrieve(args) -> int:
                 f"{result.bitrate():.3f} bits/value), "
                 f"guaranteed error <= {result.error_bound:.3e}"
             )
-        _write_retrieve_trace(args, result, None)
+        _write_retrieve_trace(
+            args, result, None,
+            io_backend="sync" if prefetch == 0 else "threads",
+        )
         return 0
     if args.roi is not None:
         raise ConfigurationError(
@@ -660,7 +707,9 @@ def _cmd_retrieve(args) -> int:
         f"retrieved {result.bytes_loaded} B "
         f"({result.bitrate():.3f} bits/value), guaranteed error <= {result.error_bound:.3e}"
     )
-    _write_retrieve_trace(args, result, None)
+    _write_retrieve_trace(
+        args, result, None, io_backend="sync" if prefetch == 0 else "threads"
+    )
     return 0
 
 
@@ -843,6 +892,7 @@ def _serve_batch(args) -> tuple:
         workers=workers,
         source_filter=injector.source_filter if injector is not None else None,
         remote_options=remote_options,
+        io_backend=_retrieve_io_choice(args, file_knobs),
     ) as service:
         if scheduled:
             default_bps, per_client = _parse_client_budgets(args.client_budget_bps)

@@ -1,0 +1,1287 @@
+"""Async multiplexed byte-range retrieval (event-loop I/O backend).
+
+The sync remote stack (:mod:`repro.io.remote`) maps every FetchOp onto a
+ranged GET over **one** persistent connection, lock-serialised — so on a
+high-latency link the pipeline is round-trip-bound no matter how many
+prefetch threads queue behind the lock.  This module replaces the
+transport with an asyncio event loop running in a single daemon thread:
+
+* :class:`AsyncHTTPRangeSource` — the async transport: a pool of up to
+  ``connections`` persistent HTTP/1.1 connections per endpoint, a bounded
+  in-flight ``window`` (semaphore), and the same strict 206/200 +
+  ``Content-Range`` validation as the sync transport.  Each request
+  returns ``(payload, declared_crc)`` — under multiplexing a ``last_crc``
+  attribute handoff would race, so the CRC travels with the payload.
+* async resilience layers mirroring the sync stack semantics exactly:
+  :class:`_AsyncVerify` (CRC gate), :class:`_AsyncRetry` (jittered-backoff
+  ladder + retry budget + deadline), :class:`_AsyncMirror` (health-ranked
+  failover; hedged reads become cheap ``asyncio`` races — the loser is a
+  cancelled task, not a thread holding the wire).
+* :class:`AsyncRangeSource` — the synchronous facade: exposes the plain
+  ``size``/``read_range`` duck type by submitting coroutines to the loop
+  thread, so the container reader, prefetch source, engine, service and
+  scheduler all work unchanged.
+* :class:`AsyncPrefetcher` — drop-in for
+  :class:`~repro.retrieval.prefetch.Prefetcher`: ``submit()`` returns a
+  ``concurrent.futures.Future``, but instead of queueing thread work it
+  batches the ops submitted by one ``prime()`` call, coalesces adjacent
+  ranges into single contiguous GETs (split back per-op client-side), and
+  dispatches them as concurrent tasks on the shared loop.
+
+Everything above the facade is bitwise-identical to the sync path:
+consumed-range accounting lives in ``PrefetchSource`` and never changes,
+and coalescing only merges *physical* fetches.  One process-wide loop
+thread (:meth:`EventLoopThread.shared`) is reused by every source and
+prefetcher; closing a prefetcher never stops a shared loop.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+import zlib
+from concurrent.futures import Future
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from urllib.parse import urlsplit
+
+from repro.errors import (
+    ConfigurationError,
+    RemoteIntegrityError,
+    RemoteSourceError,
+    StreamFormatError,
+)
+from repro.io.remote import (
+    CRC_HEADER,
+    RETRYABLE_ERRORS,
+    CircuitBreaker,
+    _FINGERPRINT_TAIL,
+    _merge_stats,
+    _Mirror,
+    _parse_content_range,
+    is_url,
+    jittered_backoff,
+)
+
+__all__ = [
+    "AsyncHTTPRangeSource",
+    "AsyncPrefetcher",
+    "AsyncRangeSource",
+    "EventLoopThread",
+    "async_available",
+    "coalesce_ops",
+    "open_async_source",
+    "resolve_io_backend",
+]
+
+#: Persistent connections per endpoint (pool ceiling, opened lazily).
+DEFAULT_CONNECTIONS = 6
+
+#: In-flight requests per endpoint (window semaphore).  A little above the
+#: pool size so a request is already queued when a connection frees up.
+DEFAULT_WINDOW = 8
+
+#: Gap (bytes) two prefetch ops may be apart and still coalesce into one
+#: contiguous GET.  0 = only touching/overlapping ops merge, which is the
+#: conservative default: plans already coalesce, so prime-time neighbours
+#: are genuinely adjacent and merging never over-fetches.
+DEFAULT_COALESCE_GAP = 0
+
+#: Ceiling on one coalesced GET, so a huge merged run still pipelines
+#: across connections instead of serialising into one monster request.
+DEFAULT_MAX_BATCH = 8 << 20
+
+#: Valid ``--io`` / profile ``io_backend`` choices.
+IO_BACKENDS = ("auto", "async", "threads", "sync")
+
+
+def async_available() -> bool:
+    """True when the asyncio backend can run (stdlib-only; always true on
+    CPython ≥ 3.10 — kept as a function so exotic platforms can stub it)."""
+    return True
+
+
+def resolve_io_backend(choice: Optional[str], path_or_url) -> str:
+    """Resolve an ``--io`` choice to a concrete backend.
+
+    ``auto`` (or ``None``) picks ``async`` for http(s) URLs when the
+    asyncio backend is available and ``threads`` otherwise; explicit
+    choices pass through after validation.
+    """
+    if choice in (None, "auto"):
+        return "async" if is_url(path_or_url) and async_available() else "threads"
+    if choice not in IO_BACKENDS:
+        raise ConfigurationError(
+            f"io backend must be one of {IO_BACKENDS}, got {choice!r}"
+        )
+    return choice
+
+
+# --------------------------------------------------------------- loop thread
+
+
+class EventLoopThread:
+    """One asyncio event loop running in a daemon thread.
+
+    The bridge between the synchronous retrieval stack and the async
+    transport: :meth:`run` submits a coroutine from any thread and returns
+    a ``concurrent.futures.Future`` (exactly what ``PrefetchSource``
+    already consumes).  :meth:`shared` hands out one process-wide instance
+    that sources and prefetchers reuse — asyncio primitives bind to their
+    loop, so everything that talks to one another must live on the same
+    loop.  The shared loop is never stopped by its users; private loops
+    (tests) own :meth:`close`.
+    """
+
+    _shared: Optional["EventLoopThread"] = None
+    _shared_lock = threading.Lock()
+
+    def __init__(self, name: str = "repro-aio") -> None:
+        self._loop = asyncio.new_event_loop()
+        self._started = threading.Event()
+        self._thread = threading.Thread(target=self._run, name=name, daemon=True)
+        self._thread.start()
+        self._started.wait()
+
+    def _run(self) -> None:
+        asyncio.set_event_loop(self._loop)
+        self._started.set()
+        self._loop.run_forever()
+
+    @property
+    def loop(self) -> asyncio.AbstractEventLoop:
+        return self._loop
+
+    @property
+    def alive(self) -> bool:
+        return self._thread.is_alive() and not self._loop.is_closed()
+
+    def run(self, coro) -> Future:
+        """Schedule ``coro`` on the loop; returns a concurrent Future."""
+        if not self.alive:
+            coro.close()
+            raise RuntimeError("event-loop thread is not running")
+        return asyncio.run_coroutine_threadsafe(coro, self._loop)
+
+    def call(self, coro, timeout: Optional[float] = None):
+        """Run ``coro`` on the loop and block for its result."""
+        return self.run(coro).result(timeout)
+
+    def call_soon(self, fn: Callable[..., None], *args) -> None:
+        self._loop.call_soon_threadsafe(fn, *args)
+
+    def close(self, timeout: float = 5.0) -> None:
+        """Stop a *private* loop (never called on the shared instance)."""
+        if self._thread.is_alive():
+            self._loop.call_soon_threadsafe(self._loop.stop)
+            self._thread.join(timeout=timeout)
+        if not self._thread.is_alive() and not self._loop.is_closed():
+            self._loop.close()
+
+    @classmethod
+    def shared(cls) -> "EventLoopThread":
+        with cls._shared_lock:
+            if cls._shared is None or not cls._shared.alive:
+                cls._shared = cls(name="repro-aio-shared")
+            return cls._shared
+
+
+# ----------------------------------------------------------------- transport
+
+
+class _AioConn:
+    """One pooled connection: stream pair + freshness marker."""
+
+    __slots__ = ("reader", "writer", "fresh")
+
+    def __init__(self, reader, writer) -> None:
+        self.reader = reader
+        self.writer = writer
+        self.fresh = True
+
+
+#: Failures that mark a *reused* keep-alive connection as stale (server
+#: closed it between requests) — retried once on a fresh connection, the
+#: async analogue of the sync transport's RemoteDisconnected handling.
+_STALE_ERRORS = (
+    asyncio.IncompleteReadError,
+    ConnectionResetError,
+    BrokenPipeError,
+)
+
+
+class AsyncHTTPRangeSource:
+    """Async byte-range transport over one HTTP(S) endpoint.
+
+    A pool of up to ``connections`` persistent HTTP/1.1 connections
+    (opened lazily, reused LIFO) and a ``window`` semaphore bounding
+    in-flight requests.  :meth:`aget` returns ``(payload, declared_crc)``
+    — the CRC travels with the payload because a ``last_crc`` attribute
+    would race under multiplexing.  Validation matches the sync transport:
+    206 must carry an exact ``Content-Range`` and full-length payload, a
+    200 (server ignored ``Range``) is sliced with the over-fetch counted
+    as egress, anything else raises.  Every request is gated and fed by a
+    per-endpoint :class:`~repro.io.remote.CircuitBreaker`.
+
+    All state mutation happens on the loop thread, so no locks; counters
+    are plain ints readable from any thread.  Construct via
+    :meth:`open` (async) or let :func:`open_async_source` do it.
+    """
+
+    is_remote_source = True
+
+    def __init__(
+        self,
+        url: str,
+        *,
+        connections: int = DEFAULT_CONNECTIONS,
+        window: int = DEFAULT_WINDOW,
+        timeout: float = 10.0,
+        breaker: Optional[CircuitBreaker] = None,
+    ) -> None:
+        parts = urlsplit(url)
+        if parts.scheme not in ("http", "https") or not parts.hostname:
+            raise ConfigurationError(f"not a usable http(s) URL: {url!r}")
+        self.url = url
+        self.timeout = float(timeout)
+        self.breaker = breaker if breaker is not None else CircuitBreaker()
+        self.connections = max(1, int(connections))
+        self.window = max(1, int(window))
+        self._ssl = parts.scheme == "https"
+        self._host = parts.hostname
+        self._port = parts.port or (443 if self._ssl else 80)
+        self._path = parts.path or "/"
+        if parts.query:
+            self._path += "?" + parts.query
+        host_header = parts.hostname
+        if parts.port is not None:
+            host_header += f":{parts.port}"
+        self._host_header = host_header
+        self.endpoint = f"{self._host}:{self._port}"
+        self._closed = False
+        # Loop-bound primitives are created in open() (they must be born
+        # on the running loop for 3.10 compatibility).
+        self._idle: Optional[asyncio.LifoQueue] = None
+        self._sem: Optional[asyncio.Semaphore] = None
+        self._conn_count = 0
+        self.size: Optional[int] = None
+        self.n_requests = 0
+        self.egress_bytes = 0
+        self.connections_opened = 0
+        self._inflight = 0
+        self.inflight_max = 0
+
+    async def open(self) -> "AsyncHTTPRangeSource":
+        """Create loop-bound primitives and probe the object size."""
+        self._idle = asyncio.LifoQueue()
+        self._sem = asyncio.Semaphore(self.window)
+        self.size = await self._probe_size()
+        return self
+
+    # ------------------------------------------------------------------- pool
+
+    async def _connect(self) -> _AioConn:
+        try:
+            reader, writer = await asyncio.wait_for(
+                asyncio.open_connection(
+                    self._host, self._port, ssl=True if self._ssl else None
+                ),
+                self.timeout,
+            )
+        except asyncio.TimeoutError as exc:
+            raise RemoteSourceError(
+                f"connect to {self.endpoint} timed out after {self.timeout}s"
+            ) from exc
+        except OSError as exc:
+            raise RemoteSourceError(
+                f"connect to {self.endpoint} failed: {exc}"
+            ) from exc
+        self.connections_opened += 1
+        return _AioConn(reader, writer)
+
+    async def _acquire(self) -> _AioConn:
+        assert self._idle is not None
+        try:
+            conn = self._idle.get_nowait()
+            conn.fresh = False
+            return conn
+        except asyncio.QueueEmpty:
+            pass
+        if self._conn_count < self.connections:
+            self._conn_count += 1
+            try:
+                return await self._connect()
+            except BaseException:
+                self._conn_count -= 1
+                raise
+        try:
+            conn = await asyncio.wait_for(self._idle.get(), self.timeout)
+        except asyncio.TimeoutError as exc:
+            raise RemoteSourceError(
+                f"no pooled connection to {self.endpoint} freed within "
+                f"{self.timeout}s"
+            ) from exc
+        conn.fresh = False
+        return conn
+
+    def _discard(self, conn: _AioConn) -> None:
+        self._conn_count -= 1
+        try:
+            conn.writer.close()
+        except Exception:  # pragma: no cover - close is best-effort
+            pass
+
+    def _release(self, conn: _AioConn, reusable: bool) -> None:
+        if self._closed or not reusable:
+            self._discard(conn)
+        else:
+            assert self._idle is not None
+            self._idle.put_nowait(conn)
+
+    # -------------------------------------------------------------- wire talk
+
+    async def _exchange(
+        self, conn: _AioConn, method: str, headers: Dict[str, str]
+    ) -> Tuple[int, Dict[str, str], bytes]:
+        lines = [f"{method} {self._path} HTTP/1.1", f"Host: {self._host_header}"]
+        lines.extend(f"{key}: {value}" for key, value in headers.items())
+        lines.extend(["", ""])
+        conn.writer.write("\r\n".join(lines).encode("latin-1"))
+        await conn.writer.drain()
+        status_line = await conn.reader.readline()
+        if not status_line:
+            raise asyncio.IncompleteReadError(b"", None)
+        parts = status_line.decode("latin-1", "replace").split(None, 2)
+        if len(parts) < 2 or not parts[0].startswith("HTTP/"):
+            raise RemoteSourceError(
+                f"malformed status line {status_line!r} ({self.url})"
+            )
+        status = int(parts[1])
+        resp_headers: Dict[str, str] = {}
+        while True:
+            line = await conn.reader.readline()
+            if line == b"":
+                raise asyncio.IncompleteReadError(b"", None)
+            if line in (b"\r\n", b"\n"):
+                break
+            key, _, value = line.decode("latin-1", "replace").partition(":")
+            resp_headers[key.strip().lower()] = value.strip()
+        body = b""
+        if method != "HEAD" and status not in (204, 304):
+            length_text = resp_headers.get("content-length")
+            if length_text is None:
+                raise RemoteSourceError(
+                    f"response without Content-Length ({self.url})"
+                )
+            body = await conn.reader.readexactly(int(length_text))
+        return status, resp_headers, body
+
+    async def _roundtrip(
+        self, method: str, headers: Dict[str, str]
+    ) -> Tuple[int, Dict[str, str], bytes]:
+        """One request/response over a pooled connection.
+
+        A reused keep-alive connection the server already closed surfaces
+        as an immediate EOF/reset; that single case is retried once on a
+        fresh connection (idempotent GET/HEAD), mirroring the sync
+        transport.  A cancelled request discards its connection — its wire
+        state is unknown.
+        """
+        for attempt in (0, 1):
+            conn = await self._acquire()
+            reused = not conn.fresh
+            try:
+                status, resp_headers, body = await asyncio.wait_for(
+                    self._exchange(conn, method, headers), self.timeout
+                )
+            except asyncio.CancelledError:
+                self._discard(conn)
+                raise
+            except asyncio.TimeoutError as exc:
+                self._discard(conn)
+                raise RemoteSourceError(
+                    f"{method} {self.url} timed out after {self.timeout}s"
+                ) from exc
+            except (asyncio.IncompleteReadError, ConnectionError, OSError, EOFError) as exc:
+                self._discard(conn)
+                if attempt == 0 and reused and isinstance(exc, _STALE_ERRORS):
+                    continue
+                if isinstance(exc, RemoteSourceError):
+                    raise
+                raise RemoteSourceError(
+                    f"{method} {self.url} failed: {exc}"
+                ) from exc
+            reusable = resp_headers.get("connection", "").lower() != "close"
+            self._release(conn, reusable)
+            return status, resp_headers, body
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    async def _probe_size(self) -> int:
+        try:
+            status, headers, _body = await self._windowed("HEAD", {})
+            if status == 200 and headers.get("content-length") is not None:
+                return int(headers["content-length"])
+        except RemoteSourceError:
+            pass  # fall through to the ranged probe
+        status, headers, body = await self._windowed("GET", {"Range": "bytes=0-0"})
+        self.egress_bytes += len(body)
+        if status == 206:
+            return _parse_content_range(headers.get("content-range"), self.url)[2]
+        if status == 200:
+            return len(body)
+        raise RemoteSourceError(f"cannot size {self.url}: HTTP {status}")
+
+    async def _windowed(
+        self, method: str, headers: Dict[str, str]
+    ) -> Tuple[int, Dict[str, str], bytes]:
+        """A roundtrip under the in-flight window, with depth accounting."""
+        assert self._sem is not None
+        async with self._sem:
+            self._inflight += 1
+            self.inflight_max = max(self.inflight_max, self._inflight)
+            try:
+                self.n_requests += 1
+                return await self._roundtrip(method, headers)
+            finally:
+                self._inflight -= 1
+
+    # ------------------------------------------------------------------ reads
+
+    async def aget(self, offset: int, length: int) -> Tuple[bytes, Optional[int]]:
+        """Fetch one range; returns ``(payload, server_declared_crc)``."""
+        assert self.size is not None
+        if offset < 0 or length < 0 or offset + length > self.size:
+            raise StreamFormatError(
+                f"read of [{offset}, {offset + length}) past remote object "
+                f"end {self.size} ({self.url})"
+            )
+        if length == 0:
+            return b"", None
+        if not self.breaker.allow():
+            raise RemoteSourceError(
+                f"circuit open for {self.endpoint}: failing fast ({self.url})"
+            )
+        try:
+            result = await self._ranged_get(offset, length)
+        except RETRYABLE_ERRORS:
+            self.breaker.record_failure()
+            raise
+        except asyncio.CancelledError:
+            # A cancelled hedge/prefetch is not an endpoint failure.
+            raise
+        self.breaker.record_success()
+        return result
+
+    async def _ranged_get(
+        self, offset: int, length: int
+    ) -> Tuple[bytes, Optional[int]]:
+        status, headers, body = await self._windowed(
+            "GET", {"Range": f"bytes={offset}-{offset + length - 1}"}
+        )
+        self.egress_bytes += len(body)
+        crc_text = headers.get(CRC_HEADER.lower())
+        if status == 206:
+            start, end, _total = _parse_content_range(
+                headers.get("content-range"), self.url
+            )
+            if start != offset or end != offset + length - 1:
+                raise RemoteSourceError(
+                    f"Content-Range bytes {start}-{end} does not match "
+                    f"requested [{offset}, {offset + length}) ({self.url})"
+                )
+            if len(body) != length:
+                raise RemoteSourceError(
+                    f"short payload: wanted {length} B at offset {offset}, "
+                    f"got {len(body)} ({self.url})"
+                )
+            data = body
+        elif status == 200:
+            if len(body) < offset + length:
+                raise RemoteSourceError(
+                    f"full-body response of {len(body)} B cannot cover "
+                    f"[{offset}, {offset + length}) ({self.url})"
+                )
+            data = body[offset : offset + length]
+            crc_text = None  # a declared CRC covers the full body, not the slice
+        else:
+            raise RemoteSourceError(
+                f"HTTP {status} for range [{offset}, {offset + length}) "
+                f"({self.url})"
+            )
+        crc: Optional[int] = None
+        if crc_text is not None:
+            try:
+                crc = int(crc_text) & 0xFFFFFFFF
+            except ValueError:
+                crc = None
+        return data, crc
+
+    async def aread_range(self, offset: int, length: int) -> bytes:
+        return (await self.aget(offset, length))[0]
+
+    async def aread_tail(self, span: int) -> Tuple[int, bytes]:
+        span = max(1, int(span))
+        if not self.breaker.allow():
+            raise RemoteSourceError(
+                f"circuit open for {self.endpoint}: failing fast ({self.url})"
+            )
+        try:
+            status, headers, body = await self._windowed(
+                "GET", {"Range": f"bytes=-{span}"}
+            )
+        except RETRYABLE_ERRORS:
+            self.breaker.record_failure()
+            raise
+        self.egress_bytes += len(body)
+        self.breaker.record_success()
+        if status == 206:
+            start, end, total = _parse_content_range(
+                headers.get("content-range"), self.url
+            )
+            if len(body) != end - start + 1:
+                raise RemoteSourceError(
+                    f"short tail payload: declared {end - start + 1} B, "
+                    f"got {len(body)} ({self.url})"
+                )
+            return total, body
+        if status == 200:
+            return len(body), body[-span:]
+        raise RemoteSourceError(
+            f"HTTP {status} for tail probe of {span} B ({self.url})"
+        )
+
+    # ------------------------------------------------------------ accounting
+
+    def stats(self) -> dict:
+        return {
+            "requests": self.n_requests,
+            "egress_bytes": self.egress_bytes,
+            "breaker": {self.endpoint: self.breaker.state},
+            "inflight_max": self.inflight_max,
+            "connections_opened": self.connections_opened,
+        }
+
+    async def aclose(self) -> None:
+        self._closed = True
+        if self._idle is None:
+            return
+        while True:
+            try:
+                conn = self._idle.get_nowait()
+            except asyncio.QueueEmpty:
+                break
+            self._discard(conn)
+
+
+# ---------------------------------------------------------- resilience layers
+
+
+class _AsyncVerify:
+    """Async CRC gate: the :class:`~repro.io.remote.VerifyingSource` twin.
+
+    Consumes the transport's ``aget`` (payload + CRC travel together) and
+    exposes ``aread_range``; a mismatch raises
+    :class:`~repro.errors.RemoteIntegrityError` (retryable), ranges with
+    no declared CRC pass through unverified (counted separately).
+    """
+
+    is_remote_source = True
+
+    def __init__(self, inner) -> None:
+        self._inner = inner
+        self.size = inner.size
+        self.verified = 0
+        self.unverified = 0
+        self.mismatches = 0
+
+    async def aread_range(self, offset: int, length: int) -> bytes:
+        data, expected = await self._inner.aget(offset, length)
+        if expected is None:
+            self.unverified += 1
+            return data
+        actual = zlib.crc32(data)
+        if actual != expected:
+            self.mismatches += 1
+            raise RemoteIntegrityError(
+                f"payload CRC mismatch for [{offset}, {offset + length}): "
+                f"got {actual:#010x}, server declared {expected:#010x}"
+            )
+        self.verified += 1
+        return data
+
+    async def aread_tail(self, span: int):
+        return await self._inner.aread_tail(span)
+
+    def stats(self) -> dict:
+        merged = _async_inner_stats(self._inner)
+        merged.update(
+            crc_verified=merged.get("crc_verified", 0) + self.verified,
+            crc_mismatches=merged.get("crc_mismatches", 0) + self.mismatches,
+        )
+        return merged
+
+    async def aclose(self) -> None:
+        await _aclose(self._inner)
+
+
+class _CrcDropper:
+    """Adapter for ``verify=False`` stacks: ``aget`` → plain ``aread_range``."""
+
+    is_remote_source = True
+
+    def __init__(self, inner) -> None:
+        self._inner = inner
+        self.size = inner.size
+
+    async def aread_range(self, offset: int, length: int) -> bytes:
+        return (await self._inner.aget(offset, length))[0]
+
+    async def aread_tail(self, span: int):
+        return await self._inner.aread_tail(span)
+
+    def stats(self) -> dict:
+        return _async_inner_stats(self._inner)
+
+    async def aclose(self) -> None:
+        await _aclose(self._inner)
+
+
+class _AsyncRetry:
+    """Async retry ladder: the :class:`~repro.io.remote.RetryingSource` twin.
+
+    Same semantics — per-read attempts against :data:`RETRYABLE_ERRORS`
+    with :func:`jittered_backoff` sleeps, a whole-source retry budget, and
+    a monotonic deadline that fails fast and refuses backoffs that would
+    cross it.  Backoffs are ``await asyncio.sleep`` — a retrying range
+    never blocks the other in-flight ranges.
+    """
+
+    is_remote_source = True
+
+    def __init__(
+        self,
+        inner,
+        *,
+        retries: int = 3,
+        retry_budget: int = 32,
+        backoff: float = 0.05,
+        backoff_cap: float = 1.0,
+        label: str = "",
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self._inner = inner
+        self.size = inner.size
+        self.retries = max(0, int(retries))
+        self.backoff = max(0.0, float(backoff))
+        self.backoff_cap = max(0.0, float(backoff_cap))
+        self.label = label or getattr(inner, "url", "") or "remote"
+        self._clock = clock
+        self.budget_left = max(0, int(retry_budget))
+        self.retries_used = 0
+        self.retry_delays: List[float] = []
+        self.deadline: Optional[float] = None
+
+    def set_deadline(self, deadline: Optional[float]) -> None:
+        self.deadline = deadline
+
+    def _expired(self, margin: float = 0.0) -> bool:
+        return self.deadline is not None and self._clock() + margin >= self.deadline
+
+    async def aread_range(self, offset: int, length: int) -> bytes:
+        if self._expired():
+            raise RemoteSourceError(
+                f"request deadline exceeded before reading "
+                f"[{offset}, {offset + length}) from {self.label}"
+            )
+        attempt = 0
+        while True:
+            try:
+                return await self._inner.aread_range(offset, length)
+            except RETRYABLE_ERRORS as exc:
+                attempt += 1
+                if attempt > self.retries or self.budget_left <= 0:
+                    raise
+                self.budget_left -= 1
+                self.retries_used += 1
+                delay = jittered_backoff(
+                    f"{self.label}@{offset}", attempt, self.backoff, self.backoff_cap
+                )
+                if self._expired(margin=delay):
+                    raise exc
+                self.retry_delays.append(delay)
+                if delay > 0.0:
+                    await asyncio.sleep(delay)
+
+    async def aread_tail(self, span: int):
+        # No ladder: a failed freshness probe means "freshness unknown".
+        return await self._inner.aread_tail(span)
+
+    def stats(self) -> dict:
+        merged = _async_inner_stats(self._inner)
+        merged.update(
+            retries=merged.get("retries", 0) + self.retries_used,
+            retry_budget_left=self.budget_left,
+        )
+        return merged
+
+    async def aclose(self) -> None:
+        await _aclose(self._inner)
+
+
+class _AsyncMirror:
+    """Failover + hedged reads across async endpoint stacks.
+
+    Same health model as :class:`~repro.io.remote.MirrorSource` (reuses
+    its :class:`~repro.io.remote._Mirror` records), but hedges are
+    ``asyncio`` races: the primary read runs as a task, and once it has
+    outlived the hedge threshold the same range fires at the backup.
+    First payload wins; the loser is **cancelled** — which actually aborts
+    the request and recycles its connection, so a hedge costs nothing
+    unless the loser finishes in the same tick (those bytes land in
+    ``hedge_wasted_bytes`` like the sync path's on-the-wire losers).
+    """
+
+    is_remote_source = True
+
+    def __init__(
+        self,
+        sources: Sequence,
+        *,
+        hedge_delay: Optional[float] = None,
+        hedge_quantile: float = 0.9,
+        min_samples: int = 8,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if not sources:
+            raise ConfigurationError("mirror set needs at least one source")
+        sizes = {int(source.size) for source in sources}
+        if len(sizes) != 1:
+            raise RemoteSourceError(
+                f"mirrors disagree on object size: {sorted(sizes)}"
+            )
+        self._mirrors = [_Mirror(source) for source in sources]
+        self.size = sizes.pop()
+        self.hedge_delay = hedge_delay
+        self.hedge_quantile = float(hedge_quantile)
+        self.min_samples = max(2, int(min_samples))
+        self._clock = clock
+        self._latencies: List[float] = []
+        self.failovers = 0
+        self.hedges = 0
+        self.hedge_wins = 0
+        self.hedge_cancelled = 0
+        self.hedge_wasted_bytes = 0
+
+    def _ranked(self) -> List[_Mirror]:
+        return sorted(self._mirrors, key=_Mirror.health_key)
+
+    def _hedge_threshold(self) -> Optional[float]:
+        if self.hedge_delay is not None:
+            return self.hedge_delay
+        if len(self._latencies) < self.min_samples:
+            return None
+        ordered = sorted(self._latencies)
+        index = min(len(ordered) - 1, int(self.hedge_quantile * len(ordered)))
+        return ordered[index]
+
+    def _record(self, mirror: _Mirror, ok: bool, seconds: Optional[float]) -> None:
+        mirror.record(ok, seconds)
+        if ok and seconds is not None:
+            self._latencies.append(seconds)
+            if len(self._latencies) > 64:
+                del self._latencies[0]
+
+    async def aread_range(self, offset: int, length: int) -> bytes:
+        ranked = self._ranked()
+        last_error: Optional[BaseException] = None
+        for rank, mirror in enumerate(ranked):
+            backup = ranked[rank + 1] if rank + 1 < len(ranked) else None
+            threshold = self._hedge_threshold()
+            try:
+                if (
+                    threshold is not None
+                    and backup is not None
+                    and backup.failures == 0
+                ):
+                    return await self._hedged(mirror, backup, offset, length, threshold)
+                return await self._timed(mirror, offset, length)
+            except RETRYABLE_ERRORS as exc:
+                last_error = exc
+                if backup is not None:
+                    self.failovers += 1
+        assert last_error is not None
+        raise last_error
+
+    async def _timed(self, mirror: _Mirror, offset: int, length: int) -> bytes:
+        start = self._clock()
+        try:
+            data = await mirror.source.aread_range(offset, length)
+        except RETRYABLE_ERRORS:
+            self._record(mirror, False, None)
+            raise
+        self._record(mirror, True, self._clock() - start)
+        return data
+
+    async def _hedged(
+        self,
+        primary: _Mirror,
+        backup: _Mirror,
+        offset: int,
+        length: int,
+        threshold: float,
+    ) -> bytes:
+        owners: Dict[asyncio.Task, _Mirror] = {}
+        primary_task = asyncio.ensure_future(self._timed(primary, offset, length))
+        owners[primary_task] = primary
+        done, pending = await asyncio.wait({primary_task}, timeout=threshold)
+        if not done:
+            self.hedges += 1
+            backup_task = asyncio.ensure_future(self._timed(backup, offset, length))
+            owners[backup_task] = backup
+        first_error: Optional[BaseException] = None
+        pending = set(owners)
+        while pending:
+            done, pending = await asyncio.wait(
+                pending, return_when=asyncio.FIRST_COMPLETED
+            )
+            winner: Optional[asyncio.Task] = None
+            for task in done:
+                if task.cancelled():
+                    continue
+                error = task.exception()
+                if error is None and winner is None:
+                    winner = task
+                elif error is None:
+                    # A loser that finished in the same tick: its bytes
+                    # hit the wire for nothing.
+                    self.hedge_wasted_bytes += length
+                elif first_error is None:
+                    first_error = error
+            if winner is not None:
+                if owners[winner] is backup:
+                    self.hedge_wins += 1
+                for loser in pending:
+                    if loser.cancel():
+                        self.hedge_cancelled += 1
+                if pending:
+                    await asyncio.wait(pending)
+                return winner.result()
+        assert first_error is not None
+        if isinstance(first_error, RETRYABLE_ERRORS):
+            raise first_error
+        raise RemoteSourceError(  # pragma: no cover - non-retryable loser
+            f"hedged read failed: {first_error}"
+        )
+
+    async def aread_tail(self, span: int):
+        last_error: Optional[BaseException] = None
+        for mirror in self._ranked():
+            probe = getattr(mirror.source, "aread_tail", None)
+            if probe is None:
+                continue
+            try:
+                return await probe(span)
+            except RETRYABLE_ERRORS as exc:
+                last_error = exc
+        if last_error is not None:
+            raise last_error
+        raise RemoteSourceError("no mirror supports tail probes")
+
+    def set_deadline(self, deadline: Optional[float]) -> None:
+        for mirror in self._mirrors:
+            setter = getattr(mirror.source, "set_deadline", None)
+            if setter is not None:
+                setter(deadline)
+
+    def stats(self) -> dict:
+        merged: dict = {}
+        peak = 0
+        for mirror in self._mirrors:
+            child = _async_inner_stats(mirror.source)
+            peak = max(peak, child.get("inflight_max", 0))
+            _merge_stats(merged, child)
+        # Concurrency depth is a per-endpoint peak, not additive.
+        if "inflight_max" in merged:
+            merged["inflight_max"] = peak
+        merged.update(
+            failovers=merged.get("failovers", 0) + self.failovers,
+            hedges=self.hedges,
+            hedge_wins=self.hedge_wins,
+            hedge_cancelled=self.hedge_cancelled,
+            hedge_wasted_bytes=self.hedge_wasted_bytes,
+            mirrors=[
+                {
+                    "label": getattr(
+                        mirror.source, "label", getattr(mirror.source, "url", "")
+                    ),
+                    "failures": mirror.failures,
+                    "latency_ewma_s": mirror.latency,
+                    "reads": mirror.reads,
+                }
+                for mirror in self._mirrors
+            ],
+        )
+        return merged
+
+    async def aclose(self) -> None:
+        for mirror in self._mirrors:
+            await _aclose(mirror.source)
+
+
+def _async_inner_stats(source) -> dict:
+    stats = getattr(source, "stats", None)
+    return dict(stats()) if callable(stats) else {}
+
+
+async def _aclose(source) -> None:
+    closer = getattr(source, "aclose", None)
+    if closer is not None:
+        await closer()
+
+
+# -------------------------------------------------------------------- facade
+
+
+class AsyncRangeSource:
+    """Synchronous facade over an async endpoint stack.
+
+    Speaks the plain byte-range duck type (``size`` / ``read_range`` /
+    ``read_tail`` / ``stats`` / ``set_deadline`` / ``close``) by running
+    coroutines on the owning :class:`EventLoopThread`, so every existing
+    consumer — container reader, prefetch source, engine, service,
+    scheduler — works unchanged.  Also exposes the async side
+    (``aread_range`` + ``supports_async``) so :class:`AsyncPrefetcher`
+    can dispatch *without* a thread hop per range.
+    """
+
+    is_remote_source = True
+    supports_async = True
+    io_backend = "async"
+
+    def __init__(
+        self,
+        top,
+        loop: EventLoopThread,
+        *,
+        label: str = "",
+        owns_loop: bool = False,
+    ) -> None:
+        self._top = top
+        self._loop = loop
+        self._owns_loop = owns_loop
+        self.size = int(top.size)
+        self.label = label
+        self.url = label
+
+    @property
+    def loop_thread(self) -> EventLoopThread:
+        return self._loop
+
+    def read_range(self, offset: int, length: int) -> bytes:
+        return self._loop.call(self._top.aread_range(offset, length))
+
+    def aread_range(self, offset: int, length: int):
+        """Coroutine view for async-aware callers (no thread hop)."""
+        return self._top.aread_range(offset, length)
+
+    def read_tail(self, span: int):
+        return self._loop.call(self._top.aread_tail(span))
+
+    def set_deadline(self, deadline: Optional[float]) -> None:
+        setter = getattr(self._top, "set_deadline", None)
+        if setter is not None:
+            setter(deadline)
+
+    def stats(self) -> dict:
+        merged = _async_inner_stats(self._top)
+        merged["io_backend"] = "async"
+        return merged
+
+    def close(self) -> None:
+        if self._loop.alive:
+            try:
+                self._loop.call(_aclose(self._top), timeout=5.0)
+            except Exception:  # pragma: no cover - close is best-effort
+                pass
+        if self._owns_loop:
+            self._loop.close()
+
+    def __enter__(self) -> "AsyncRangeSource":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def open_async_source(
+    url: str,
+    mirrors: Sequence[str] = (),
+    *,
+    timeout: float = 10.0,
+    verify: bool = True,
+    retries: int = 3,
+    retry_budget: int = 32,
+    backoff: float = 0.05,
+    backoff_cap: float = 1.0,
+    breaker_threshold: int = 5,
+    breaker_cooldown: float = 1.0,
+    hedge_delay: Optional[float] = None,
+    connections: int = DEFAULT_CONNECTIONS,
+    window: int = DEFAULT_WINDOW,
+    tamper: Optional[Callable[[str, object], object]] = None,
+    clock: Callable[[], float] = time.monotonic,
+    loop: Optional[EventLoopThread] = None,
+) -> AsyncRangeSource:
+    """Build the canonical async stack over one URL (plus replicas).
+
+    Per endpoint: :class:`AsyncHTTPRangeSource` (private breaker) →
+    ``tamper`` hook (an async fault wrapper such as
+    :meth:`~repro.io.faults.FaultInjector.tamper_async`, sitting *below*
+    verification) → :class:`_AsyncVerify` → :class:`_AsyncRetry`; replica
+    ``mirrors`` join the stacks under :class:`_AsyncMirror`.  Endpoint
+    sizes are probed concurrently; an endpoint dead at open time is
+    failover-at-construction (dropped) when replicas exist.  Returns the
+    synchronous :class:`AsyncRangeSource` facade bound to ``loop`` (the
+    process-shared loop thread by default).
+    """
+    loop = loop or EventLoopThread.shared()
+
+    async def endpoint_stack(endpoint_url: str):
+        transport = AsyncHTTPRangeSource(
+            endpoint_url,
+            connections=connections,
+            window=window,
+            timeout=timeout,
+            breaker=CircuitBreaker(
+                threshold=breaker_threshold, cooldown=breaker_cooldown, clock=clock
+            ),
+        )
+        await transport.open()
+        wrapped = tamper(endpoint_url, transport) if tamper is not None else transport
+        wrapped = _AsyncVerify(wrapped) if verify else _CrcDropper(wrapped)
+        return _AsyncRetry(
+            wrapped,
+            retries=retries,
+            retry_budget=retry_budget,
+            backoff=backoff,
+            backoff_cap=backoff_cap,
+            label=endpoint_url,
+            clock=clock,
+        )
+
+    async def build():
+        endpoints = (url, *tuple(mirrors))
+        if len(endpoints) == 1:
+            return await endpoint_stack(url)
+        outcomes = await asyncio.gather(
+            *(endpoint_stack(endpoint) for endpoint in endpoints),
+            return_exceptions=True,
+        )
+        stacks, first_error = [], None
+        for outcome in outcomes:
+            if isinstance(outcome, (RemoteSourceError, OSError)):
+                first_error = first_error or outcome
+            elif isinstance(outcome, BaseException):
+                raise outcome
+            else:
+                stacks.append(outcome)
+        if not stacks:
+            raise first_error
+        if len(stacks) == 1:
+            return stacks[0]
+        return _AsyncMirror(stacks, hedge_delay=hedge_delay, clock=clock)
+
+    top = loop.call(build())
+    return AsyncRangeSource(top, loop, label=url)
+
+
+# ---------------------------------------------------------------- prefetcher
+
+
+def coalesce_ops(
+    ops: Sequence[Tuple],
+    gap: int = DEFAULT_COALESCE_GAP,
+    max_batch: int = DEFAULT_MAX_BATCH,
+) -> List[Tuple[int, int, List[Tuple]]]:
+    """Merge ``(offset, length, ...)`` ops into contiguous fetch batches.
+
+    Ops are sorted by offset and merged while the next op starts within
+    ``gap`` bytes of the running end and the merged extent stays within
+    ``max_batch``.  Returns ``[(start, total_length, [op, ...]), ...]`` —
+    each member op's payload is a slice of its batch, so one GET serves
+    the whole run and is split back per-op client-side (the loopback
+    server answers true multi-range requests with a full 200 body, so
+    batches are always a single contiguous range).
+    """
+    batches: List[Tuple[int, int, List[Tuple]]] = []
+    for op in sorted(ops, key=lambda item: (item[0], item[1])):
+        offset, length = int(op[0]), int(op[1])
+        if batches:
+            start, end, members = batches[-1]
+            merged_end = max(end, offset + length)
+            if offset <= end + gap and merged_end - start <= max_batch:
+                members.append(op)
+                batches[-1] = (start, merged_end, members)
+                continue
+        batches.append((offset, offset + length, [op]))
+    return [(start, end - start, members) for start, end, members in batches]
+
+
+async def _call_blocking(fn, args):
+    return await asyncio.get_running_loop().run_in_executor(None, lambda: fn(*args))
+
+
+class AsyncPrefetcher:
+    """Event-loop prefetcher speaking the ``Prefetcher`` duck type.
+
+    ``submit(bound_read_range, offset, length)`` returns a
+    ``concurrent.futures.Future`` exactly like the thread prefetcher, so
+    :class:`~repro.retrieval.prefetch.PrefetchSource` is oblivious.  Ops
+    submitted in one burst (a ``prime()`` call lands all its submits
+    before the loop thread wakes) are grouped per source, coalesced with
+    :func:`coalesce_ops`, and fetched as concurrent tasks — many ranges
+    in flight, adjacent ranges as one GET.
+
+    Only bound ``read_range`` methods of async-capable owners
+    (``supports_async``) take the fast path; anything else — local
+    ``FileSource``, plain sync stacks — runs in the loop's default thread
+    pool, preserving semantics.  :meth:`close` cancels queued and
+    in-flight work (cancelled/raised futures are exactly what
+    ``PrefetchSource`` already handles by refund + direct read) but never
+    stops a *shared* loop — other sources and prefetchers keep running.
+    """
+
+    io_backend = "async"
+
+    def __init__(
+        self,
+        depth: int = 4,
+        *,
+        loop: Optional[EventLoopThread] = None,
+        coalesce_gap: int = DEFAULT_COALESCE_GAP,
+        max_batch_bytes: int = DEFAULT_MAX_BATCH,
+    ) -> None:
+        self.depth = max(1, int(depth))
+        self.coalesce_gap = max(0, int(coalesce_gap))
+        self.max_batch_bytes = max(1, int(max_batch_bytes))
+        self._loop = loop or EventLoopThread.shared()
+        self._lock = threading.Lock()
+        self._pending: List[Tuple[object, int, int, Future]] = []
+        self._flush_queued = False
+        self._tasks: set = set()  # touched only on the loop thread
+        self._closed = False
+        self.batches = 0
+        self.batched_ops = 0
+        self.fallback_ops = 0
+
+    @property
+    def loop_thread(self) -> EventLoopThread:
+        return self._loop
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def submit(self, fn, *args) -> Future:
+        if self._closed or not self._loop.alive:
+            # Same contract as a shut-down ThreadPoolExecutor, which
+            # PrefetchSource already catches and degrades around.
+            raise RuntimeError("cannot schedule new futures after shutdown")
+        owner = getattr(fn, "__self__", None)
+        if (
+            owner is not None
+            and getattr(owner, "supports_async", False)
+            and getattr(fn, "__name__", "") == "read_range"
+            and len(args) == 2
+        ):
+            future: Future = Future()
+            with self._lock:
+                self._pending.append((owner, int(args[0]), int(args[1]), future))
+                queue_flush = not self._flush_queued
+                self._flush_queued = True
+            if queue_flush:
+                self._loop.call_soon(self._flush)
+            return future
+        self.fallback_ops += 1
+        return self._loop.run(_call_blocking(fn, args))
+
+    def _flush(self) -> None:
+        # Runs on the loop thread: drain the burst, batch per owner.
+        with self._lock:
+            pending, self._pending = self._pending, []
+            self._flush_queued = False
+        if self._closed:
+            for _owner, _offset, _length, future in pending:
+                future.cancel()
+            return
+        groups: Dict[int, Tuple[object, List[Tuple[int, int, Future]]]] = {}
+        for owner, offset, length, future in pending:
+            groups.setdefault(id(owner), (owner, []))[1].append(
+                (offset, length, future)
+            )
+        loop = asyncio.get_running_loop()
+        for owner, ops in groups.values():
+            for start, total, members in coalesce_ops(
+                ops, self.coalesce_gap, self.max_batch_bytes
+            ):
+                task = loop.create_task(self._fetch(owner, start, total, members))
+                self._tasks.add(task)
+                task.add_done_callback(self._tasks.discard)
+                self.batches += 1
+                self.batched_ops += len(members)
+
+    async def _fetch(
+        self,
+        owner,
+        start: int,
+        total: int,
+        members: List[Tuple[int, int, Future]],
+    ) -> None:
+        try:
+            data = await owner.aread_range(start, total)
+        except asyncio.CancelledError:
+            for _offset, _length, future in members:
+                future.cancel()
+            raise
+        except BaseException as exc:
+            for _offset, _length, future in members:
+                try:
+                    future.set_exception(exc)
+                except Exception:  # already cancelled by close()
+                    pass
+        else:
+            for offset, length, future in members:
+                try:
+                    future.set_result(data[offset - start : offset - start + length])
+                except Exception:  # already cancelled by close()
+                    pass
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        with self._lock:
+            pending, self._pending = self._pending, []
+        for _owner, _offset, _length, future in pending:
+            future.cancel()
+        if self._loop.alive:
+            self._loop.call_soon(self._cancel_tasks)
+
+    def _cancel_tasks(self) -> None:
+        for task in list(self._tasks):
+            task.cancel()
+
+
+# --------------------------------------------------------------- fingerprint
+
+
+async def aremote_fingerprint(source) -> Tuple[int, int, int]:
+    """Async twin of :func:`repro.io.remote.remote_fingerprint`."""
+    probe = getattr(source, "aread_tail", None)
+    if probe is not None:
+        size, tail = await probe(_FINGERPRINT_TAIL)
+        return (int(size), 0, zlib.crc32(tail))
+    size = int(source.size)
+    span = min(size, _FINGERPRINT_TAIL)
+    tail = await source.aread_range(size - span, span)
+    return (size, 0, zlib.crc32(tail))

@@ -268,6 +268,40 @@ class BlockContainerReader:
             self.n_reads += 1
         return data
 
+    @property
+    def supports_async(self) -> bool:
+        """True when the backing source can serve event-loop range reads
+        (the :class:`~repro.io.aio.AsyncPrefetcher` capability probe)."""
+        return self._source is not None and getattr(
+            self._source, "supports_async", False
+        )
+
+    async def aread_range(self, name: str, offset: int, length: int) -> bytes:
+        """Async twin of :meth:`read_range` over an async-capable source.
+
+        Same validation and byte accounting; used by the event-loop
+        prefetcher to multiplex block reads without a thread hop.
+        """
+        if self._closed:
+            raise StreamFormatError("container reader is closed")
+        entry = self._entry(name)
+        size = int(entry["size"])
+        if offset < 0 or length < 0 or offset + length > size:
+            raise StreamFormatError(
+                f"range [{offset}, {offset + length}) outside block "
+                f"{name!r} of {size} bytes"
+            )
+        data = await self._source.aread_range(int(entry["offset"]) + offset, length)
+        if len(data) != length:
+            raise StreamFormatError(
+                f"container truncated inside block {name!r} "
+                f"(block offset {offset}): wanted {length} B, got {len(data)}"
+            )
+        with self._lock:
+            self.bytes_read += length
+            self.n_reads += 1
+        return data
+
     def source(self, name: str) -> "BlockSource":
         """A byte-range source over one block (for ``CompressedStore``)."""
         return BlockSource(self, name)
@@ -357,5 +391,20 @@ class BlockSource:
 
     def read_range(self, offset: int, length: int) -> bytes:
         data = self._reader.read_range(self.name, offset, length)
+        self.trace.append((offset, length))
+        return data
+
+    @property
+    def supports_async(self) -> bool:
+        return self._reader.supports_async
+
+    async def aread_range(self, offset: int, length: int) -> bytes:
+        """Async twin of :meth:`read_range` (event-loop prefetch path).
+
+        Forwards to the container's async primitive and records the same
+        trace entry — under prefetch both backends log *physical* reads
+        here; the consumed trace lives in ``PrefetchSource``.
+        """
+        data = await self._reader.aread_range(self.name, offset, length)
         self.trace.append((offset, length))
         return data

@@ -31,6 +31,7 @@ PLAN.json``) and the CI remote-retrieval smoke all consume:
 
 from __future__ import annotations
 
+import asyncio
 import json
 import threading
 import time
@@ -285,9 +286,27 @@ class FaultInjector:
         return self.wrap(source, name=name)
 
     def tamper(self, url: str, source):
-        """The :func:`~repro.io.remote.open_remote_source` ``tamper`` hook:
-        wraps the raw transport *below* CRC verification."""
+        """The ``tamper`` hook for both stack builders: wraps the raw
+        transport *below* CRC verification, dispatching on the transport's
+        duck type — an async transport (coroutine ``aget``) gets the async
+        wrapper, so one ``tamper=injector.tamper`` works under either
+        ``io_backend``."""
+        if asyncio.iscoroutinefunction(getattr(source, "aget", None)):
+            return self.wrap_async(source, name=url)
         return self.wrap(source, name=url)
+
+    def wrap_async(self, source, name: str = "") -> "AsyncFaultInjectingSource":
+        """Wrap an async transport (``aget`` duck type) with this plan."""
+        wrapped = AsyncFaultInjectingSource(source, self, name=name)
+        with self._lock:
+            self.sources.append(wrapped)
+        return wrapped
+
+    def tamper_async(self, url: str, source):
+        """The :func:`~repro.io.aio.open_async_source` ``tamper`` hook:
+        same plan and global read counter as :meth:`tamper`, applied to
+        the async transport below CRC verification."""
+        return self.wrap_async(source, name=url)
 
     def stats(self) -> dict:
         with self._lock:
@@ -354,3 +373,69 @@ class FaultInjectingSource:
 
     def __getattr__(self, attribute: str):
         return getattr(self._inner, attribute)
+
+
+class AsyncFaultInjectingSource:
+    """Async twin of :class:`FaultInjectingSource` for event-loop stacks.
+
+    Wraps an async transport's ``aget(offset, length) -> (bytes, crc)``
+    with the same fault vocabulary and the same injector-global 1-based
+    read counter, so a fault plan means the same thing on either backend.
+    ``latency``/``stall`` delays are ``await asyncio.sleep`` — an injected
+    slow read never blocks the other in-flight ranges.  ``corrupt`` flips
+    the payload's first byte while forwarding the server-declared CRC
+    untouched, which is exactly what the async verification layer exists
+    to catch.
+    """
+
+    is_remote_source = True
+
+    def __init__(self, inner, injector: FaultInjector, name: str = "") -> None:
+        self._inner = inner
+        self._injector = injector
+        self.name = name
+        self.size = inner.size
+        #: Reads served by *this* source (the injector counts globally).
+        self.reads = 0
+
+    async def aget(self, offset: int, length: int):
+        self.reads += 1
+        number, fault = self._injector._draw()
+        if fault is None:
+            return await self._inner.aget(offset, length)
+        kind = fault.kind
+        if kind == "raise":
+            raise RemoteSourceError(
+                f"injected failure on read #{number}"
+                + (f" ({self.name})" if self.name else "")
+            )
+        if kind == "stall":
+            if fault.seconds:
+                await asyncio.sleep(fault.seconds)
+            raise RemoteSourceError(
+                f"injected stall timed out on read #{number}"
+                + (f" ({self.name})" if self.name else "")
+            )
+        if kind == "latency" and fault.seconds:
+            await asyncio.sleep(fault.seconds)
+        data, crc = await self._inner.aget(offset, length)
+        if kind == "short":
+            return data[: max(0, length - 1)], crc
+        if kind == "corrupt" and data:
+            return bytes([data[0] ^ 0xFF]) + data[1:], crc
+        return data, crc
+
+    async def aread_range(self, offset: int, length: int) -> bytes:
+        return (await self.aget(offset, length))[0]
+
+    async def aread_tail(self, span: int):
+        return await self._inner.aread_tail(span)
+
+    def stats(self) -> dict:
+        inner_stats = getattr(self._inner, "stats", None)
+        return dict(inner_stats()) if callable(inner_stats) else {}
+
+    async def aclose(self) -> None:
+        closer = getattr(self._inner, "aclose", None)
+        if closer is not None:
+            await closer()

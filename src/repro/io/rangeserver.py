@@ -17,7 +17,13 @@ robustness suite needs:
   payload under a truthful CRC header, ``latency`` → a slow but correct
   reply;
 * ``ignore_range=True`` answers ranged GETs with a plain ``200`` full
-  body, exercising the client's slice-the-200 fallback.
+  body, exercising the client's slice-the-200 fallback;
+* connection hygiene knobs: ``handler_timeout`` reaps idle keep-alive
+  sockets (a dead or stalled client cannot pin a handler thread
+  forever), ``max_connections`` bounds concurrently *handled*
+  connections behind a semaphore, and ``backlog`` sets the TCP listen
+  queue — so a ``stall`` fault on one connection never wedges other
+  in-flight connections.
 
 Intended for loopback use only (tests, CI smokes, the README's
 "serve a container over HTTP" quickstart via ``python -m
@@ -70,6 +76,14 @@ class _Handler(BaseHTTPRequestHandler):
     # second waits out the peer's delayed ACK (~40 ms per loopback request).
     disable_nagle_algorithm = True
     server: "_Server"
+
+    def setup(self) -> None:
+        # Socket-level timeout: an idle keep-alive peer (or one that went
+        # away without FIN) trips it, handle_one_request marks the
+        # connection closed, and the handler thread — plus its
+        # max-connections slot — is reaped instead of pinned forever.
+        self.timeout = self.server.handler_timeout
+        super().setup()
 
     def log_message(self, *args) -> None:  # noqa: D102 - silence test noise
         pass
@@ -132,6 +146,10 @@ class _Handler(BaseHTTPRequestHandler):
                 if fault.kind == "stall" and fault.seconds:
                     time.sleep(fault.seconds)
                 self.send_error(500, "injected server fault")
+                # A faulted connection's wire state is suspect; dropping it
+                # keeps the stall confined to this one connection instead of
+                # wedging a keep-alive pipeline behind it.
+                self.close_connection = True
                 return
             if fault.kind == "latency" and fault.seconds:
                 time.sleep(fault.seconds)
@@ -160,16 +178,58 @@ class _Handler(BaseHTTPRequestHandler):
 class _Server(ThreadingHTTPServer):
     daemon_threads = True
 
-    def __init__(self, address, root: Path, plan, ignore_range: bool, send_crc: bool):
+    def __init__(
+        self,
+        address,
+        root: Path,
+        plan,
+        ignore_range: bool,
+        send_crc: bool,
+        max_connections: Optional[int] = None,
+        backlog: Optional[int] = None,
+        handler_timeout: Optional[float] = 30.0,
+    ):
+        if backlog is not None:
+            # Instance attribute shadows the class default before
+            # server_activate() calls socket.listen() during __init__.
+            self.request_queue_size = int(backlog)
         super().__init__(address, _Handler)
         self.root = root
         self.plan = plan
         self.ignore_range = ignore_range
         self.send_crc = send_crc
+        self.handler_timeout = handler_timeout
+        self.max_connections = max_connections
+        self._slots = (
+            threading.BoundedSemaphore(int(max_connections))
+            if max_connections
+            else None
+        )
         self.lock = threading.Lock()
         self.range_requests = 0
         self.faults_served = 0
         self.bytes_sent = 0
+        self.open_connections = 0
+        self.peak_connections = 0
+
+    def process_request_thread(self, request, client_address):
+        # Each accepted connection gets its own thread (ThreadingMixIn), so
+        # a stalled handler only ever blocks its own connection; the
+        # optional semaphore bounds how many are *handled* at once, with
+        # the TCP backlog absorbing the overflow.
+        if self._slots is not None:
+            self._slots.acquire()
+        with self.lock:
+            self.open_connections += 1
+            if self.open_connections > self.peak_connections:
+                self.peak_connections = self.open_connections
+        try:
+            super().process_request_thread(request, client_address)
+        finally:
+            with self.lock:
+                self.open_connections -= 1
+            if self._slots is not None:
+                self._slots.release()
 
 
 class RangeServer:
@@ -189,10 +249,15 @@ class RangeServer:
         plan: Optional[FaultPlan] = None,
         ignore_range: bool = False,
         send_crc: bool = True,
+        max_connections: Optional[int] = None,
+        backlog: Optional[int] = None,
+        handler_timeout: Optional[float] = 30.0,
     ) -> None:
         self.root = Path(root)
         self._server = _Server(
-            (host, port), self.root, plan, ignore_range, send_crc
+            (host, port), self.root, plan, ignore_range, send_crc,
+            max_connections=max_connections, backlog=backlog,
+            handler_timeout=handler_timeout,
         )
         self.host, self.port = self._server.server_address[:2]
         self._thread = threading.Thread(
@@ -223,6 +288,16 @@ class RangeServer:
         with self._server.lock:
             return self._server.bytes_sent
 
+    @property
+    def open_connections(self) -> int:
+        with self._server.lock:
+            return self._server.open_connections
+
+    @property
+    def peak_connections(self) -> int:
+        with self._server.lock:
+            return self._server.peak_connections
+
     def close(self) -> None:
         self._server.shutdown()
         self._thread.join(timeout=5.0)
@@ -252,12 +327,22 @@ def main(argv=None) -> int:
         "--no-crc", action="store_true",
         help=f"omit the {CRC_HEADER} payload-checksum header",
     )
+    parser.add_argument(
+        "--max-connections", type=int, default=None, metavar="N",
+        help="bound concurrently handled connections (default: unbounded)",
+    )
+    parser.add_argument(
+        "--backlog", type=int, default=None, metavar="N",
+        help="TCP listen queue depth (default: http.server's)",
+    )
     args = parser.parse_args(argv)
     target = args.path
     root = target if target.is_dir() else target.parent
     plan = FaultPlan.from_file(args.inject_faults) if args.inject_faults else None
     server = RangeServer(
-        root, host=args.host, port=args.port, plan=plan, send_crc=not args.no_crc
+        root, host=args.host, port=args.port, plan=plan,
+        send_crc=not args.no_crc, max_connections=args.max_connections,
+        backlog=args.backlog,
     )
     try:
         if target.is_dir():

@@ -53,7 +53,7 @@ import http.client
 import threading
 import time
 import zlib
-from concurrent.futures import FIRST_COMPLETED, Future, ThreadPoolExecutor, wait
+from concurrent.futures import FIRST_COMPLETED, Future, wait
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 from urllib.parse import urlsplit
 
@@ -654,6 +654,13 @@ class MirrorSource:
     a loser that already holds the wire finishes in the background and its
     payload is accounted to ``hedge_wasted_bytes`` (never to the consumed
     trace).  Hedging engages only while at least two mirrors are healthy.
+
+    Hedge worker threads are tracked individually and joined on
+    :meth:`close` with a bounded ``shutdown_timeout`` — a loser wedged on
+    a stalled connection cannot hang shutdown; it is counted in
+    ``hedge_threads_leaked`` (and left to die with its daemon thread)
+    instead.  After ``close()`` no new hedges fire: reads degrade to the
+    plain timed walk.
     """
 
     is_remote_source = True
@@ -666,6 +673,7 @@ class MirrorSource:
         hedge_quantile: float = 0.9,
         min_samples: int = 8,
         clock: Callable[[], float] = time.monotonic,
+        shutdown_timeout: float = 5.0,
     ) -> None:
         if not sources:
             raise ConfigurationError("MirrorSource needs at least one source")
@@ -679,14 +687,17 @@ class MirrorSource:
         self.hedge_delay = hedge_delay
         self.hedge_quantile = float(hedge_quantile)
         self.min_samples = max(2, int(min_samples))
+        self.shutdown_timeout = max(0.0, float(shutdown_timeout))
         self._clock = clock
         self._lock = threading.Lock()
         self._latencies: List[float] = []
-        self._executor: Optional[ThreadPoolExecutor] = None
+        self._threads: List[threading.Thread] = []
+        self._closed = False
         self.failovers = 0
         self.hedges = 0
         self.hedge_wins = 0
         self.hedge_wasted_bytes = 0
+        self.hedge_threads_leaked = 0
 
     # ---------------------------------------------------------------- policy
 
@@ -714,13 +725,39 @@ class MirrorSource:
                 if len(self._latencies) > 64:
                     del self._latencies[0]
 
-    def _pool(self) -> ThreadPoolExecutor:
+    def _spawn(self, fn, *args) -> Future:
+        """Run ``fn`` on a tracked hedge thread; returns its Future.
+
+        One thread per in-flight hedge leg (they are rare and short by
+        construction) keeps every worker individually joinable — the
+        property the lazy shared executor lacked: its ``shutdown(wait=
+        True)`` hung forever on a wedged loser and missed threads spawned
+        concurrently with close.
+        """
+        future: Future = Future()
+
+        def runner() -> None:
+            if not future.set_running_or_notify_cancel():
+                return  # pragma: no cover - cancelled before start
+            try:
+                future.set_result(fn(*args))
+            except BaseException as exc:
+                future.set_exception(exc)
+
+        thread = threading.Thread(
+            target=runner, name="repro-hedge", daemon=True
+        )
         with self._lock:
-            if self._executor is None:
-                self._executor = ThreadPoolExecutor(
-                    max_workers=2, thread_name_prefix="repro-hedge"
-                )
-            return self._executor
+            self._threads = [t for t in self._threads if t.is_alive()]
+            self._threads.append(thread)
+        thread.start()
+        return future
+
+    def alive_hedge_threads(self) -> int:
+        """Hedge worker threads still running (regression-test probe)."""
+        with self._lock:
+            self._threads = [t for t in self._threads if t.is_alive()]
+            return len(self._threads)
 
     # ----------------------------------------------------------------- reads
 
@@ -735,6 +772,7 @@ class MirrorSource:
                     threshold is not None
                     and backup is not None
                     and backup.failures == 0
+                    and not self._closed
                 ):
                     return self._hedged_read(
                         mirror, backup, offset, length, threshold
@@ -766,16 +804,15 @@ class MirrorSource:
         length: int,
         threshold: float,
     ) -> bytes:
-        pool = self._pool()
         futures: Dict[Future, _Mirror] = {
-            pool.submit(self._timed_read, primary, offset, length): primary
+            self._spawn(self._timed_read, primary, offset, length): primary
         }
         done, pending = wait(futures, timeout=threshold)
         if not done:
             # Slowest-decile territory: fire the hedge at the backup.
             with self._lock:
                 self.hedges += 1
-            futures[pool.submit(self._timed_read, backup, offset, length)] = backup
+            futures[self._spawn(self._timed_read, backup, offset, length)] = backup
         first_error: Optional[BaseException] = None
         pending = set(futures)
         while pending:
@@ -836,14 +873,26 @@ class MirrorSource:
             if setter is not None:
                 setter(deadline)
 
-    def drain(self) -> None:
-        """Wait for in-flight hedge losers (tests settle accounting here)."""
+    def drain(self, timeout: Optional[float] = None) -> int:
+        """Join in-flight hedge threads (tests settle accounting here).
+
+        With a ``timeout`` the join budget is shared across all live
+        threads (deadline-based); returns the number still alive when it
+        ran out — 0 means a fully settled, deterministic shutdown.
+        """
         with self._lock:
-            executor = self._executor
-        if executor is not None:
-            executor.shutdown(wait=True)
-            with self._lock:
-                self._executor = None
+            threads = list(self._threads)
+        deadline = None if timeout is None else time.monotonic() + timeout
+        for thread in threads:
+            if deadline is None:
+                thread.join()
+            else:
+                remaining = deadline - time.monotonic()
+                if remaining > 0:
+                    thread.join(timeout=remaining)
+        with self._lock:
+            self._threads = [t for t in self._threads if t.is_alive()]
+            return len(self._threads)
 
     def stats(self) -> dict:
         merged: dict = {}
@@ -855,6 +904,7 @@ class MirrorSource:
                 hedges=self.hedges,
                 hedge_wins=self.hedge_wins,
                 hedge_wasted_bytes=self.hedge_wasted_bytes,
+                hedge_threads_leaked=self.hedge_threads_leaked,
                 mirrors=[
                     {
                         "label": getattr(
@@ -870,7 +920,17 @@ class MirrorSource:
         return merged
 
     def close(self) -> None:
-        self.drain()
+        """Deterministic shutdown: stop hedging, join workers, close mirrors.
+
+        The join is bounded by ``shutdown_timeout`` so a loser wedged on a
+        stalled connection cannot hang the caller; survivors are counted
+        in ``hedge_threads_leaked`` and abandoned to their daemon threads
+        (closing the mirror sources below unblocks most of them anyway).
+        """
+        self._closed = True
+        leaked = self.drain(timeout=self.shutdown_timeout)
+        with self._lock:
+            self.hedge_threads_leaked += leaked
         for mirror in self._mirrors:
             _close(mirror.source)
 

@@ -52,6 +52,13 @@ __all__ = ["EngineResult", "RetrievalEngine", "assemble", "open_stream_source"]
 #: examples use) in the background.
 DEFAULT_RUNG_FACTOR = 8.0
 
+#: Bytes speculatively primed at the head of each shard before its
+#: retriever is constructed (async backend only): the stream header lives
+#: there, so header parsing — otherwise a serial round-trip per shard —
+#: rides one multiplexed batch.  Consumed-trace accounting is untouched;
+#: the over-fetch is ordinary speculation.
+DEFAULT_HEADER_PRIME = 8192
+
 
 def assemble(
     pieces: Sequence[Tuple[SliceTuple, np.ndarray]],
@@ -119,6 +126,8 @@ class RetrievalEngine:
         speculate: bool = True,
         rung_factor: float = DEFAULT_RUNG_FACTOR,
         executor=None,
+        io_backend: str = "threads",
+        header_prime: Optional[int] = None,
     ) -> None:
         self._open_source = open_source
         self.shape = tuple(int(s) for s in shape)
@@ -130,10 +139,17 @@ class RetrievalEngine:
         self.path = path
         self.speculate = bool(speculate)
         self.rung_factor = float(rung_factor)
+        #: "async" prefetches through the event-loop backend
+        #: (:class:`~repro.io.aio.AsyncPrefetcher`); anything else keeps
+        #: the thread prefetcher.  Identical bytes either way.
+        self.io_backend = str(io_backend or "threads")
+        if header_prime is None:
+            header_prime = DEFAULT_HEADER_PRIME if self.io_backend == "async" else 0
+        self.header_prime = max(0, int(header_prime))
         # A caller-owned persistent pool for the decode stage (the serving
         # layer keeps one warm across requests); never shut down here.
         self.executor = executor
-        self._prefetcher: Optional[Prefetcher] = None
+        self._prefetcher = None  # thread or event-loop prefetcher, lazy
         # Stateful per-shard retrievers + traced sources (refine() path).
         self._retrievers: Dict[str, ProgressiveRetriever] = {}
         self._sources: Dict[str, PrefetchSource] = {}
@@ -141,15 +157,29 @@ class RetrievalEngine:
 
     # ------------------------------------------------------------------ wiring
 
-    def _prefetcher_or_none(self) -> Optional[Prefetcher]:
+    def _prefetcher_or_none(self):
         if self.prefetch <= 0:
             return None
         if self._prefetcher is None:
-            self._prefetcher = Prefetcher(depth=self.prefetch)
+            if self.io_backend == "async":
+                from repro.io.aio import AsyncPrefetcher
+
+                self._prefetcher = AsyncPrefetcher(depth=self.prefetch)
+            else:
+                self._prefetcher = Prefetcher(depth=self.prefetch)
         return self._prefetcher
 
     def _make_source(self, name: str) -> PrefetchSource:
         return PrefetchSource(self._open_source(name), self._prefetcher_or_none())
+
+    def _source_for(
+        self, name: str, sources: Dict[str, PrefetchSource]
+    ) -> PrefetchSource:
+        source = sources.get(name)
+        if source is None:
+            source = self._make_source(name)
+            sources[name] = source
+        return source
 
     def _retriever_for(
         self,
@@ -159,8 +189,7 @@ class RetrievalEngine:
     ) -> ProgressiveRetriever:
         retriever = retrievers.get(name)
         if retriever is None:
-            source = self._make_source(name)
-            sources[name] = source
+            source = self._source_for(name, sources)
             retriever = ProgressiveRetriever(source, profile=self.profile)
             retrievers[name] = retriever
         return retriever
@@ -234,6 +263,15 @@ class RetrievalEngine:
         speculate_next: bool,
     ) -> EngineResult:
         trace_start = {name: len(src.trace) for name, src in sources.items()}
+        # Header speculation (async backend): prime the head of every new
+        # shard *before* any retriever parses a header, so the per-shard
+        # header round-trips ride one multiplexed batch instead of
+        # serialising — the parses below then hit the prime cache.
+        if self.prefetch > 0 and self.header_prime > 0:
+            for shard in shards:
+                if shard.name not in retrievers:
+                    source = self._source_for(shard.name, sources)
+                    source.prime([(0, min(self.header_prime, source.size))])
         # Stage 1+2 up front, across *all* shards: once every plan is
         # primed, the background reads for later shards proceed while the
         # first shard decodes.  (ProgressiveRetriever.retrieve re-primes
@@ -244,7 +282,23 @@ class RetrievalEngine:
                 retriever._prime(retriever.plan_request(error_bound=target))
         pieces: List[Tuple[SliceTuple, np.ndarray]] = []
         achieved = 0.0
-        for shard, retriever in zip(shards, selected):
+        remaining = list(zip(shards, selected))
+        while remaining:
+            index = 0
+            if self.prefetch > 0 and len(remaining) > 1:
+                # Streaming handoff: decode a shard whose primed ranges
+                # have all landed rather than blocking on plan order — the
+                # first shard still fetching overlaps with another shard's
+                # decode.  Output and accounting are order-independent.
+                index = next(
+                    (
+                        i
+                        for i, (shard, _retriever) in enumerate(remaining)
+                        if sources[shard.name].inflight == 0
+                    ),
+                    0,
+                )
+            shard, retriever = remaining.pop(index)
             result = retriever.retrieve(error_bound=target)
             achieved = max(achieved, result.error_bound)
             pieces.append((shard.slices, result.data))
@@ -345,32 +399,48 @@ class RetrievalEngine:
             self._prefetcher = None
 
 
-def open_stream_source(path, prefetch: int = 0, *, source=None):
+def open_stream_source(path, prefetch: int = 0, *, source=None, io_backend=None):
     """A byte-range source over a bare ``.ipc`` stream file or URL.
 
     ``path`` may be a local file or an ``http(s)://`` URL — the latter is
     read through a resilient remote stack
-    (:func:`repro.io.remote.open_remote_source`, or a pre-built ``source``
-    with mirrors / fault injection).  With ``prefetch > 0`` the source
-    owns a private :class:`Prefetcher` and a
+    (:func:`repro.io.remote.open_remote_source` /
+    :func:`repro.io.aio.open_async_source`, or a pre-built ``source`` with
+    mirrors / fault injection).  ``io_backend`` follows the CLI's ``--io``
+    vocabulary: ``auto`` (default) picks ``async`` for URLs, ``threads``
+    otherwise; ``sync`` disables prefetching outright.  With
+    ``prefetch > 0`` the source owns a private prefetcher — event-loop or
+    thread-pool per the backend — and a
     :class:`~repro.core.progressive.ProgressiveRetriever` reading through
     it will overlap its planned range reads with decoding (the retriever
     primes its own pending ops).  ``source.close()`` releases the backing
     handle/connection and the prefetcher.
     """
+    from repro.io.aio import AsyncPrefetcher, open_async_source, resolve_io_backend
     from repro.io.container import FileSource
     from repro.io.remote import is_url, open_remote_source
 
+    backend = resolve_io_backend(io_backend, path)
     if source is not None:
         inner = source
     elif is_url(path):
-        inner = open_remote_source(str(path))
+        if backend == "async":
+            inner = open_async_source(str(path))
+        else:
+            inner = open_remote_source(str(path))
     else:
         inner = FileSource(path)
-    if prefetch <= 0:
+    if prefetch <= 0 or backend == "sync":
         return inner
-    prefetcher = Prefetcher(depth=prefetch)
+    if backend == "async":
+        prefetcher = AsyncPrefetcher(depth=prefetch)
+    else:
+        prefetcher = Prefetcher(depth=prefetch)
     source = PrefetchSource(inner, prefetcher)
+    if backend == "async" and getattr(inner, "supports_async", False):
+        # Header speculation: the retriever's construction-time header
+        # reads ride one multiplexed prime instead of serial round-trips.
+        source.prime([(0, min(DEFAULT_HEADER_PRIME, inner.size))])
     original_close = source.close
 
     def close() -> None:

@@ -196,6 +196,15 @@ class PrefetchSource:
             hit = next(
                 (p for p in self._primed if p.covers(offset, length)), None
             )
+            parts = None if hit is not None else self._tiling(offset, length)
+        if hit is None and parts is not None:
+            # The range straddles adjacent primed intervals (e.g. a header
+            # prime split the first plan op in two): stitch it from the
+            # pieces rather than re-reading bytes that are already on the
+            # wire — the never-re-read property holds across splits.
+            chunk = self._stitched(offset, length, parts)
+            if chunk is not None:
+                return chunk
         if hit is None:
             # Charge only after the read succeeds: a raising source must not
             # inflate the physical-bytes figure with bytes never fetched.
@@ -232,6 +241,57 @@ class PrefetchSource:
                     pass
         return chunk
 
+    def _tiling(self, offset: int, length: int) -> Optional[List[_Primed]]:
+        """Primed intervals that contiguously tile ``[offset, offset+length)``.
+
+        Returns ``None`` unless at least two intervals are needed (a single
+        cover is the fast path) and together they leave no gap.  Caller
+        holds the lock.
+        """
+        end = offset + length
+        parts = sorted(
+            (p for p in self._primed if p.start < end and p.end > offset),
+            key=lambda p: p.start,
+        )
+        if len(parts) < 2:
+            return None
+        cursor = offset
+        for part in parts:
+            if part.start > cursor:
+                return None
+            cursor = max(cursor, part.end)
+        return parts if cursor >= end else None
+
+    def _stitched(
+        self, offset: int, length: int, parts: List[_Primed]
+    ) -> Optional[bytes]:
+        """Assemble one read from a tiling of primed intervals.
+
+        Returns ``None`` when any piece's background read failed — the
+        failed prime is refunded and the caller degrades to one direct
+        synchronous read of the whole range.
+        """
+        end = offset + length
+        chunks: List[bytes] = []
+        for part in parts:
+            try:
+                data = part.future.result()
+            except (CancelledError, Exception):
+                self._refund_if_failed(part)
+                return None
+            lo = max(offset, part.start)
+            hi = min(end, part.end)
+            chunks.append(data[lo - part.start : hi - part.start])
+        with self._lock:
+            for part in parts:
+                part.consumed += min(end, part.end) - max(offset, part.start)
+                if part.consumed >= part.end - part.start:
+                    try:
+                        self._primed.remove(part)
+                    except ValueError:  # pragma: no cover - concurrent drop
+                        pass
+        return b"".join(chunks)
+
     # ------------------------------------------------------------- diagnostics
 
     @property
@@ -239,6 +299,17 @@ class PrefetchSource:
         """Bytes primed but not yet consumed (cache residency)."""
         with self._lock:
             return sum(p.end - p.start - p.consumed for p in self._primed)
+
+    @property
+    def inflight(self) -> int:
+        """Primed reads still on the wire (not yet resolved).
+
+        The engine's streaming handoff uses this to decode the shard whose
+        ranges have already landed while other shards are still fetching —
+        zero means every primed byte of this source is ready to consume.
+        """
+        with self._lock:
+            return sum(1 for p in self._primed if not p.future.done())
 
     def close(self) -> None:
         """Discard the cache and close the wrapped source (when closable)."""

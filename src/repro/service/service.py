@@ -77,6 +77,7 @@ from repro.core.profile import CodecProfile
 from repro.core.progressive import ProgressiveRetriever
 from repro.core.stream import CompressedStore, StreamHeader
 from repro.errors import ConfigurationError, RetrievalError, StreamFormatError
+from repro.io.aio import open_async_source, resolve_io_backend
 from repro.io.container import FileSource, is_container, sniff_container
 from repro.io.dataset import ChunkedDataset, DatasetShard
 from repro.io.remote import (
@@ -437,6 +438,7 @@ class RetrievalService:
         source_filter: Optional[Callable[[str, object], object]] = None,
         degrade_on_failure: bool = True,
         remote_options: Optional[dict] = None,
+        io_backend: str = "auto",
     ) -> None:
         self.profile = profile
         if cache_bytes is None:
@@ -457,10 +459,15 @@ class RetrievalService:
         #: shed path) instead of erroring; only a request with nothing
         #: resident still propagates the failure.
         self.degrade_on_failure = bool(degrade_on_failure)
-        #: Keyword arguments for :func:`~repro.io.remote.open_remote_source`
-        #: when a session opens over an ``http(s)://`` URL (mirrors,
-        #: retry/breaker knobs, a fault-injecting ``tamper`` hook...).
+        #: Keyword arguments for the remote stack builder when a session
+        #: opens over an ``http(s)://`` URL (mirrors, retry/breaker knobs,
+        #: a fault-injecting ``tamper`` hook...) — forwarded to
+        #: :func:`~repro.io.aio.open_async_source` or
+        #: :func:`~repro.io.remote.open_remote_source` per ``io_backend``.
         self.remote_options = dict(remote_options or {})
+        #: Remote I/O backend: ``auto`` (async event loop for URLs when
+        #: available), ``async``, ``threads``, or ``sync``.
+        self.io_backend = str(io_backend)
         #: Per-request deadline (monotonic timestamp), thread-local so
         #: concurrent requests don't share one.
         self._deadlines = threading.local()
@@ -1088,13 +1095,32 @@ class RetrievalService:
                 dead = session.sid
                 self.cache.purge(lambda tier, k: k[0] == dead)
                 session.close()
-            stack = open_remote_source(url, **self.remote_options)
+            stack = self._open_remote_stack(url)
             session = _Session(
                 self._next_sid, url, self.profile, remote_source=stack
             )
             self._next_sid += 1
             self._sessions[url] = session
             return session
+
+    def _open_remote_stack(self, url: str):
+        """Build the resilient stack for one URL on the resolved backend.
+
+        ``auto`` resolves to the multiplexed asyncio stack for ``http(s)``
+        URLs; the sync facade it returns speaks the same ``read_range`` /
+        ``read_tail`` / ``stats`` / ``set_deadline`` duck type, so
+        fingerprinting, tracing, and deadlines are backend-oblivious.
+        Backend-specific knobs in ``remote_options`` are dropped for the
+        other backend rather than erroring under ``auto``.
+        """
+        backend = resolve_io_backend(self.io_backend, url)
+        options = dict(self.remote_options)
+        if backend == "async":
+            options.pop("sleep", None)
+            return open_async_source(url, **options)
+        for key in ("connections", "window", "loop"):
+            options.pop(key, None)
+        return open_remote_source(url, **options)
 
     def close(self) -> None:
         with self._lock:

@@ -1,0 +1,515 @@
+"""Async multiplexed range I/O: event-loop transport, prefetch bridge, CLI.
+
+Covers the asyncio backend end to end:
+
+* unit pieces — ``coalesce_ops``, backend resolution, the pooled
+  transport's window bound and request accounting;
+* the byte-identity matrix {v1, v2} × {stream, container} ×
+  {sync, threads, async} over loopback HTTP, clean and under client
+  faults, server latency/stall faults, and mirror failover — every
+  combination must match the local serial oracle bitwise;
+* the :class:`~repro.io.aio.AsyncPrefetcher` bridge — adjacent primes
+  coalesce into one wire request, a past deadline refunds the prefetch
+  charge, and closing a prefetcher mid-request never kills the shared
+  loop thread;
+* the CLI ``--io`` knob — identical outputs across backends and an
+  ``inflight_max > 1`` receipt for the async path;
+* rangeserver connection hygiene — a stalled connection cannot wedge
+  other in-flight connections, and ``max_connections`` bounds (and
+  counts) concurrently handled sockets.
+
+Randomness: this module is deterministic (fixed seeds); never touch the
+shared session ``rng`` fixture.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro import ChunkedDataset, IPComp, ProgressiveRetriever
+from repro.cli import main
+from repro.errors import ConfigurationError, RemoteSourceError, StreamFormatError
+from repro.io import BlockContainerWriter
+from repro.io.aio import (
+    AsyncPrefetcher,
+    EventLoopThread,
+    coalesce_ops,
+    open_async_source,
+    resolve_io_backend,
+)
+from repro.io.faults import FaultInjector, FaultPlan
+from repro.io.rangeserver import RangeServer
+from repro.retrieval.engine import open_stream_source
+from repro.retrieval.prefetch import PrefetchSource
+
+DATA = Path(__file__).parent / "data"
+
+#: Fault-leg stacks never sleep for real and never run out of ladder.
+_PATIENT = dict(retries=8, retry_budget=10_000, backoff=0.0)
+
+
+def _field(shape, seed=0) -> np.ndarray:
+    rng = np.random.default_rng(424242 + seed)
+    base = rng.normal(size=shape)
+    for axis in range(len(shape)):
+        base = np.cumsum(base, axis=axis)
+    return (base + 0.1 * rng.normal(size=shape)).astype(np.float64)
+
+
+@pytest.fixture(scope="module")
+def served_dir(tmp_path_factory) -> Path:
+    """One directory holding the {v1, v2} × {stream, container} fixtures."""
+    root = tmp_path_factory.mktemp("aio-served")
+    v1_blob = (DATA / "v1_stream.ipc").read_bytes()
+    (root / "v1.ipc").write_bytes(v1_blob)
+    v2_blob = IPComp(error_bound=1e-5, relative=True).compress(_field((20, 18), 3))
+    (root / "v2.ipc").write_bytes(v2_blob)
+    ChunkedDataset.write(
+        root / "v2.rprc", _field((24, 14, 10), 4), error_bound=1e-5,
+        relative=True, n_blocks=4, workers=0,
+    )
+    header_shape = np.load(DATA / "v1_expected.npy").shape
+    n0 = header_shape[0]
+    manifest = {
+        "format": "repro-chunked-dataset",
+        "version": 1,
+        "shape": [2 * n0, header_shape[1]],
+        "dtype": "float64",
+        "error_bound": 3.292730916654546e-05,
+        "method": "cubic",
+        "prefix_bits": 2,
+        "backend": "zlib",
+        "shards": [
+            {"name": "shard-0000", "slices": [[0, n0], [0, header_shape[1]]]},
+            {"name": "shard-0001", "slices": [[n0, 2 * n0], [0, header_shape[1]]]},
+        ],
+    }
+    with BlockContainerWriter(root / "v1.rprc") as writer:
+        writer.add_block("shard-0000", v1_blob)
+        writer.add_block("shard-0001", v1_blob)
+        writer.add_block("manifest", json.dumps(manifest).encode())
+    return root
+
+
+@pytest.fixture(scope="module")
+def server(served_dir) -> RangeServer:
+    with RangeServer(served_dir) as srv:
+        yield srv
+
+
+def _read_stream(path_or_url, *, io_backend=None, prefetch=4, source=None):
+    src = open_stream_source(
+        path_or_url, prefetch=prefetch, source=source, io_backend=io_backend
+    )
+    try:
+        retriever = ProgressiveRetriever(src)
+        return retriever.retrieve(error_bound=retriever.header.error_bound)
+    finally:
+        close = getattr(src, "close", None)
+        if close is not None:
+            close()
+
+
+def _read_container(path_or_url, **knobs):
+    with ChunkedDataset(path_or_url, **knobs) as dataset:
+        return dataset.read()
+
+
+# ----------------------------------------------------------------- unit bits
+
+
+def test_coalesce_ops_merges_and_splits():
+    # Adjacent and overlapping ops merge; gaps and the batch cap split.
+    batches = coalesce_ops([(100, 50), (0, 100), (150, 10)])
+    assert [(b[0], b[1]) for b in batches] == [(0, 160)]
+    assert [len(b[2]) for b in batches] == [3]
+    # A gap larger than `gap` starts a new batch …
+    batches = coalesce_ops([(0, 10), (20, 10)])
+    assert [(b[0], b[1]) for b in batches] == [(0, 10), (20, 10)]
+    # … unless gap= bridges it (the bridged bytes ride along).
+    batches = coalesce_ops([(0, 10), (20, 10)], gap=16)
+    assert [(b[0], b[1]) for b in batches] == [(0, 30)]
+    # max_batch bounds a single merged extent.
+    batches = coalesce_ops([(0, 100), (100, 100)], max_batch=150)
+    assert [(b[0], b[1]) for b in batches] == [(0, 100), (100, 100)]
+
+
+def test_resolve_io_backend():
+    assert resolve_io_backend(None, "http://h/x") == "async"
+    assert resolve_io_backend("auto", "https://h/x") == "async"
+    assert resolve_io_backend("auto", "/tmp/x.rprc") == "threads"
+    assert resolve_io_backend("threads", "http://h/x") == "threads"
+    assert resolve_io_backend("sync", "http://h/x") == "sync"
+    with pytest.raises(ConfigurationError, match="io backend"):
+        resolve_io_backend("uring", "http://h/x")
+
+
+def test_async_source_basic_reads(served_dir, server):
+    blob = (served_dir / "v2.rprc").read_bytes()
+    with open_async_source(server.url_for("v2.rprc")) as source:
+        assert source.size == len(blob)
+        assert source.read_range(10, 33) == blob[10:43]
+        assert source.read_range(5, 0) == b""
+        total, tail = source.read_tail(64)
+        assert total == len(blob) and tail == blob[-64:]
+        stats = source.stats()
+        assert stats["io_backend"] == "async"
+        assert stats["retries"] == 0
+        assert stats["egress_bytes"] >= 33 + 64
+        assert stats["connections_opened"] >= 1
+        # Out-of-bounds reads raise (after the ladder, like the sync stack:
+        # StreamFormatError is in RETRYABLE_ERRORS).
+        with pytest.raises(StreamFormatError, match="past remote object end"):
+            source.read_range(len(blob) - 2, 5)
+
+
+def test_async_window_bounds_inflight(served_dir):
+    # Under a uniform per-read latency every submitted range wants the
+    # wire at once: the semaphore must cap concurrency at window=2 and
+    # the latency must actually force it to the cap.
+    plan = FaultPlan.always("latency", seconds=0.05)
+    blob = (served_dir / "v2.rprc").read_bytes()
+    with RangeServer(served_dir, plan=plan) as srv:
+        source = open_async_source(
+            srv.url_for("v2.rprc"), connections=2, window=2
+        )
+        try:
+            loop = source.loop_thread
+            import asyncio
+
+            async def burst():
+                return await asyncio.gather(
+                    *(source.aread_range(i * 100, 100) for i in range(6))
+                )
+
+            chunks = loop.call(burst())
+            assert chunks == [blob[i * 100:(i + 1) * 100] for i in range(6)]
+            assert source.stats()["inflight_max"] == 2
+        finally:
+            source.close()
+
+
+# ------------------------------------------------------- byte-identity matrix
+
+
+@pytest.mark.parametrize("io_backend", ["sync", "threads", "async"])
+@pytest.mark.parametrize("version", ["v1", "v2"])
+def test_identity_matrix_clean(served_dir, server, version, io_backend):
+    prefetch = 0 if io_backend == "sync" else 4
+    stream_oracle = _read_stream(served_dir / f"{version}.ipc", prefetch=0)
+    stream = _read_stream(
+        server.url_for(f"{version}.ipc"),
+        io_backend=io_backend, prefetch=prefetch,
+    )
+    assert stream.data.tobytes() == stream_oracle.data.tobytes()
+    assert stream.bytes_loaded == stream_oracle.bytes_loaded
+
+    container_oracle = _read_container(served_dir / f"{version}.rprc")
+    container = _read_container(
+        server.url_for(f"{version}.rprc"),
+        io_backend=io_backend, prefetch=prefetch,
+    )
+    assert container.data.tobytes() == container_oracle.data.tobytes()
+    assert container.bytes_loaded == container_oracle.bytes_loaded
+
+
+@pytest.mark.parametrize("version", ["v1", "v2"])
+def test_identity_async_under_client_faults(served_dir, server, version):
+    # Every client-side fault kind, on a deterministic schedule, below CRC
+    # verification: the retry ladder heals them all and the answer stays
+    # bitwise-identical (short reads surface as stale-connection retries,
+    # corruption as integrity retries).
+    oracle = _read_container(served_dir / f"{version}.rprc")
+    plan = (
+        FaultPlan.at({2, 9}, kind="raise")
+        + FaultPlan.at({4}, kind="corrupt")
+        + FaultPlan.at({6}, kind="short")
+        + FaultPlan.at({8}, kind="latency", seconds=0.01)
+    )
+    injector = FaultInjector(plan)
+    stack = open_async_source(
+        server.url_for(f"{version}.rprc"), tamper=injector.tamper, **_PATIENT
+    )
+    result = _read_container(
+        server.url_for(f"{version}.rprc"),
+        source=stack, io_backend="async", prefetch=4,
+    )
+    assert result.data.tobytes() == oracle.data.tobytes()
+    assert result.bytes_loaded == oracle.bytes_loaded
+    assert injector.stats()["faults_injected"] >= 4
+
+
+@pytest.mark.parametrize("version", ["v1", "v2"])
+def test_identity_async_under_server_faults(served_dir, version):
+    # Server-side latency plus stall→500 replies: the stall costs one
+    # connection (the server closes it after the error), other in-flight
+    # ranges proceed, and the ladder re-reads the stalled range.
+    oracle = _read_container(served_dir / f"{version}.rprc")
+    # First-match-wins: the stall rule must precede the catch-all latency.
+    plan = FaultPlan.at({3, 7}, kind="stall", seconds=0.02) + FaultPlan.always(
+        "latency", seconds=0.005
+    )
+    with RangeServer(served_dir, plan=plan) as srv:
+        stack = open_async_source(srv.url_for(f"{version}.rprc"), **_PATIENT)
+        result = _read_container(
+            srv.url_for(f"{version}.rprc"),
+            source=stack, io_backend="async", prefetch=4,
+        )
+        stats = stack.stats()
+        assert srv.faults_served >= 2
+    assert result.data.tobytes() == oracle.data.tobytes()
+    assert result.bytes_loaded == oracle.bytes_loaded
+    assert stats["retries"] >= 1
+
+
+def test_identity_async_mirror_failover(served_dir, server):
+    # Kill the primary mid-session: in-flight pool connections go stale,
+    # reconnects are refused, and reads fail over to the replica — the
+    # stream of answers never changes.
+    oracle = _read_container(served_dir / "v2.rprc")
+    with RangeServer(served_dir) as primary:
+        stack = open_async_source(
+            primary.url_for("v2.rprc"),
+            mirrors=[server.url_for("v2.rprc")],
+            retries=1, backoff=0.0, breaker_threshold=1000,
+        )
+        first = stack.read_range(0, 64)
+        primary.close()
+        result = _read_container(
+            primary.url_for("v2.rprc"),
+            source=stack, io_backend="async", prefetch=4,
+        )
+        stats = stack.stats()
+    blob = (served_dir / "v2.rprc").read_bytes()
+    assert first == blob[:64]
+    assert result.data.tobytes() == oracle.data.tobytes()
+    assert result.bytes_loaded == oracle.bytes_loaded
+    assert stats["failovers"] >= 1
+
+
+def test_async_hedged_read_wins_race(served_dir):
+    # A slow primary (uniform latency) with an instant hedge threshold: the
+    # clean replica's hedge should win at least one race, and winners are
+    # byte-identical to the slow path by construction.
+    blob = (served_dir / "v2.rprc").read_bytes()
+    slow_plan = FaultPlan.always("latency", seconds=0.08)
+    with RangeServer(served_dir, plan=slow_plan) as slow, RangeServer(
+        served_dir
+    ) as fast:
+        stack = open_async_source(
+            slow.url_for("v2.rprc"),
+            mirrors=[fast.url_for("v2.rprc")],
+            hedge_delay=0.005, backoff=0.0,
+        )
+        try:
+            for i in range(4):
+                assert stack.read_range(i * 256, 128) == blob[i * 256:i * 256 + 128]
+            stats = stack.stats()
+            assert stats["hedges"] >= 1
+            assert stats["hedge_wins"] >= 1
+        finally:
+            stack.close()
+
+
+# ------------------------------------------------------------ prefetch bridge
+
+
+def test_adjacent_primes_coalesce_to_one_request(served_dir, server):
+    blob = (served_dir / "v2.rprc").read_bytes()
+    stack = open_async_source(server.url_for("v2.rprc"))
+    prefetcher = AsyncPrefetcher(4, loop=stack.loop_thread)
+    source = PrefetchSource(stack, prefetcher)
+    try:
+        before = stack.stats()["requests"]
+        # Hold the loop thread busy so both primes land in one flush.
+        stack.loop_thread.call_soon(time.sleep, 0.2)
+        source.prime([(0, 512), (512, 512)])
+        assert source.read_range(0, 512) == blob[:512]
+        assert source.read_range(512, 512) == blob[512:1024]
+        assert stack.stats()["requests"] == before + 1  # one coalesced GET
+        assert prefetcher.batches >= 1
+        assert prefetcher.batched_ops >= 2
+        assert source.bytes_fetched == 1024
+    finally:
+        prefetcher.close()
+        source.close()
+
+
+def test_deadline_cancel_refunds_prefetch_charge(served_dir, server):
+    stack = open_async_source(server.url_for("v2.rprc"))
+    prefetcher = AsyncPrefetcher(4, loop=stack.loop_thread)
+    source = PrefetchSource(stack, prefetcher)
+    try:
+        stack.set_deadline(time.monotonic() - 1.0)  # already expired
+        source.prime([(0, 256)])
+        # The primed read fails on the dead deadline; the charge is
+        # refunded and the degrade-to-direct read fails the same way.
+        with pytest.raises(RemoteSourceError, match="deadline"):
+            source.read_range(0, 256)
+        assert source.bytes_fetched == 0
+        # Lifting the deadline heals the source completely.
+        stack.set_deadline(None)
+        blob = (served_dir / "v2.rprc").read_bytes()
+        assert source.read_range(0, 256) == blob[:256]
+        assert source.bytes_fetched == 256
+    finally:
+        prefetcher.close()
+        source.close()
+
+
+def test_prefetcher_close_mid_request_spares_loop(served_dir):
+    plan = FaultPlan.always("latency", seconds=0.1)
+    with RangeServer(served_dir, plan=plan) as srv:
+        stack = open_async_source(srv.url_for("v2.rprc"))
+        loop = stack.loop_thread
+        prefetcher = AsyncPrefetcher(4, loop=loop)
+        source = PrefetchSource(stack, prefetcher)
+        source.prime([(0, 128)])
+        prefetcher.close()  # while the 100 ms read is still on the wire
+        assert prefetcher.closed
+        assert loop.alive  # the shared loop must survive the close
+        with pytest.raises(RuntimeError, match="after shutdown"):
+            prefetcher.submit(stack.read_range, 0, 16)
+        # The stack (and a fresh prefetcher on the same loop) still work.
+        blob = (served_dir / "v2.rprc").read_bytes()
+        assert source.read_range(0, 128) == blob[:128]
+        fresh = AsyncPrefetcher(4, loop=loop)
+        replacement = PrefetchSource(stack, fresh)
+        replacement.prime([(256, 128)])
+        assert replacement.read_range(256, 128) == blob[256:384]
+        fresh.close()
+        source.close()
+
+
+def test_async_prefetcher_falls_back_for_sync_sources(tmp_path):
+    # A source without the async duck type runs through the loop's default
+    # executor — same Future contract, no event-loop requirement on fn.
+    path = tmp_path / "plain.bin"
+    path.write_bytes(bytes(range(256)) * 4)
+    from repro.io.container import FileSource
+
+    prefetcher = AsyncPrefetcher(2)
+    source = FileSource(path)
+    try:
+        future = prefetcher.submit(source.read_range, 3, 5)
+        assert future.result(timeout=5.0) == path.read_bytes()[3:8]
+        assert prefetcher.fallback_ops == 1
+    finally:
+        prefetcher.close()
+        source.close()
+
+
+def test_event_loop_thread_close_and_shared_revival():
+    loop = EventLoopThread()
+    import asyncio
+
+    assert loop.call(asyncio.sleep(0, result="ok")) == "ok"
+    loop.close()
+    assert not loop.alive
+    with pytest.raises(RuntimeError, match="not running"):
+        loop.run(asyncio.sleep(0))
+    shared = EventLoopThread.shared()
+    assert shared.alive
+    assert EventLoopThread.shared() is shared
+
+
+# --------------------------------------------------------------- CLI backend
+
+
+def test_cli_retrieve_io_backends_identical(served_dir, server, tmp_path):
+    outputs = {}
+    for backend in ("sync", "threads", "async"):
+        out = tmp_path / f"{backend}.raw"
+        trace = tmp_path / f"{backend}.json"
+        code = main([
+            "retrieve", server.url_for("v2.rprc"), "-o", str(out),
+            "--error-bound", "1e-3", "--io", backend,
+            "--trace-json", str(trace),
+        ])
+        assert code == 0
+        outputs[backend] = out.read_bytes()
+        receipt = json.loads(trace.read_text())
+        assert receipt["io_backend"] == backend
+        if backend == "async":
+            assert receipt["remote"]["inflight_max"] > 1
+            assert receipt["remote"]["retries"] == 0
+    assert outputs["sync"] == outputs["threads"] == outputs["async"]
+
+
+def test_cli_io_async_rejected_for_local_files(served_dir, tmp_path, capsys):
+    code = main([
+        "retrieve", str(served_dir / "v2.rprc"),
+        "-o", str(tmp_path / "x.raw"), "--error-bound", "1e-3",
+        "--io", "async",
+    ])
+    assert code != 0
+    assert "--io async requires an http(s)" in capsys.readouterr().err
+
+
+# ------------------------------------------------------- rangeserver hygiene
+
+
+def test_rangeserver_stall_does_not_wedge_other_connections(served_dir):
+    # Read #1 stalls for 0.4 s on connection A; connection B's read must
+    # complete while A is still stuck (thread-per-connection isolation).
+    plan = FaultPlan.at({1}, kind="stall", seconds=0.4)
+    blob = (served_dir / "v2.rprc").read_bytes()
+    with RangeServer(served_dir, plan=plan) as srv:
+        url = srv.url_for("v2.rprc")
+        stalled_done = threading.Event()
+
+        def stalled():
+            with open_async_source(url, retries=0) as src:
+                try:
+                    src.read_range(0, 64)  # draws the stall → 500
+                except RemoteSourceError:
+                    pass
+            stalled_done.set()
+
+        worker = threading.Thread(target=stalled, daemon=True)
+        worker.start()
+        time.sleep(0.05)  # let the stalled read hit the server first
+        start = time.perf_counter()
+        with open_async_source(url, retries=0) as src:
+            assert src.read_range(64, 64) == blob[64:128]
+        elapsed = time.perf_counter() - start
+        assert elapsed < 0.35, "read waited out another connection's stall"
+        assert stalled_done.wait(timeout=5.0)
+
+
+def test_rangeserver_max_connections_and_counters(served_dir):
+    plan = FaultPlan.always("latency", seconds=0.05)
+    with RangeServer(
+        served_dir, plan=plan, max_connections=2, backlog=8
+    ) as srv:
+        url = srv.url_for("v2.rprc")
+        with open_async_source(url, connections=4, window=4) as src:
+            import asyncio
+
+            async def burst():
+                return await asyncio.gather(
+                    *(src.aread_range(i * 64, 64) for i in range(8))
+                )
+
+            src.loop_thread.call(burst())
+        # The semaphore held concurrently *handled* sockets at two even
+        # though the client opened four connections.
+        assert srv.peak_connections <= 2
+        assert srv.range_requests >= 8
+    assert srv.open_connections == 0
+
+
+def test_rangeserver_reaps_idle_connections(served_dir):
+    with RangeServer(served_dir, handler_timeout=0.2) as srv:
+        with socket.create_connection((srv.host, srv.port), timeout=5.0) as sock:
+            # Say nothing: the handler must give up on the idle socket
+            # after handler_timeout instead of pinning its thread forever.
+            sock.settimeout(5.0)
+            assert sock.recv(1) == b""  # server closed its end

@@ -352,6 +352,46 @@ def test_hedged_read_fires_and_accounts_the_loser():
         mirror.drain()
 
 
+def test_mirror_close_joins_hedge_threads_deterministically():
+    # Regression: hedge worker threads used to outlive close().  A prompt
+    # close() joins them; one stuck on a wedged source is *counted* as
+    # leaked rather than waited on forever, and a later drain() reaps it.
+    payload = bytes(range(32))
+    gate = threading.Event()
+    slow_primary = _ScriptedMirror(payload, gate=gate)
+    backup = _ScriptedMirror(payload)
+    mirror = MirrorSource(
+        [slow_primary, backup], hedge_delay=0.01, shutdown_timeout=0.2
+    )
+    assert mirror.read_range(4, 16) == payload[4:20]
+    assert mirror.hedges == 1
+    assert mirror.alive_hedge_threads() == 1  # loser still on the wire
+    start = time.perf_counter()
+    mirror.close()  # must return within ~shutdown_timeout, not block
+    assert time.perf_counter() - start < 2.0
+    assert mirror.hedge_threads_leaked == 1
+    assert mirror.stats()["hedge_threads_leaked"] == 1
+    # A closed mirror never hedges again.
+    assert mirror._closed
+    # Release the wedge: the surviving thread exits and drain() sees none.
+    gate.set()
+    assert mirror.drain(timeout=5.0) == 0
+    assert mirror.alive_hedge_threads() == 0
+
+
+def test_mirror_close_clean_leaves_no_threads():
+    payload = bytes(range(32))
+    gate = threading.Event()
+    slow_primary = _ScriptedMirror(payload, gate=gate)
+    backup = _ScriptedMirror(payload)
+    mirror = MirrorSource([slow_primary, backup], hedge_delay=0.01)
+    assert mirror.read_range(0, 8) == payload[0:8]
+    gate.set()  # losing leg finishes before close
+    mirror.close()
+    assert mirror.hedge_threads_leaked == 0
+    assert mirror.alive_hedge_threads() == 0
+
+
 def test_remote_fingerprint_is_size_and_tail_crc():
     class _Bytes:
         def __init__(self, blob):
